@@ -1,0 +1,68 @@
+"""Bench E4: Theorem 3's linearity claim.
+
+Times full scheduling runs of Algorithm 1 across growing random DAGs
+(the per-size groups expose the scaling series) and the naive
+speculative scheduler on the sizes it can stomach.  The figure the
+series regenerates: per-operation cost vs |V| — linear for Algorithm 1,
+superlinear for the naive scheduler.
+
+``python -m repro.experiments.complexity`` prints the measured table
+with abstract work counters.
+"""
+
+import pytest
+
+from repro.core.naive import NaiveSoftScheduler
+from repro.core.threaded_graph import ThreadedGraph
+from repro.graphs.random_dags import random_layered_dag
+
+THREADS = 4
+SEED = 7
+
+
+def _graph(size):
+    return random_layered_dag(size, seed=SEED, mul_fraction=0.0)
+
+
+@pytest.mark.parametrize("size", [50, 100, 200, 400, 800])
+def test_threaded_scaling(benchmark, size):
+    dfg = _graph(size)
+    order = dfg.topological_order()
+
+    def run():
+        state = ThreadedGraph(dfg, THREADS)
+        state.schedule_all(order)
+        return state
+
+    state = benchmark(run)
+    assert len(state) == size
+
+
+@pytest.mark.parametrize("size", [25, 50, 100])
+def test_naive_scaling(benchmark, size):
+    dfg = _graph(size)
+    order = dfg.topological_order()
+
+    def run():
+        state = NaiveSoftScheduler(dfg, THREADS)
+        state.schedule_all(order)
+        return state
+
+    state = benchmark(run)
+    assert state.diameter() > 0
+
+
+def test_equal_results_where_both_run(benchmark):
+    """The speed difference buys nothing: both reach the same diameter."""
+    dfg = _graph(100)
+    order = dfg.topological_order()
+
+    def run():
+        fast = ThreadedGraph(dfg, THREADS)
+        fast.schedule_all(order)
+        return fast.diameter()
+
+    fast_diameter = benchmark(run)
+    slow = NaiveSoftScheduler(dfg, THREADS)
+    slow.schedule_all(order)
+    assert fast_diameter == slow.diameter()

@@ -1,0 +1,84 @@
+"""Bench: the outlook extensions (Section 6) built on the kernel.
+
+Times the remove-and-reinsert local search and rotation scheduling —
+the two "embed the online scheduler as a kernel" applications the
+paper's conclusion sketches — and asserts their contracts (improvement
+is monotone; rotation never ends above its starting length).
+"""
+
+import pytest
+
+from repro.core.improve import improve_schedule
+from repro.core.meta import meta_random
+from repro.core.rotation import rotate_loop
+from repro.core.scheduler import ThreadedScheduler
+from repro.graphs.registry import get_graph
+from repro.ir.parser import parse_program
+from repro.ir.ssa import loop_ssa
+from repro.scheduling.resources import ResourceSet
+
+RESOURCES = ResourceSet.parse("2+/-,1*")
+
+LOOP_BODY = """
+a = x + k1
+b = a * c1
+c = b * c2
+d = c + a
+acc = acc + d
+"""
+
+
+@pytest.mark.parametrize("bench_name", ("EF", "AR", "DCT8"))
+def test_improve_after_random_order(benchmark, bench_name):
+    graph = get_graph(bench_name)
+
+    def run():
+        scheduler = ThreadedScheduler(
+            graph, resources=RESOURCES, meta=meta_random(9)
+        ).run()
+        return improve_schedule(scheduler.state, max_rounds=3)
+
+    report = benchmark(run)
+    assert report.final_diameter <= report.initial_diameter
+
+
+def test_rotation_scheduling(benchmark):
+    ssa = loop_ssa(parse_program(LOOP_BODY), name="gated")
+
+    def run():
+        return rotate_loop(ssa, ResourceSet.of(alu=4, mul=4), rotations=3)
+
+    result = benchmark(run)
+    assert result.best_length <= result.initial_length
+    assert result.improvement >= 1
+
+
+def test_phi_pipeline(benchmark):
+    """SSA -> schedule -> allocate -> resolve phis, timed end to end."""
+    from repro.allocation import left_edge_allocate
+    from repro.core.refine import resolve_phi
+    from repro.ir.ssa import resolve_all_phis
+
+    source = parse_program(
+        """
+        acc = acc + x * k
+        i = i + 1
+        c = i < n
+        """
+    )
+
+    def run():
+        ssa = loop_ssa(source)
+        scheduler = ThreadedScheduler(
+            ssa.dfg, resources=ResourceSet.parse("2+/-,1*")
+        ).run()
+        schedule = scheduler.harden()
+        allocation = left_edge_allocate(schedule)
+        for phi_id, decision in resolve_all_phis(
+            ssa, allocation.register_of
+        ).items():
+            resolve_phi(scheduler.state, phi_id, into=decision)
+        return scheduler.harden()
+
+    final = benchmark(run)
+    assert final.length > 0

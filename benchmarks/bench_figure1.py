@@ -1,0 +1,43 @@
+"""Bench E2: the Figure 1 walkthrough (soft schedule + refinements).
+
+Times each leg of the walkthrough and asserts the paper's numbers:
+soft schedule 5 states, 6 after spilling vertex 3, 5 after the wire
+delay.  ``python -m repro.experiments.figure1`` prints the narrative.
+"""
+
+import pytest
+
+from repro.core.refine import insert_spill, insert_wire_delay
+from repro.experiments.figure1 import _fresh_scheduler
+from repro.graphs.paper_fig1 import FIG1_SPILLED, FIG1_WIRE_EDGE
+
+
+def test_soft_schedule(benchmark):
+    scheduler = benchmark(_fresh_scheduler)
+    assert scheduler.diameter == 5
+
+
+def test_spill_refinement(benchmark):
+    def run():
+        scheduler = _fresh_scheduler()
+        insert_spill(scheduler.state, FIG1_SPILLED)
+        return scheduler
+
+    scheduler = benchmark(run)
+    assert scheduler.diameter == 6
+
+
+def test_wire_delay_refinement(benchmark):
+    def run():
+        scheduler = _fresh_scheduler()
+        insert_wire_delay(scheduler.state, *FIG1_WIRE_EDGE, delay=1)
+        return scheduler
+
+    scheduler = benchmark(run)
+    assert scheduler.diameter == 5
+
+
+def test_hardening(benchmark):
+    scheduler = _fresh_scheduler()
+    schedule = benchmark(scheduler.harden)
+    assert schedule.length == 5

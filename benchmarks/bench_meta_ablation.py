@@ -1,0 +1,49 @@
+"""Bench E6: meta-schedule sensitivity (Section 5's claim).
+
+Times threaded scheduling of a random-DAG population under each meta
+schedule and asserts the paper's qualitative claim: the structured
+metas stay within a few percent of the list baseline on average.
+``python -m repro.experiments.meta_ablation`` prints the distribution.
+"""
+
+import pytest
+
+from repro.core.meta import META_SCHEDULES, meta_random
+from repro.core.scheduler import threaded_schedule
+from repro.graphs.random_dags import random_layered_dag
+from repro.scheduling.list_scheduler import ListPriority, list_schedule
+from repro.scheduling.resources import ResourceSet
+
+RESOURCES = ResourceSet.parse("2+/-,2*")
+POPULATION = [
+    random_layered_dag(50, seed=3000 + index, mul_fraction=0.35)
+    for index in range(6)
+]
+BASELINES = [
+    list_schedule(graph, RESOURCES, ListPriority.READY_ORDER).length
+    for graph in POPULATION
+]
+
+ALL_METAS = dict(META_SCHEDULES)
+ALL_METAS["random-a"] = meta_random(11)
+ALL_METAS["random-b"] = meta_random(12)
+
+
+@pytest.mark.parametrize("meta_name", sorted(ALL_METAS))
+def test_meta_population(benchmark, meta_name):
+    meta = ALL_METAS[meta_name]
+
+    def run():
+        return [
+            threaded_schedule(graph, RESOURCES, meta=meta).length
+            for graph in POPULATION
+        ]
+
+    lengths = benchmark(run)
+    ratio = sum(
+        length / baseline for length, baseline in zip(lengths, BASELINES)
+    ) / len(lengths)
+    if "random" not in meta_name:
+        assert ratio <= 1.10
+    else:
+        assert ratio <= 1.30

@@ -1,0 +1,67 @@
+"""Bench E5: phase-coupling cost, hard patching vs soft refinement.
+
+Times the full hard flow (schedule, spill-patch, wire-repair) against
+the full soft flow (threaded schedule, spill/wire refinement, harden)
+per benchmark, asserting the headline: soft growth never exceeds hard
+growth.  ``python -m repro.experiments.phase_coupling`` prints the
+comparison table.
+"""
+
+import pytest
+
+from repro.flows.hard_flow import run_hard_flow
+from repro.flows.soft_flow import run_soft_flow
+from repro.graphs.registry import get_graph
+from repro.physical.wire_model import WireModel
+from repro.scheduling.resources import ResourceSet
+
+CONSTRAINT = ResourceSet.parse("2+/-,1*")
+WIRES = WireModel(free_length=1.0, cells_per_cycle=3.0)
+REGISTERS = 4
+
+BENCHES = ("HAL", "AR", "EF", "FIR", "DCT8")
+
+
+@pytest.mark.parametrize("bench_name", BENCHES)
+def test_hard_flow(benchmark, bench_name):
+    graph = get_graph(bench_name)
+    result = benchmark(
+        run_hard_flow,
+        graph,
+        CONSTRAINT,
+        max_registers=REGISTERS,
+        wire_model=WIRES,
+    )
+    assert result.final.length >= result.initial.length
+
+
+@pytest.mark.parametrize("bench_name", BENCHES)
+def test_soft_flow(benchmark, bench_name):
+    graph = get_graph(bench_name)
+    result = benchmark(
+        run_soft_flow,
+        graph,
+        CONSTRAINT,
+        max_registers=REGISTERS,
+        wire_model=WIRES,
+    )
+    assert result.final.length >= result.initial.length
+
+
+@pytest.mark.parametrize("bench_name", BENCHES)
+def test_soft_growth_bounded(benchmark, bench_name):
+    graph = get_graph(bench_name)
+
+    def run():
+        hard = run_hard_flow(
+            graph, CONSTRAINT, max_registers=REGISTERS, wire_model=WIRES
+        )
+        soft = run_soft_flow(
+            graph, CONSTRAINT, max_registers=REGISTERS, wire_model=WIRES
+        )
+        return hard, soft
+
+    hard, soft = benchmark(run)
+    hard_growth = hard.final.length - hard.initial.length
+    soft_growth = soft.final.length - soft.initial.length
+    assert soft_growth <= hard_growth

@@ -1,0 +1,39 @@
+"""Bench: the select() tie-break ablation (design-choice record).
+
+Times each tie-break policy over the paper grid and asserts the
+documented ordering on the random population (append <= first).
+"""
+
+import pytest
+
+from repro.experiments.tiebreak_ablation import (
+    POLICIES,
+    _length,
+    tiebreak_ablation,
+)
+from repro.graphs.registry import get_graph
+from repro.scheduling.resources import ResourceSet
+
+GRID = [
+    (name, constraint)
+    for name in ("HAL", "AR", "EF", "FIR")
+    for constraint in ("2+/-,2*", "4+/-,4*", "2+/-,1*")
+]
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_policy_on_paper_grid(benchmark, policy):
+    def run():
+        return sum(
+            _length(get_graph(name), ResourceSet.parse(constraint), policy)
+            for name, constraint in GRID
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_random_population_ordering(benchmark):
+    rows = benchmark(tiebreak_ablation, 8)
+    random_row = rows[1].lengths
+    assert random_row["append"] <= random_row["first"]

@@ -1,0 +1,65 @@
+"""Incremental refinement and engineering changes on a live schedule.
+
+Demonstrates every refinement the paper motivates, on the EWF filter:
+
+1. spill a value when the register file is too small;
+2. back-annotate wire delays from a floorplan;
+3. engineering change: remove an operation, add a replacement, and
+   re-schedule — all without rebuilding the schedule.
+
+Run:  python examples/incremental_eco.py
+"""
+
+from repro import ResourceSet, elliptic_wave_filter
+from repro.allocation import max_live
+from repro.core import ThreadedScheduler, insert_spill
+from repro.core.refine import annotate_wire_weights, unschedule
+from repro.physical import WireModel, grid_floorplan, wire_delays_for_state
+from repro.scheduling.resources import MEM
+
+
+def main() -> None:
+    graph = elliptic_wave_filter()
+    resources = ResourceSet.parse("2+/-,1*").with_added(MEM, 1)
+    scheduler = ThreadedScheduler(graph, resources=resources, meta="meta2")
+    scheduler.run()
+    print(f"EWF scheduled softly: {scheduler.diameter} states "
+          f"(paper Figure 3: 24)")
+
+    # --- 1. register-pressure refinement -----------------------------
+    schedule = scheduler.harden()
+    pressure = max_live(schedule)
+    budget = pressure - 2
+    print(f"\nregister pressure {pressure}, register file holds {budget}")
+    from repro.allocation import choose_spill_candidates
+
+    for victim in choose_spill_candidates(schedule, budget):
+        store, load = insert_spill(scheduler.state, victim)
+        print(f"  spilled {victim}: +{store}" +
+              (f", +{load}" if load else ""))
+    print(f"after spills: {scheduler.diameter} states")
+
+    # --- 2. physical refinement ---------------------------------------
+    plan = grid_floorplan([spec.label for spec in scheduler.state.specs])
+    model = WireModel(free_length=1.5, cells_per_cycle=3.0)
+    delays = wire_delays_for_state(scheduler.state, plan, model)
+    print(f"\nfloorplan: {plan}; {len(delays)} cross-unit edges get "
+          "wire delay")
+    annotate_wire_weights(scheduler.state, delays)
+    print(f"after wire back-annotation: {scheduler.diameter} states")
+
+    # --- 3. engineering change ----------------------------------------
+    victim = scheduler.state.thread_members(0)[-1]
+    print(f"\nECO: pulling {victim} out of the schedule...")
+    unschedule(scheduler.state, victim)
+    print(f"  without it: {scheduler.diameter} states")
+    scheduler.state.schedule(victim)
+    print(f"  re-inserted (possibly elsewhere): {scheduler.diameter} states")
+
+    final = scheduler.harden()
+    print(f"\nfinal hard schedule: {final.length} states, "
+          f"{len(final.start_times)} operations")
+
+
+if __name__ == "__main__":
+    main()

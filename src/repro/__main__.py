@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment harnesses plus a couple of
+utilities:
+
+=============  ====================================================
+figure3        the paper's Figure 3 results table
+figure1        the Figure 1 walkthrough
+complexity     Theorem 3 linearity measurements
+coupling       phase-coupling comparison (hard patch vs soft refine)
+ablation       meta-schedule sensitivity on random DAGs
+benchmarks     list the shipped benchmark graphs
+schedule       schedule one benchmark: ``schedule HAL "2+/-,2*" meta2``
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import complexity, figure1, figure3, meta_ablation
+from repro.experiments import phase_coupling
+
+
+def _cmd_benchmarks(_args) -> int:
+    from repro.graphs import list_graphs
+
+    for info in list_graphs():
+        tag = "paper" if info.in_paper else "extra"
+        print(f"{info.name:<6} [{tag}] {info.description}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.core.scheduler import threaded_schedule
+    from repro.graphs import get_graph
+    from repro.scheduling.resources import ResourceSet
+
+    if not args:
+        print(
+            'usage: python -m repro schedule <BENCH> ["2+/-,2*"] [meta2]',
+            file=sys.stderr,
+        )
+        return 2
+    name = args[0]
+    constraint = args[1] if len(args) > 1 else "2+/-,2*"
+    meta = args[2] if len(args) > 2 else "meta2"
+    graph = get_graph(name)
+    schedule = threaded_schedule(
+        graph, ResourceSet.parse(constraint), meta=meta
+    )
+    print(
+        f"{name} on {constraint} with {meta}: "
+        f"{schedule.length} control steps"
+    )
+    print(schedule.table())
+    return 0
+
+
+_COMMANDS = {
+    "figure3": lambda args: (figure3.main(), 0)[1],
+    "figure1": lambda args: (figure1.main(), 0)[1],
+    "complexity": lambda args: (complexity.main(), 0)[1],
+    "coupling": lambda args: (phase_coupling.main(), 0)[1],
+    "ablation": lambda args: (meta_ablation.main(), 0)[1],
+    "benchmarks": _cmd_benchmarks,
+    "schedule": _cmd_schedule,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    command = _COMMANDS.get(argv[0])
+    if command is None:
+        print(f"unknown command {argv[0]!r}; try --help", file=sys.stderr)
+        return 2
+    return command(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

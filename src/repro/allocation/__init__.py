@@ -1,0 +1,28 @@
+"""Register allocation, binding and interconnect estimation.
+
+The paper's first phase-coupling scenario is register allocation: when
+live values exceed the register budget, *spilling* rewrites the behavior
+(store + load nodes) and invalidates a hard schedule.  This package
+provides the allocation machinery the scenario needs: value lifetime
+analysis over a hard schedule, left-edge register assignment, spill
+candidate selection, functional-unit binding for hard schedules, and a
+mux/interconnect cost estimate used in reports.
+"""
+
+from repro.allocation.lifetimes import Lifetime, value_lifetimes, max_live
+from repro.allocation.left_edge import left_edge_allocate, RegisterAllocation
+from repro.allocation.spill import choose_spill_candidates
+from repro.allocation.binding import bind_functional_units
+from repro.allocation.interconnect import estimate_interconnect, InterconnectCost
+
+__all__ = [
+    "Lifetime",
+    "value_lifetimes",
+    "max_live",
+    "left_edge_allocate",
+    "RegisterAllocation",
+    "choose_spill_candidates",
+    "bind_functional_units",
+    "estimate_interconnect",
+    "InterconnectCost",
+]

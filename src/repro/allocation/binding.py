@@ -1,0 +1,71 @@
+"""Functional-unit binding for hard schedules.
+
+Threaded schedules come with a binding for free (thread = unit, the
+paper's own observation); hard schedules from ASAP/ALAP/force-directed
+do not.  This module assigns concrete unit instances step by step,
+preferring the unit that most recently ran an operation with the same
+opcode (a cheap interconnect heuristic: reuse favours fewer mux inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AllocationError
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import FuType, ResourceSet
+
+
+def bind_functional_units(
+    schedule: Schedule,
+    resources: Optional[ResourceSet] = None,
+) -> Dict[str, Tuple[FuType, int]]:
+    """Bind every non-structural op to a ``(fu_type, instance)``.
+
+    Raises :class:`AllocationError` when some step needs more units of
+    a type than the resource set provides (i.e. the schedule does not
+    actually fit the constraint).
+    """
+    resources = resources or schedule.resources
+    if resources is None:
+        raise AllocationError("binding needs a ResourceSet")
+
+    dfg = schedule.dfg
+    binding: Dict[str, Tuple[FuType, int]] = {}
+    busy_until: Dict[Tuple[str, int], int] = {}
+    last_op: Dict[Tuple[str, int], Optional[str]] = {}
+
+    order = sorted(
+        (n for n in schedule.start_times if not dfg.node(n).op.is_structural),
+        key=lambda n: (schedule.start(n), n),
+    )
+    for node_id in order:
+        node = dfg.node(node_id)
+        fu_type = resources.fu_for_op(node.op)
+        if fu_type is None:
+            raise AllocationError(
+                f"no unit type executes {node_id} ({node.op.name})"
+            )
+        start = schedule.start(node_id)
+        finish = start + max(1, node.delay)
+        candidates = [
+            index
+            for index in range(resources.count(fu_type))
+            if busy_until.get((fu_type.name, index), 0) <= start
+        ]
+        if not candidates:
+            raise AllocationError(
+                f"step {start}: no free {fu_type.name} unit for {node_id}"
+            )
+        # Prefer a unit that last executed the same opcode.
+        chosen = None
+        for index in candidates:
+            if last_op.get((fu_type.name, index)) == node.op.name:
+                chosen = index
+                break
+        if chosen is None:
+            chosen = candidates[0]
+        binding[node_id] = (fu_type, chosen)
+        busy_until[(fu_type.name, chosen)] = finish
+        last_op[(fu_type.name, chosen)] = node.op.name
+    return binding

@@ -1,0 +1,80 @@
+"""Interconnect (multiplexer) cost estimation.
+
+A coarse structural estimate used in flow reports: for each functional
+unit, the number of distinct sources feeding each operand port (mux
+inputs), and for each register, the number of distinct writers.  These
+are the quantities layout-driven binding papers (e.g. the paper's
+reference [10]) try to minimise; here they quantify how much a schedule
+or binding choice complicates the datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.allocation.left_edge import RegisterAllocation
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import FuType
+
+
+@dataclass
+class InterconnectCost:
+    """Mux-input counts for a bound schedule."""
+
+    #: (unit label, port) -> number of distinct sources.
+    mux_inputs: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    #: register index -> number of distinct writers.
+    register_writers: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_mux_inputs(self) -> int:
+        return sum(self.mux_inputs.values())
+
+    @property
+    def largest_mux(self) -> int:
+        return max(self.mux_inputs.values(), default=0)
+
+
+def estimate_interconnect(
+    schedule: Schedule,
+    allocation: Optional[RegisterAllocation] = None,
+) -> InterconnectCost:
+    """Count mux inputs per unit port and writers per register.
+
+    Sources are named by what drives the port: the producing unit (for
+    op results) via its register, or a primary input.  Without a
+    register allocation, values are their own "registers".
+    """
+    dfg = schedule.dfg
+    binding = schedule.binding
+    cost = InterconnectCost()
+
+    def unit_label(node_id: str) -> str:
+        if node_id in binding:
+            fu_type, index = binding[node_id]
+            return f"{fu_type.name}{index}"
+        return f"op:{node_id}"
+
+    def register_of(value_id: str) -> str:
+        if allocation is not None and value_id in allocation.register_of:
+            return f"r{allocation.register_of[value_id]}"
+        return f"v:{value_id}"
+
+    port_sources: Dict[Tuple[str, int], Set[str]] = {}
+    for edge in dfg.edges():
+        if edge.dst not in schedule.start_times:
+            continue
+        port = edge.port if edge.port is not None else 0
+        key = (unit_label(edge.dst), port)
+        port_sources.setdefault(key, set()).add(register_of(edge.src))
+    for key, sources in sorted(port_sources.items()):
+        cost.mux_inputs[key] = len(sources)
+
+    if allocation is not None:
+        writers: Dict[int, Set[str]] = {}
+        for value_id, register in allocation.register_of.items():
+            writers.setdefault(register, set()).add(unit_label(value_id))
+        for register, sources in sorted(writers.items()):
+            cost.register_writers[register] = len(sources)
+    return cost

@@ -1,0 +1,84 @@
+"""Left-edge register allocation (Hashimoto & Stevens / Kurdahi-Parker).
+
+The classic channel-routing algorithm applied to register assignment:
+sort value lifetimes by birth time and greedily pack non-overlapping
+intervals into the same register.  Produces the minimum register count
+for interval graphs (which lifetime sets over a basic block are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AllocationError
+from repro.allocation.lifetimes import Lifetime, value_lifetimes
+from repro.scheduling.base import Schedule
+
+
+@dataclass
+class RegisterAllocation:
+    """Result of register allocation.
+
+    Attributes
+    ----------
+    register_of:
+        Value id -> register index.
+    registers:
+        For each register index, the list of lifetimes packed into it
+        (sorted by birth).
+    """
+
+    register_of: Dict[str, int] = field(default_factory=dict)
+    registers: List[List[Lifetime]] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.registers)
+
+    def values_in(self, register: int) -> List[str]:
+        return [lt.value for lt in self.registers[register]]
+
+
+def left_edge_allocate(
+    schedule: Schedule,
+    lifetimes: Optional[Dict[str, Lifetime]] = None,
+    max_registers: Optional[int] = None,
+) -> RegisterAllocation:
+    """Pack value lifetimes into registers with the left-edge algorithm.
+
+    Zero-length lifetimes (values consumed in the same step they appear,
+    impossible under the non-chained timing model, or dead values) are
+    skipped.  If ``max_registers`` is given and the packing needs more,
+    :class:`AllocationError` is raised — the caller is expected to spill
+    and reschedule (see :mod:`repro.allocation.spill`).
+    """
+    if lifetimes is None:
+        lifetimes = value_lifetimes(schedule)
+    intervals = sorted(
+        (lt for lt in lifetimes.values() if lt.span > 0),
+        key=lambda lt: (lt.birth, lt.death, lt.value),
+    )
+
+    allocation = RegisterAllocation()
+    register_last_death: List[int] = []
+    for interval in intervals:
+        target = None
+        for index, last_death in enumerate(register_last_death):
+            if last_death <= interval.birth:
+                target = index
+                break
+        if target is None:
+            target = len(register_last_death)
+            register_last_death.append(0)
+            allocation.registers.append([])
+        register_last_death[target] = interval.death
+        allocation.registers[target].append(interval)
+        allocation.register_of[interval.value] = target
+
+    if max_registers is not None and allocation.count > max_registers:
+        raise AllocationError(
+            f"needs {allocation.count} registers, only {max_registers} "
+            "available — spill required"
+        )
+    return allocation

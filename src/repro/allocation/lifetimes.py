@@ -1,0 +1,81 @@
+"""Value lifetime analysis over a hard schedule.
+
+A value is *born* when its producer finishes and *dies* when its last
+consumer starts (standard HLS convention: an operation reads its
+operands in its first step).  Values with no consumers are block
+outputs; they stay live to the end of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.scheduling.base import Schedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Half-open live interval ``[birth, death)`` of one value."""
+
+    value: str
+    birth: int
+    death: int
+
+    @property
+    def span(self) -> int:
+        return max(0, self.death - self.birth)
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        return self.birth < other.death and other.birth < self.death
+
+
+def value_lifetimes(schedule: Schedule) -> Dict[str, Lifetime]:
+    """Lifetime of every operation's result value.
+
+    Edge weights (wire delays) extend the producer->consumer distance
+    but do not change when the value is read, so the death point is the
+    consumer's start step regardless of weights.
+    """
+    dfg = schedule.dfg
+    horizon = schedule.length
+    lifetimes: Dict[str, Lifetime] = {}
+    for node in dfg.node_objects():
+        if node.id not in schedule.start_times:
+            continue
+        birth = schedule.finish(node.id)
+        consumers = [
+            succ
+            for succ in dfg.successors(node.id)
+            if succ in schedule.start_times
+        ]
+        if consumers:
+            death = max(schedule.start(succ) for succ in consumers)
+            # A value must exist at the step its last reader starts;
+            # the register is reusable the step after.
+            death = max(death + 1, birth)
+        else:
+            # Block outputs stay registered to the end of the schedule
+            # (at least one step, even when produced in the last step —
+            # something outside the block reads them).
+            death = max(horizon, birth + 1)
+        lifetimes[node.id] = Lifetime(value=node.id, birth=birth, death=death)
+    return lifetimes
+
+
+def max_live(schedule: Schedule) -> int:
+    """Peak number of simultaneously live values (register lower bound)."""
+    lifetimes = value_lifetimes(schedule)
+    if not lifetimes:
+        return 0
+    events: Dict[int, int] = {}
+    for lifetime in lifetimes.values():
+        if lifetime.span == 0:
+            continue
+        events[lifetime.birth] = events.get(lifetime.birth, 0) + 1
+        events[lifetime.death] = events.get(lifetime.death, 0) - 1
+    live = peak = 0
+    for step in sorted(events):
+        live += events[step]
+        peak = max(peak, live)
+    return peak

@@ -1,0 +1,48 @@
+"""Spill candidate selection.
+
+When the peak register pressure exceeds the register file size, some
+values must live in memory.  The selector uses the classic
+furthest-next-use (Belady) intuition adapted to lifetimes: at each
+pressure peak, prefer to spill the value with the *longest remaining
+lifetime* — it frees a register for the longest stretch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.allocation.lifetimes import Lifetime, value_lifetimes
+from repro.scheduling.base import Schedule
+
+
+def choose_spill_candidates(
+    schedule: Schedule,
+    max_registers: int,
+    lifetimes: Optional[Dict[str, Lifetime]] = None,
+) -> List[str]:
+    """Values to spill so peak pressure drops to ``max_registers``.
+
+    Greedy sweep: walk the steps; whenever more than ``max_registers``
+    values are live, evict the live value whose death is furthest away
+    (ties: larger span, then id).  Returns value ids in eviction order
+    (deterministic).
+    """
+    if max_registers <= 0:
+        raise ValueError("max_registers must be positive")
+    if lifetimes is None:
+        lifetimes = value_lifetimes(schedule)
+
+    intervals = sorted(
+        (lt for lt in lifetimes.values() if lt.span > 0),
+        key=lambda lt: (lt.birth, lt.death, lt.value),
+    )
+    spilled: List[str] = []
+    live: List[Lifetime] = []
+    for interval in intervals:
+        live = [lt for lt in live if lt.death > interval.birth]
+        live.append(interval)
+        while len(live) > max_registers:
+            victim = max(live, key=lambda lt: (lt.death, lt.span, lt.value))
+            live.remove(victim)
+            spilled.append(victim.value)
+    return spilled

@@ -1,0 +1,70 @@
+"""The paper's contribution: soft scheduling via threaded graphs.
+
+* :mod:`repro.core.threaded_graph` — Algorithm 1: the K-threaded
+  scheduling state with ``label`` / ``select`` / ``commit``.
+* :mod:`repro.core.scheduler` — the procedural schedule of Definition 2
+  (meta schedule feeding the online schedule) with a friendly API.
+* :mod:`repro.core.meta` — the paper's four meta schedules plus extras.
+* :mod:`repro.core.naive` — the O(|V|^2 |E|) speculative reference
+  scheduler the paper contrasts Algorithm 1 against (Section 4.2).
+* :mod:`repro.core.hardening` — partial order to hard schedule.
+* :mod:`repro.core.refine` — soft refinements: spill code, wire delays,
+  phi resolution, engineering changes.
+* :mod:`repro.core.invariants` — checkers for Definitions 3/4 and
+  Lemma 7, used by the test-suite and debug mode.
+"""
+
+from repro.core.vertex import ThreadedVertex
+from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
+from repro.core.scheduler import ThreadedScheduler, threaded_schedule
+from repro.core.meta import (
+    META_SCHEDULES,
+    meta_dfs,
+    meta_topological,
+    meta_paths,
+    meta_list_order,
+    meta_random,
+    meta_alap,
+    get_meta_schedule,
+)
+from repro.core.naive import NaiveSoftScheduler
+from repro.core.hardening import harden
+from repro.core.invariants import check_state, check_against_graph
+from repro.core.refine import (
+    insert_spill,
+    insert_wire_delay,
+    annotate_wire_weights,
+    resolve_phi,
+    unschedule,
+)
+from repro.core.improve import ImprovementReport, improve_schedule
+from repro.core.rotation import RotationResult, rotate_loop
+
+__all__ = [
+    "ThreadedVertex",
+    "ThreadedGraph",
+    "ThreadSpec",
+    "ThreadedScheduler",
+    "threaded_schedule",
+    "META_SCHEDULES",
+    "meta_dfs",
+    "meta_topological",
+    "meta_paths",
+    "meta_list_order",
+    "meta_random",
+    "meta_alap",
+    "get_meta_schedule",
+    "NaiveSoftScheduler",
+    "harden",
+    "check_state",
+    "check_against_graph",
+    "insert_spill",
+    "insert_wire_delay",
+    "annotate_wire_weights",
+    "resolve_phi",
+    "unschedule",
+    "ImprovementReport",
+    "improve_schedule",
+    "RotationResult",
+    "rotate_loop",
+]

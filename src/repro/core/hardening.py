@@ -1,0 +1,95 @@
+"""Hardening: extracting a hard schedule from a threaded state.
+
+The paper delays the "hard decision, or the exact mapping of operations
+to time steps ... to the desired stage, for example, after place and
+route".  This module makes that hard decision: each operation starts at
+``sdist(v) - delay(v)`` — its ASAP time under the state's partial order.
+
+Because every thread is totally ordered and the thread edges feed the
+labels, no two operations of a thread ever overlap, so the thread index
+doubles as the functional-unit binding and the schedule length equals
+the state diameter (asserted by a validator on every call).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ThreadedGraphError
+from repro.core.threaded_graph import ThreadedGraph
+from repro.scheduling.base import Schedule, validate_schedule
+from repro.scheduling.resources import FuType, ResourceSet
+
+
+def harden(
+    state: ThreadedGraph,
+    resources: Optional[ResourceSet] = None,
+    algorithm: str = "threaded",
+    validate: bool = True,
+) -> Schedule:
+    """Convert a threaded scheduling state into a hard schedule.
+
+    ``resources`` is attached to the returned schedule for validation
+    and reporting; when the state was built via
+    :meth:`ThreadedGraph.from_resources` the thread specs already carry
+    the unit types and the binding maps thread -> concrete unit.
+    """
+    state.label()
+    start_times: Dict[str, int] = {}
+    binding: Dict[str, Tuple[FuType, int]] = {}
+
+    instance_of: Dict[int, Tuple[FuType, int]] = {}
+    per_type_counter: Dict[str, int] = {}
+    for index, spec in enumerate(state.specs):
+        if spec.fu_type is not None:
+            count = per_type_counter.get(spec.fu_type.name, 0)
+            instance_of[index] = (spec.fu_type, count)
+            per_type_counter[spec.fu_type.name] = count + 1
+
+    for vertex in state.vertices():
+        start_times[vertex.node_id] = vertex.sdist - vertex.delay
+        if vertex.thread is not None and vertex.thread in instance_of:
+            binding[vertex.node_id] = instance_of[vertex.thread]
+
+    schedule = Schedule(
+        dfg=state.dfg,
+        start_times=start_times,
+        binding=binding,
+        resources=resources,
+        algorithm=algorithm,
+    )
+
+    if validate:
+        _check(state, schedule)
+    return schedule
+
+
+def _check(state: ThreadedGraph, schedule: Schedule) -> None:
+    """Assert the hardened schedule is consistent with the state."""
+    expected = state.diameter()
+    if schedule.start_times and schedule.length != expected:
+        raise ThreadedGraphError(
+            f"hardened length {schedule.length} != state diameter {expected}"
+        )
+    # Precedence over the *DFG* (only scheduled endpoints).
+    for edge in state.dfg.edges():
+        if edge.src in schedule.start_times and edge.dst in schedule.start_times:
+            earliest = (
+                schedule.start_times[edge.src]
+                + state.dfg.delay(edge.src)
+                + edge.weight
+            )
+            if schedule.start_times[edge.dst] < earliest:
+                raise ThreadedGraphError(
+                    f"hardening violated dependence "
+                    f"{edge.src} -> {edge.dst}"
+                )
+    # No overlap inside any thread.
+    for k in range(state.K):
+        members = state.thread_members(k)
+        for first, second in zip(members, members[1:]):
+            finish = schedule.start_times[first] + state.dfg.delay(first)
+            if schedule.start_times[second] < finish:
+                raise ThreadedGraphError(
+                    f"thread {k}: {second} starts before {first} finishes"
+                )

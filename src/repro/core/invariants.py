@@ -1,0 +1,188 @@
+"""Invariant checkers for the threaded scheduling state.
+
+Two levels:
+
+* :func:`check_state` — structural invariants of the data structure
+  itself: chain/pointer consistency, the Definition 4 partition, the
+  Lemma 7 degree bound, acyclicity, and label freshness.
+* :func:`check_against_graph` — semantic invariants against the DFG:
+  the Definition 3 *correctness condition* (``p <G q  ->  p <S q`` for
+  scheduled pairs) and thread/op compatibility.
+
+Both return a list of problems (empty = healthy) and optionally raise.
+The test-suite runs them after every insertion on small graphs and at
+the end on large ones; they are intentionally O(|V|^2)-ish and not part
+of the scheduling fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import ThreadedGraphError
+from repro.ir.analysis import transitive_closure
+from repro.core.threaded_graph import ThreadedGraph
+from repro.core.vertex import ThreadedVertex
+
+
+def check_state(state: ThreadedGraph, raise_on_error: bool = True) -> List[str]:
+    """Structural invariants of the threaded-graph data structure."""
+    problems: List[str] = []
+
+    # 1. Chain pointers match the materialized thread lists.
+    for k in range(state.K):
+        chain = state._threads[k]
+        walked: List[ThreadedVertex] = []
+        cursor = state._s[k].tout[k]
+        while cursor is not None and not cursor.is_sentinel:
+            walked.append(cursor)
+            cursor = cursor.tout[k]
+        if cursor is not state._t[k]:
+            problems.append(f"thread {k}: chain does not end at the sink")
+        if walked != chain:
+            problems.append(
+                f"thread {k}: pointer chain disagrees with thread list"
+            )
+        for rank, vertex in enumerate(chain):
+            if state._rank.get(vertex) != rank:
+                problems.append(
+                    f"thread {k}: rank index stale for {vertex.node_id}"
+                )
+            if vertex.thread != k:
+                problems.append(
+                    f"thread {k}: member {vertex.node_id} claims thread "
+                    f"{vertex.thread}"
+                )
+
+    # 2. Partition: every scheduled vertex in exactly one thread or free.
+    seen: Set[str] = set()
+    for k in range(state.K):
+        for vertex in state._threads[k]:
+            if vertex.node_id in seen:
+                problems.append(f"{vertex.node_id} appears in two threads")
+            seen.add(vertex.node_id)
+    for node_id in state.free_ids():
+        if node_id in seen:
+            problems.append(f"{node_id} is both free and threaded")
+        seen.add(node_id)
+    if seen != set(state.scheduled_ids()):
+        problems.append("thread/free membership disagrees with the index")
+
+    # 3. Bidirectional edge consistency + Lemma 7 degree bound.
+    for vertex in state.vertices():
+        for k, target in enumerate(vertex.tout):
+            if target is None:
+                continue
+            if target.is_sentinel:
+                if vertex.thread != k:
+                    problems.append(
+                        f"{vertex.node_id}: out-slot {k} points at a "
+                        "sentinel of another thread"
+                    )
+                continue
+            if target.thread != k:
+                problems.append(
+                    f"{vertex.node_id}: out-slot {k} holds a vertex of "
+                    f"thread {target.thread}"
+                )
+            back = (
+                target.tin[vertex.thread]
+                if vertex.thread is not None
+                else None
+            )
+            in_free = vertex in target.free_in
+            if vertex.thread is not None and back is not vertex:
+                problems.append(
+                    f"edge {vertex.node_id}->{target.node_id} missing "
+                    "reverse slot pointer"
+                )
+            if vertex.thread is None and not in_free:
+                problems.append(
+                    f"edge {vertex.node_id}->{target.node_id} missing "
+                    "free_in entry"
+                )
+        for other in vertex.free_out:
+            if other.thread is not None:
+                problems.append(
+                    f"{vertex.node_id}: free_out holds threaded vertex "
+                    f"{other.node_id}"
+                )
+            elif vertex.thread is not None:
+                # threaded -> free: reverse pointer is a tin slot.
+                if other.tin[vertex.thread] is not vertex:
+                    problems.append(
+                        f"edge {vertex.node_id}->{other.node_id} missing "
+                        "reverse tin slot"
+                    )
+            elif vertex not in other.free_in:
+                problems.append(
+                    f"edge {vertex.node_id}->{other.node_id} missing "
+                    "reverse free_in"
+                )
+        threaded_out = sum(1 for q in vertex.tout if q is not None)
+        threaded_in = sum(1 for p in vertex.tin if p is not None)
+        if threaded_out > state.K or threaded_in > state.K:
+            problems.append(
+                f"{vertex.node_id}: degree bound (Lemma 7) violated"
+            )
+
+    # 4. Acyclicity (label() raises on cycles; catch into the report).
+    try:
+        state.label(force=True)
+    except ThreadedGraphError as exc:
+        problems.append(str(exc))
+
+    if problems and raise_on_error:
+        raise ThreadedGraphError("; ".join(problems))
+    return problems
+
+
+def check_against_graph(
+    state: ThreadedGraph, raise_on_error: bool = True
+) -> List[str]:
+    """Semantic invariants: Definition 3 correctness + compatibility."""
+    problems: List[str] = []
+    dfg = state.dfg
+
+    # Thread compatibility (typed threads only accept supported ops).
+    for k, spec in enumerate(state.specs):
+        for node_id in state.thread_members(k):
+            op = dfg.node(node_id).op
+            if not spec.supports(op):
+                problems.append(
+                    f"thread {k} ({spec.label}) holds incompatible op "
+                    f"{node_id} ({op.name})"
+                )
+
+    # Correctness condition: p <G q  ->  p <S q for scheduled pairs.
+    state_closure = _state_closure(state)
+    graph_closure = transitive_closure(dfg)
+    scheduled = set(state.scheduled_ids())
+    for p in scheduled:
+        for q in graph_closure.get(p, frozenset()):
+            if q in scheduled and q not in state_closure[p]:
+                problems.append(
+                    f"correctness violated: {p} <G {q} but not {p} <S {q}"
+                )
+
+    if problems and raise_on_error:
+        raise ThreadedGraphError("; ".join(problems))
+    return problems
+
+
+def _state_closure(state: ThreadedGraph) -> Dict[str, Set[str]]:
+    """Descendant sets over the state graph (scheduled vertices only)."""
+    succs: Dict[str, List[str]] = {n: [] for n in state.scheduled_ids()}
+    for src, dst in state.state_edges():
+        succs[src].append(dst)
+    # Reverse topological accumulation.
+    order = [v.node_id for v in state._topological_state_order()
+             if not v.is_sentinel]
+    closure: Dict[str, Set[str]] = {}
+    for node_id in reversed(order):
+        acc: Set[str] = set()
+        for succ in succs[node_id]:
+            acc.add(succ)
+            acc |= closure[succ]
+        closure[node_id] = acc
+    return closure

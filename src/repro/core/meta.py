@@ -1,0 +1,183 @@
+"""Meta schedules: the order operations are fed to the online scheduler.
+
+A procedural schedule (Definition 2) is a *meta schedule* — a sequence
+over the DFG's vertices — plus the online schedule.  Section 5 of the
+paper evaluates four meta schedules:
+
+1. ``meta_dfs`` — depth-first traversal of the precedence graph;
+2. ``meta_topological`` — a topological order;
+3. ``meta_paths`` — partition the operations into paths, feed the paths
+   ordered by decreasing length;
+4. ``meta_list_order`` — the order a list scheduler would issue the
+   operations in.
+
+Extras used by the ablation experiment: seeded random permutations and
+an ALAP-priority order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SchedulingError
+from repro.ir.analysis import alap_times, sink_distances, source_distances
+from repro.ir.dfg import DataFlowGraph
+from repro.scheduling.list_scheduler import ListPriority, list_schedule
+from repro.scheduling.resources import ResourceSet
+
+MetaSchedule = Callable[[DataFlowGraph], List[str]]
+
+
+def meta_dfs(dfg: DataFlowGraph) -> List[str]:
+    """Meta schedule 1: depth-first preorder from the primary inputs.
+
+    Sources are visited in graph insertion order; each vertex's
+    successors are pushed in reverse insertion order so the traversal
+    explores them in insertion order (deterministic).
+    """
+    seen = set()
+    order: List[str] = []
+    stack = list(reversed(dfg.sources()))
+    while stack:
+        node_id = stack.pop()
+        if node_id in seen:
+            continue
+        seen.add(node_id)
+        order.append(node_id)
+        for succ in reversed(dfg.successors(node_id)):
+            if succ not in seen:
+                stack.append(succ)
+    # Defensive: disconnected vertices (no sources reach them) at the end.
+    for node_id in dfg.nodes():
+        if node_id not in seen:
+            order.append(node_id)
+    return order
+
+
+def meta_topological(dfg: DataFlowGraph) -> List[str]:
+    """Meta schedule 2: Kahn topological order (insertion tie-break)."""
+    return dfg.topological_order()
+
+
+def meta_paths(dfg: DataFlowGraph) -> List[str]:
+    """Meta schedule 3: peel longest paths, longest first.
+
+    Repeatedly extract a longest (delay-weighted) source-to-sink path
+    from the not-yet-emitted subgraph and emit its vertices in path
+    order.  The first peeled path is the critical path, so the online
+    scheduler sees the most constrained chain first.
+    """
+    remaining = dfg.copy()
+    order: List[str] = []
+    while remaining.num_nodes:
+        sdist = source_distances(remaining)
+        # Walk back from the vertex with the largest inclusive source
+        # distance to a source, collecting one longest path.
+        tail = max(remaining.nodes(), key=lambda n: (sdist[n],))
+        path = [tail]
+        current = tail
+        while True:
+            best_pred: Optional[str] = None
+            for edge in remaining.in_edges(current):
+                expected = sdist[current] - remaining.delay(current)
+                if sdist[edge.src] + edge.weight == expected:
+                    best_pred = edge.src
+                    break
+            if best_pred is None:
+                break
+            path.append(best_pred)
+            current = best_pred
+        path.reverse()
+        order.extend(path)
+        for node_id in path:
+            remaining.remove_node(node_id)
+    return order
+
+
+def meta_list_order(
+    dfg: DataFlowGraph,
+    resources: Optional[ResourceSet] = None,
+    priority: ListPriority = ListPriority.READY_ORDER,
+) -> List[str]:
+    """Meta schedule 4: the issue order of a list scheduler.
+
+    Runs the baseline list scheduler (under ``resources``, defaulting to
+    one unit of every standard type it needs) and emits operations
+    sorted by their start step (insertion order inside a step).
+    """
+    if resources is None:
+        resources = _default_resources(dfg)
+    schedule = list_schedule(dfg, resources, priority)
+    index = {node_id: i for i, node_id in enumerate(dfg.nodes())}
+    return sorted(
+        dfg.nodes(), key=lambda n: (schedule.start_times[n], index[n])
+    )
+
+
+def meta_random(seed: int) -> MetaSchedule:
+    """A seeded random permutation (ablation experiments)."""
+
+    def order(dfg: DataFlowGraph) -> List[str]:
+        rng = random.Random(seed)
+        nodes = dfg.nodes()
+        rng.shuffle(nodes)
+        return nodes
+
+    order.__name__ = f"meta_random_{seed}"
+    return order
+
+
+def meta_alap(dfg: DataFlowGraph) -> List[str]:
+    """Order by ALAP start time (urgency), earliest deadline first."""
+    alap = alap_times(dfg)
+    tdist = sink_distances(dfg)
+    index = {node_id: i for i, node_id in enumerate(dfg.nodes())}
+    return sorted(
+        dfg.nodes(), key=lambda n: (alap[n], -tdist[n], index[n])
+    )
+
+
+def _default_resources(dfg: DataFlowGraph) -> ResourceSet:
+    """One unit of each standard type the graph needs."""
+    from repro.scheduling.resources import FU_TYPES, ResourceSet
+
+    counts = {}
+    for node in dfg.node_objects():
+        if node.op.is_structural:
+            continue
+        for fu_type in FU_TYPES.values():
+            if fu_type.supports(node.op):
+                counts[fu_type] = 1
+                break
+    if not counts:
+        raise SchedulingError("graph has no schedulable operations")
+    return ResourceSet(counts)
+
+
+#: The paper's numbering, used by experiments and benches.
+META_SCHEDULES: Dict[str, MetaSchedule] = {
+    "meta1-dfs": meta_dfs,
+    "meta2-topological": meta_topological,
+    "meta3-paths": meta_paths,
+    "meta4-list-order": meta_list_order,
+}
+
+
+def get_meta_schedule(name: str) -> MetaSchedule:
+    """Look up a meta schedule by name (``meta1`` ... ``meta4`` aliases)."""
+    aliases = {
+        "meta1": "meta1-dfs",
+        "dfs": "meta1-dfs",
+        "meta2": "meta2-topological",
+        "topological": "meta2-topological",
+        "meta3": "meta3-paths",
+        "paths": "meta3-paths",
+        "meta4": "meta4-list-order",
+        "list-order": "meta4-list-order",
+    }
+    key = aliases.get(name.lower(), name.lower())
+    if key not in META_SCHEDULES:
+        known = ", ".join(sorted(META_SCHEDULES))
+        raise SchedulingError(f"unknown meta schedule {name!r}; known: {known}")
+    return META_SCHEDULES[key]

@@ -1,0 +1,205 @@
+"""The naive speculative soft scheduler (paper Section 4.2).
+
+    "a naive implementation of the select method would evaluate every
+    position to insert the node by first speculatively updating the
+    graph, and then compute the diameter of the resultant graph ...
+    the total time spent on evaluating all the positions is
+    O(|V|^2 * |E|)."
+
+This module implements exactly that reference scheduler.  It serves two
+purposes:
+
+* **correctness oracle** — Algorithm 1 is online-optimal (Theorem 2), so
+  after every insertion both schedulers must report the same state
+  diameter; the property tests assert this on random graphs;
+* **complexity baseline** — the complexity experiment (Theorem 3)
+  measures its runtime against Algorithm 1's.
+
+The state is kept as plain thread lists plus the set of scheduled free
+vertices; the partial order is reconstructed from scratch for every
+speculative position: thread chain edges plus every DFG-closure relation
+between scheduled vertices.  That closure is semantically identical to
+the pointer state Algorithm 1 maintains (the slot rules only drop
+transitively implied edges), so both schedulers optimise the same
+objective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import NoValidPositionError, SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.core.threaded_graph import ThreadSpec
+from repro.scheduling.resources import ResourceSet
+
+
+class NaiveSoftScheduler:
+    """Reference implementation: speculative insertion, full relabel."""
+
+    def __init__(
+        self,
+        dfg: DataFlowGraph,
+        threads: Union[int, Sequence[ThreadSpec]],
+    ):
+        if isinstance(threads, int):
+            specs: List[ThreadSpec] = [
+                ThreadSpec(label=f"u{i}") for i in range(threads)
+            ]
+        else:
+            specs = list(threads)
+        if not specs:
+            raise SchedulingError("need at least one thread")
+        self.dfg = dfg
+        self.specs = specs
+        self.K = len(specs)
+        self._threads: List[List[str]] = [[] for _ in specs]
+        self._free: List[str] = []
+        self._scheduled: Dict[str, Optional[int]] = {}
+        #: Work counter (edges relaxed) for the complexity experiment.
+        self.work = 0
+
+    @classmethod
+    def from_resources(
+        cls, dfg: DataFlowGraph, resources: ResourceSet
+    ) -> "NaiveSoftScheduler":
+        specs = [
+            ThreadSpec(fu_type=fu_type, label=f"{fu_type.name}{index}")
+            for fu_type, index in resources.instances()
+        ]
+        return cls(dfg, specs)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._scheduled
+
+    def thread_members(self, k: int) -> List[str]:
+        return list(self._threads[k])
+
+    def schedule(self, node_id: str) -> None:
+        """Schedule one operation by exhaustive speculation."""
+        if node_id in self._scheduled:
+            return
+        node = self.dfg.node(node_id)
+        if node.op.is_structural:
+            self._free.append(node_id)
+            self._scheduled[node_id] = None
+            return
+
+        compatible = [
+            k for k, spec in enumerate(self.specs) if spec.supports(node.op)
+        ]
+        if not compatible:
+            raise NoValidPositionError(
+                f"no thread accepts {node_id} ({node.op.name})"
+            )
+
+        # Rank positions by the speculative distance of the inserted
+        # vertex — the same objective Algorithm 1's O(1) cost computes
+        # (minimising it also minimises the new diameter, which is
+        # max(old diameter, distance)) — with the same tie-break
+        # (thread index, then latest position), so both schedulers make
+        # identical choices and stay state-for-state comparable.
+        best: Optional[Tuple[int, int, int]] = None
+        chosen: Optional[Tuple[int, int]] = None
+        for k in compatible:
+            chain = self._threads[k]
+            for rank in range(-1, len(chain)):
+                speculative = [list(c) for c in self._threads]
+                speculative[k].insert(rank + 1, node_id)
+                result = self._measure(speculative, node_id)
+                if result is None:
+                    continue  # cyclic: invalid position
+                _, dist_v = result
+                candidate = (dist_v, k, -rank)
+                if best is None or candidate < best:
+                    best = candidate
+                    chosen = (k, rank)
+        if chosen is None:
+            raise NoValidPositionError(
+                f"no acyclic insertion position for {node_id}"
+            )
+        k, rank = chosen
+        self._threads[k].insert(rank + 1, node_id)
+        self._scheduled[node_id] = k
+
+    def schedule_all(self, order=None) -> None:
+        for node_id in (order if order is not None else self.dfg.nodes()):
+            self.schedule(node_id)
+
+    def diameter(self) -> int:
+        result = self._measure(self._threads, None)
+        if result is None:
+            raise SchedulingError("naive state became cyclic")
+        return result[0]
+
+    # ------------------------------------------------------------------
+
+    def _measure(
+        self, threads: List[List[str]], focus: Optional[str]
+    ) -> Optional[Tuple[int, int]]:
+        """Longest-path measurement of a speculative state.
+
+        Returns ``(diameter, distance_of_focus)`` (the focus distance is
+        0 when ``focus`` is None), or ``None`` when the state is cyclic.
+        Edges: thread chains plus all DFG-order relations among the
+        member vertices (direct DFG edges carry their weight).
+        """
+        members = [n for chain in threads for n in chain]
+        members.extend(self._free)
+        member_set = set(members)
+
+        succs: Dict[str, Dict[str, int]] = {n: {} for n in members}
+        for chain in threads:
+            for src, dst in zip(chain, chain[1:]):
+                succs[src][dst] = max(succs[src].get(dst, 0), 0)
+        for n in members:
+            for desc in self.dfg.reachable_from(n):
+                if desc in member_set:
+                    weight = 0
+                    if self.dfg.has_edge(n, desc):
+                        weight = self.dfg.edge(n, desc).weight
+                    succs[n][desc] = max(succs[n].get(desc, 0), weight)
+
+        in_deg = {n: 0 for n in members}
+        for n in members:
+            for dst in succs[n]:
+                in_deg[dst] += 1
+        ready = [n for n in members if in_deg[n] == 0]
+        order: List[str] = []
+        head = 0
+        while head < len(ready):
+            n = ready[head]
+            head += 1
+            order.append(n)
+            for dst in succs[n]:
+                in_deg[dst] -= 1
+                if in_deg[dst] == 0:
+                    ready.append(dst)
+        if len(order) != len(members):
+            return None  # cycle
+
+        # Forward and backward longest-path relaxations in topo order.
+        sdist = {n: self.dfg.delay(n) for n in members}
+        for n in order:
+            base = sdist[n]
+            for dst, weight in succs[n].items():
+                self.work += 1
+                candidate = base + weight + self.dfg.delay(dst)
+                if candidate > sdist[dst]:
+                    sdist[dst] = candidate
+        diam = max(sdist.values(), default=0)
+        if focus is None:
+            return diam, 0
+        tdist = {n: self.dfg.delay(n) for n in members}
+        for n in reversed(order):
+            best = tdist[n]
+            for dst, weight in succs[n].items():
+                self.work += 1
+                candidate = (
+                    self.dfg.delay(n) + weight + tdist[dst]
+                )
+                if candidate > best:
+                    best = candidate
+            tdist[n] = best
+        focus_dist = sdist[focus] + tdist[focus] - self.dfg.delay(focus)
+        return diam, focus_dist

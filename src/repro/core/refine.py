@@ -1,0 +1,176 @@
+"""Soft refinements: the operations that motivate soft scheduling.
+
+Section 1 of the paper lists the phase couplings a hard schedule cannot
+absorb: register spilling (store/load insertion), interconnect delay
+(wire vertices or back-annotated edge delays), and phi-node resolution
+after register allocation.  With a threaded schedule, each refinement is
+just more calls into the same online scheduler — the partial order is
+*refined*, never rebuilt.
+
+All functions mutate the underlying :class:`DataFlowGraph` and the
+:class:`ThreadedGraph` state together, keeping them consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import GraphError, ThreadedGraphError
+from repro.ir.ops import OpKind
+from repro.core.threaded_graph import ThreadedGraph
+
+_COUNTER = itertools.count(1)
+
+
+def _fresh(dfg, base: str) -> str:
+    """A node id not yet present in ``dfg``."""
+    candidate = base
+    while candidate in dfg:
+        candidate = f"{base}_{next(_COUNTER)}"
+    return candidate
+
+
+def insert_spill(
+    state: ThreadedGraph,
+    value_id: str,
+    consumers: Optional[Iterable[str]] = None,
+    store_delay: Optional[int] = None,
+    load_delay: Optional[int] = None,
+) -> Tuple[str, str]:
+    """Spill the value computed by ``value_id`` (paper Figure 1(c)).
+
+    Inserts a STORE fed by the value and a LOAD feeding the chosen
+    ``consumers`` (default: all current consumers), rewires the DFG,
+    and schedules both new operations through the online scheduler.
+    The state must have a thread that accepts memory operations.
+
+    A value with no consumers (a block output living to the end of the
+    schedule) gets only the store — there is nothing to reload for.
+
+    Returns ``(store_id, load_id)``; ``load_id`` is ``None`` in the
+    store-only case.
+    """
+    dfg = state.dfg
+    if not any(
+        spec.supports(OpKind.STORE) and spec.supports(OpKind.LOAD)
+        for spec in state.specs
+    ):
+        raise ThreadedGraphError(
+            "spilling requires a memory-port thread (OpKind.STORE/LOAD); "
+            "add one to the thread specs or the ResourceSet"
+        )
+    value = dfg.node(value_id)
+    targets = list(consumers) if consumers is not None else dfg.successors(
+        value_id
+    )
+
+    store_id = _fresh(dfg, f"{value_id}_st")
+    dfg.add_node(store_id, OpKind.STORE, delay=store_delay,
+                 name=f"spill {value_id}")
+    dfg.add_edge(value_id, store_id, port=0)
+    if not targets:
+        state.schedule(store_id)
+        return store_id, None
+
+    load_id = _fresh(dfg, f"{value_id}_ld")
+    dfg.add_node(load_id, OpKind.LOAD, delay=load_delay,
+                 name=f"reload {value_id}")
+    dfg.add_edge(store_id, load_id)  # memory dependence
+
+    for consumer in targets:
+        edge = dfg.edge(value_id, consumer)
+        port, weight = edge.port, edge.weight
+        dfg.remove_edge(value_id, consumer)
+        dfg.add_edge(load_id, consumer, port=port, weight=weight)
+
+    state.schedule(store_id)
+    state.schedule(load_id)
+    return store_id, load_id
+
+
+def insert_wire_delay(
+    state: ThreadedGraph,
+    src: str,
+    dst: str,
+    delay: Optional[int] = None,
+) -> str:
+    """Split edge ``src -> dst`` with a wire-delay vertex (Figure 1(d)).
+
+    The wire vertex is structural: it joins the state as a *free*
+    vertex (no thread / functional unit), lengthening paths through the
+    edge by ``delay`` (default: the delay model's WIRE delay).
+
+    Returns the new vertex id.
+    """
+    dfg = state.dfg
+    wire_id = _fresh(dfg, f"wd_{src}_{dst}")
+    dfg.splice_on_edge(src, dst, wire_id, OpKind.WIRE, delay=delay,
+                       name=f"wire {src}->{dst}")
+    state.schedule(wire_id)
+    return wire_id
+
+
+def annotate_wire_weights(
+    state: ThreadedGraph,
+    weights: Mapping[Tuple[str, str], int],
+) -> None:
+    """Back-annotate interconnect delays onto existing DFG edges.
+
+    This is the bulk (post-floorplan) flavour of wire-delay refinement:
+    instead of splicing vertices, each listed DFG edge gets its weight
+    raised to the annotated delay.  The state's distance labels are
+    refreshed; the partial order itself is untouched — exactly the
+    "immune to engineering changes" property the paper claims.
+    """
+    dfg = state.dfg
+    for (src, dst), weight in weights.items():
+        if weight < 0:
+            raise GraphError(
+                f"wire delay for {src}->{dst} must be >= 0, got {weight}"
+            )
+        edge = dfg.edge(src, dst)
+        edge.weight = max(edge.weight, weight)
+    state.label(force=True)
+
+
+def resolve_phi(
+    state: ThreadedGraph,
+    phi_id: str,
+    into: str = "move",
+) -> None:
+    """Resolve a PHI node after register allocation (Section 1).
+
+    ``into='move'`` turns it into a register move (1-cycle ALU op);
+    ``into='nop'`` voids it (coalesced registers), dropping its delay to
+    zero.  The vertex keeps its thread position either way — only the
+    labels change.
+    """
+    dfg = state.dfg
+    node = dfg.node(phi_id)
+    if node.op is not OpKind.PHI:
+        raise GraphError(f"{phi_id} is not a PHI node (op={node.op.name})")
+    if into == "move":
+        node.op = OpKind.MOVE
+        node.delay = dfg.delay_model[OpKind.MOVE]
+    elif into == "nop":
+        node.op = OpKind.MOVE  # keeps its ALU slot; costs nothing
+        node.delay = 0
+    else:
+        raise GraphError(f"unknown phi resolution {into!r}")
+    if phi_id in state:
+        vertex = state.vertex(phi_id)
+        vertex.op = node.op
+        vertex.delay = node.delay
+        state.label(force=True)
+
+
+def unschedule(state: ThreadedGraph, node_id: str) -> None:
+    """Engineering change: pull an operation out of the schedule.
+
+    Precedence relations that ran through the operation are preserved
+    (see :meth:`ThreadedGraph.remove`); the op may be re-scheduled with
+    ``state.schedule(node_id)`` afterwards, possibly landing on a
+    different thread or position.
+    """
+    state.remove(node_id)

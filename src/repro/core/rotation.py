@@ -1,0 +1,157 @@
+"""Loop rotation (retiming) built on the scheduling kernel.
+
+The paper's outlook (Section 6) claims "polynomial time algorithms can
+be constructed for ... resource constrained retiming" on top of the
+threaded scheduling kernel.  This module realizes a concrete instance:
+**rotation scheduling** (Chao, LaPaugh & Sha) for single loops.
+
+One rotation takes the operations issued in the body's first control
+step (which, sitting at step 0, have no intra-iteration predecessors)
+and re-labels them as belonging to the *next* iteration:
+
+* their outgoing intra-iteration edges become loop-carried (distance 1);
+* incoming distance-1 loop-carried edges become intra-iteration edges;
+* other loop-carried distances shift by one accordingly.
+
+After rewriting, the body is rescheduled with the threaded kernel and
+the shortest body seen is kept.  Rotation exposes inter-iteration
+parallelism a single-iteration scheduler cannot see, shortening the
+steady-state loop body under the same resource constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import GraphError
+from repro.core.meta import MetaSchedule
+from repro.core.scheduler import ThreadedScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ssa import LoopSSA
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import ResourceSet
+
+#: Loop-carried dependences: (src, dst) -> iteration distance (>= 1).
+BackEdges = Dict[Tuple[str, str], int]
+
+
+@dataclass
+class RotationResult:
+    """Outcome of a rotation run."""
+
+    initial_length: int
+    best_length: int
+    best_schedule: Schedule
+    rotations_applied: int = 0
+    history: List[int] = field(default_factory=list)
+    #: Loop-carried edges of the best body.
+    back_edges: BackEdges = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> int:
+        return self.initial_length - self.best_length
+
+
+def _schedule_body(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    meta: Union[str, MetaSchedule],
+) -> Schedule:
+    scheduler = ThreadedScheduler(dfg, resources=resources, meta=meta)
+    scheduler.run()
+    return scheduler.harden()
+
+
+def _rotate_once(
+    dfg: DataFlowGraph,
+    back: BackEdges,
+    schedule: Schedule,
+) -> List[str]:
+    """Apply one rotation in place; returns the rotated op ids."""
+    rotated = schedule.ops_at(0)
+    rotated_set = set(rotated)
+    if len(rotated_set) == len(schedule.start_times):
+        raise GraphError("cannot rotate: every operation is in step 0")
+
+    # 1. Outgoing intra edges of rotated ops become distance-1 carries.
+    #    Edges between two rotated ops (possible via zero-delay ops)
+    #    stay intra: both endpoints move together.
+    for v in rotated:
+        for edge in list(dfg.out_edges(v)):
+            if edge.dst in rotated_set:
+                continue
+            dfg.remove_edge(v, edge.dst)
+            key = (v, edge.dst)
+            back[key] = min(back.get(key, 1), 1)
+
+    # 2. Loop-carried edges into rotated ops come one iteration closer;
+    #    distance-1 ones become intra edges.  Outgoing carried edges of
+    #    rotated ops move one iteration further away.
+    for (src, dst), distance in list(back.items()):
+        into = dst in rotated_set
+        out_of = src in rotated_set
+        if into and out_of:
+            continue  # relative distance unchanged
+        if into:
+            if distance == 1:
+                del back[(src, dst)]
+                dfg.add_edge(src, dst)
+            else:
+                back[(src, dst)] = distance - 1
+        elif out_of:
+            back[(src, dst)] = distance + 1
+    return rotated
+
+
+def rotate_loop(
+    body: Union[DataFlowGraph, LoopSSA],
+    resources: ResourceSet,
+    rotations: int = 4,
+    meta: Union[str, MetaSchedule] = "meta2-topological",
+    back_edges: Optional[BackEdges] = None,
+) -> RotationResult:
+    """Rotation-schedule a loop body under a resource constraint.
+
+    ``body`` is either a :class:`LoopSSA` (its phi back edges are used)
+    or a plain body DFG with explicit ``back_edges``.  The input is
+    never mutated.  Each rotation rewrites a copy of the body and
+    reschedules it with the threaded kernel; the best body schedule and
+    its loop-carried edge set are returned.
+    """
+    if isinstance(body, LoopSSA):
+        dfg = body.dfg.copy()
+        back: BackEdges = {
+            (src, phi): 1 for phi, src in body.back_edges.items()
+        }
+    else:
+        dfg = body.copy()
+        back = dict(back_edges or {})
+    for (src, dst), distance in back.items():
+        if distance < 1:
+            raise GraphError(
+                f"loop-carried edge {src}->{dst} must have distance >= 1"
+            )
+
+    schedule = _schedule_body(dfg, resources, meta)
+    result = RotationResult(
+        initial_length=schedule.length,
+        best_length=schedule.length,
+        best_schedule=schedule,
+        back_edges=dict(back),
+        history=[schedule.length],
+    )
+
+    for _ in range(rotations):
+        try:
+            _rotate_once(dfg, back, schedule)
+        except GraphError:
+            break
+        result.rotations_applied += 1
+        schedule = _schedule_body(dfg, resources, meta)
+        result.history.append(schedule.length)
+        if schedule.length < result.best_length:
+            result.best_length = schedule.length
+            result.best_schedule = schedule
+            result.back_edges = dict(back)
+    return result

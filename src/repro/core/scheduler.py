@@ -1,0 +1,107 @@
+"""The procedural schedule of Definition 2: meta + online schedule.
+
+:class:`ThreadedScheduler` packages the pieces — build threads from a
+resource constraint, order the operations with a meta schedule, feed
+them to the :class:`~repro.core.threaded_graph.ThreadedGraph` online
+scheduler, and harden on demand.  :func:`threaded_schedule` is the
+one-call convenience used by the experiments:
+
+>>> from repro.graphs import hal
+>>> from repro.scheduling import ResourceSet
+>>> from repro.core import threaded_schedule
+>>> schedule = threaded_schedule(hal(), ResourceSet.parse("2+/-,2*"))
+>>> schedule.length
+8
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.core.hardening import harden
+from repro.core.meta import MetaSchedule, get_meta_schedule
+from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import ResourceSet
+
+
+class ThreadedScheduler:
+    """High-level driver for threaded (soft) scheduling.
+
+    Parameters
+    ----------
+    dfg:
+        The graph to schedule (kept by reference; refinements mutate it).
+    resources:
+        Functional-unit constraint; one thread is created per unit.
+        Alternatively pass ``threads`` (an int or ThreadSpec list) for
+        the paper's universal-FU setting.
+    meta:
+        Meta schedule: a name (``"meta1"``..., see
+        :mod:`repro.core.meta`) or a callable ``dfg -> [node ids]``.
+    """
+
+    def __init__(
+        self,
+        dfg: DataFlowGraph,
+        resources: Optional[ResourceSet] = None,
+        threads: Union[int, List[ThreadSpec], None] = None,
+        meta: Union[str, MetaSchedule] = "meta2-topological",
+    ):
+        if (resources is None) == (threads is None):
+            raise SchedulingError(
+                "provide exactly one of `resources` or `threads`"
+            )
+        self.dfg = dfg
+        self.resources = resources
+        if resources is not None:
+            missing = resources.check_schedulable(dfg)
+            if missing:
+                raise SchedulingError(
+                    f"no functional unit can execute: {', '.join(missing)}"
+                )
+            self.state = ThreadedGraph.from_resources(dfg, resources)
+        else:
+            self.state = ThreadedGraph(dfg, threads)
+        self.meta: MetaSchedule = (
+            get_meta_schedule(meta) if isinstance(meta, str) else meta
+        )
+
+    def run(self) -> "ThreadedScheduler":
+        """Feed every operation through the online scheduler."""
+        for node_id in self.meta(self.dfg):
+            self.state.schedule(node_id)
+        return self
+
+    def schedule_op(self, node_id: str) -> None:
+        """Schedule a single (possibly new) operation incrementally."""
+        self.state.schedule(node_id)
+
+    def schedule_order(self, order: Iterable[str]) -> None:
+        for node_id in order:
+            self.state.schedule(node_id)
+
+    @property
+    def diameter(self) -> int:
+        return self.state.diameter()
+
+    def harden(self, validate: bool = True) -> Schedule:
+        """Extract the hard schedule (see :mod:`repro.core.hardening`)."""
+        meta_name = getattr(self.meta, "__name__", str(self.meta))
+        return harden(
+            self.state,
+            resources=self.resources,
+            algorithm=f"threaded/{meta_name}",
+            validate=validate,
+        )
+
+
+def threaded_schedule(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    meta: Union[str, MetaSchedule] = "meta2-topological",
+) -> Schedule:
+    """One-call threaded scheduling: build, run, harden."""
+    return ThreadedScheduler(dfg, resources=resources, meta=meta).run().harden()

@@ -1,0 +1,636 @@
+"""Algorithm 1: the threaded-graph online scheduler.
+
+The scheduling state is a precedence graph whose vertices are partitioned
+into K *threads* (Definition 4) — one per functional unit — with a total
+order inside each thread and a partial order across threads.  Scheduling
+one operation is three steps (paper Section 4.2):
+
+``label``
+    Source/sink distance labels for every state vertex, computed in one
+    forward and one backward topological sweep.  Linear because the
+    threaded structure bounds vertex degree by K (Lemma 7).
+``select``
+    The operation's *intrinsic* source (sink) distance is the maximum
+    labelled distance over its already-scheduled DFG ancestors
+    (descendants).  Every insertion position in every compatible thread
+    is then costed in O(1):
+    ``cost = max(prev.sdist, intrinsic_src) + max(next.tdist,
+    intrinsic_snk) + delay(v)`` — which equals the distance the new
+    vertex would have, and therefore (Lemmas 5/6) the new diameter is
+    ``max(old diameter, cost)``.  The minimum-cost *valid* position wins.
+``commit``
+    The vertex is linked into the chosen thread, and one edge per thread
+    is (re)wired to its scheduled DFG ancestors/descendants using the
+    local rewrite rules of the paper's Figure 2 — keeping at most one
+    in-edge and one out-edge per thread per vertex.
+
+Insertion validity
+------------------
+The paper's ``select`` checks only the two position-adjacent vertices
+against the DFG order.  That local test is sound only when no farther
+thread member is ordered against the new operation; the general sound
+condition (documented in DESIGN.md) is a *window* per thread: the
+position must lie after every state-ancestor of the operation's
+scheduled DFG predecessors and before every state-descendant of its
+scheduled DFG successors.  Both sets come from one multi-source BFS
+over the state each, keeping the per-operation cost O(|V| * K).
+Windows are never empty (an ancestor after a descendant inside one
+thread would close a state cycle), so every compatible thread offers a
+valid position.
+
+Structural operations (wire delays, constants) never occupy a unit;
+they are held as *free* vertices: part of the precedence state and the
+distance labels, but in no thread.
+
+Edge storage convention (mirrors the paper's ``in[K]``/``out[K]``):
+an edge ``u -> w`` lives in ``u.tout[w.thread]`` when ``w`` is threaded
+(else in ``u.free_out``) and in ``w.tin[u.thread]`` when ``u`` is
+threaded (else in ``w.free_in``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import (
+    NoValidPositionError,
+    ThreadedGraphError,
+    UnknownNodeError,
+)
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+from repro.core.vertex import ThreadedVertex
+from repro.scheduling.resources import FuType, ResourceSet
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """One thread = one functional unit.
+
+    ``fu_type`` restricts which operations the thread accepts
+    (``None`` = universal, the paper's simplifying assumption).
+    """
+
+    fu_type: Optional[FuType] = None
+    label: str = ""
+
+    def supports(self, op: OpKind) -> bool:
+        return self.fu_type is None or self.fu_type.supports(op)
+
+
+@dataclass
+class SchedulerStats:
+    """Operation counters used by the complexity experiment (Theorem 3)."""
+
+    scheduled: int = 0
+    label_visits: int = 0
+    positions_scanned: int = 0
+    bfs_visits: int = 0
+    edges_rewired: int = 0
+
+    def total_work(self) -> int:
+        return (
+            self.label_visits
+            + self.positions_scanned
+            + self.bfs_visits
+            + self.edges_rewired
+        )
+
+
+class ThreadedGraph:
+    """The scheduling state of a threaded schedule (Definition 4).
+
+    Parameters
+    ----------
+    dfg:
+        The precedence graph being scheduled.  It may grow *during*
+        scheduling (spill code, wire delays) — that is the point of soft
+        scheduling.
+    threads:
+        Either an int (K universal threads) or a sequence of
+        :class:`ThreadSpec`.  Use :meth:`from_resources` to build one
+        thread per functional unit of a :class:`ResourceSet`.
+    """
+
+    def __init__(
+        self,
+        dfg: DataFlowGraph,
+        threads: Union[int, Sequence[ThreadSpec]],
+    ):
+        if isinstance(threads, int):
+            if threads <= 0:
+                raise ThreadedGraphError(
+                    f"need at least one thread, got {threads}"
+                )
+            specs: List[ThreadSpec] = [
+                ThreadSpec(label=f"u{i}") for i in range(threads)
+            ]
+        else:
+            specs = list(threads)
+            if not specs:
+                raise ThreadedGraphError("need at least one thread")
+        self.dfg = dfg
+        self.specs = specs
+        self.K = len(specs)
+        self.stats = SchedulerStats()
+
+        self._threads: List[List[ThreadedVertex]] = [[] for _ in specs]
+        self._rank: Dict[ThreadedVertex, int] = {}
+        self._vertices: Dict[str, ThreadedVertex] = {}
+        self._free: Dict[str, ThreadedVertex] = {}
+        self._order: List[str] = []
+        self._labels_dirty = True
+
+        self._s: List[ThreadedVertex] = []
+        self._t: List[ThreadedVertex] = []
+        for k in range(self.K):
+            source = ThreadedVertex(
+                f"<s{k}>", None, 0, self.K, thread=k, is_sentinel=True
+            )
+            sink = ThreadedVertex(
+                f"<t{k}>", None, 0, self.K, thread=k, is_sentinel=True
+            )
+            source.tout[k] = sink
+            sink.tin[k] = source
+            self._s.append(source)
+            self._t.append(sink)
+
+    @classmethod
+    def from_resources(
+        cls, dfg: DataFlowGraph, resources: ResourceSet
+    ) -> "ThreadedGraph":
+        """One thread per concrete functional unit of ``resources``."""
+        specs = [
+            ThreadSpec(fu_type=fu_type, label=f"{fu_type.name}{index}")
+            for fu_type, index in resources.instances()
+        ]
+        return cls(dfg, specs)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def scheduled_ids(self) -> List[str]:
+        """Scheduled operation ids in scheduling order."""
+        return list(self._order)
+
+    def vertex(self, node_id: str) -> ThreadedVertex:
+        vertex = self._vertices.get(node_id)
+        if vertex is None:
+            raise UnknownNodeError(node_id)
+        return vertex
+
+    def thread_of(self, node_id: str) -> Optional[int]:
+        """Thread index of a scheduled op (None for free vertices)."""
+        return self.vertex(node_id).thread
+
+    def thread_members(self, k: int) -> List[str]:
+        """Ids in thread ``k``, in thread order."""
+        return [v.node_id for v in self._threads[k]]
+
+    def free_ids(self) -> List[str]:
+        return list(self._free)
+
+    def vertices(self) -> List[ThreadedVertex]:
+        """All scheduled vertices (no sentinels), scheduling order."""
+        return [self._vertices[node_id] for node_id in self._order]
+
+    def state_edges(self) -> List[Tuple[str, str]]:
+        """All state edges among scheduled vertices (no sentinels)."""
+        edges: List[Tuple[str, str]] = []
+        for vertex in self.vertices():
+            for succ in vertex.successors():
+                if not succ.is_sentinel:
+                    edges.append((vertex.node_id, succ.node_id))
+        return edges
+
+    def artificial_edges(self) -> List[Tuple[str, str]]:
+        """State edges not implied by the DFG partial order.
+
+        These are the serialization decisions the scheduler has made
+        (e.g. the ``2 -> 5`` edge of the paper's Figure 1(e)).
+        """
+        from repro.ir.analysis import transitive_closure
+
+        closure = transitive_closure(self.dfg)
+        artificial = []
+        for src, dst in self.state_edges():
+            implied = (
+                src in closure and dst in closure.get(src, frozenset())
+            )
+            if not implied:
+                artificial.append((src, dst))
+        return artificial
+
+    def diameter(self) -> int:
+        """Critical-path length of the state (the paper's ``||G||``)."""
+        self.label()
+        best = 0
+        for vertex in self._vertices.values():
+            best = max(best, vertex.sdist + vertex.tdist - vertex.delay)
+        return best
+
+    # ------------------------------------------------------------------
+    # Labeling (forwardLabel / backwardLabel of Algorithm 1).
+    # ------------------------------------------------------------------
+
+    def label(self, force: bool = False) -> None:
+        """Recompute ``sdist``/``tdist`` for every state vertex."""
+        if not self._labels_dirty and not force:
+            return
+        order = self._topological_state_order()
+        for vertex in order:
+            best = 0
+            for pred in vertex.predecessors():
+                best = max(best, pred.sdist + self._edge_weight(pred, vertex))
+            vertex.sdist = best + vertex.delay
+            self.stats.label_visits += 1
+        for vertex in reversed(order):
+            best = 0
+            for succ in vertex.successors():
+                best = max(best, succ.tdist + self._edge_weight(vertex, succ))
+            vertex.tdist = best + vertex.delay
+            self.stats.label_visits += 1
+        self._labels_dirty = False
+
+    def _topological_state_order(self) -> List[ThreadedVertex]:
+        everything: List[ThreadedVertex] = list(self._s) + list(self._t)
+        everything.extend(self._vertices.values())
+        in_deg = {v: v.in_degree() for v in everything}
+        ready = [v for v in everything if in_deg[v] == 0]
+        order: List[ThreadedVertex] = []
+        head = 0
+        while head < len(ready):
+            vertex = ready[head]
+            head += 1
+            order.append(vertex)
+            for succ in vertex.successors():
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(everything):
+            raise ThreadedGraphError(
+                "scheduling state contains a cycle (internal invariant "
+                "violation)"
+            )
+        return order
+
+    def _edge_weight(self, u: ThreadedVertex, w: ThreadedVertex) -> int:
+        if u.is_sentinel or w.is_sentinel:
+            return 0
+        if self.dfg.has_edge(u.node_id, w.node_id):
+            return self.dfg.edge(u.node_id, w.node_id).weight
+        return 0
+
+    # ------------------------------------------------------------------
+    # The schedule() entry point (Definition 3's online schedule F).
+    # ------------------------------------------------------------------
+
+    def schedule(self, node_id: str) -> None:
+        """Schedule one operation (no-op if already scheduled)."""
+        if node_id in self._vertices:
+            return
+        node = self.dfg.node(node_id)
+        self.stats.scheduled += 1
+
+        if node.op.is_structural:
+            self._commit_free(node_id, node)
+            return
+
+        thread_k, rank = self._select(node_id, node)
+        self._commit(node_id, node, thread_k, rank)
+
+    def schedule_all(self, order: Optional[Iterable[str]] = None) -> None:
+        """Schedule every DFG operation (default: graph order)."""
+        for node_id in (order if order is not None else self.dfg.nodes()):
+            self.schedule(node_id)
+
+    # ------------------------------------------------------------------
+    # select: find the best insertion position.
+    # ------------------------------------------------------------------
+
+    def _select(self, node_id: str, node) -> Tuple[int, int]:
+        """Return ``(thread, rank)``: insert after the vertex at ``rank``
+        (rank -1 = right after the source sentinel)."""
+        self.label()
+        intrinsic_src, intrinsic_snk, anc, desc = self._intrinsics(node_id)
+        lo, hi = self._windows(anc, desc)
+
+        compatible = [
+            k for k, spec in enumerate(self.specs) if spec.supports(node.op)
+        ]
+        if not compatible:
+            raise NoValidPositionError(
+                f"no thread accepts {node_id} ({node.op.name}); "
+                f"threads: {[spec.fu_type and spec.fu_type.name for spec in self.specs]}"
+            )
+
+        # Tie-break: minimum cost, then lowest thread index, then the
+        # *latest* position in that thread (appending keeps the earlier
+        # slack free for later refinements; empirically this also tracks
+        # the paper's reported lengths most closely — see EXPERIMENTS.md).
+        best: Optional[Tuple[int, int, int]] = None  # (cost, thread, -rank)
+        chosen: Optional[Tuple[int, int]] = None
+        for k in compatible:
+            chain = self._threads[k]
+            lo_k = lo.get(k, -1)
+            hi_k = hi.get(k, len(chain))
+            for rank in range(lo_k, hi_k):
+                prev_sdist = chain[rank].sdist if rank >= 0 else 0
+                next_tdist = (
+                    chain[rank + 1].tdist if rank + 1 < len(chain) else 0
+                )
+                cost = (
+                    max(prev_sdist, intrinsic_src)
+                    + max(next_tdist, intrinsic_snk)
+                    + node.delay
+                )
+                self.stats.positions_scanned += 1
+                candidate = (cost, k, -rank)
+                if best is None or candidate < best:
+                    best = candidate
+                    chosen = (k, rank)
+        if chosen is None:
+            raise NoValidPositionError(
+                f"no acyclic insertion position for {node_id} "
+                "(inconsistent scheduling state)"
+            )
+        return chosen
+
+    def _intrinsics(
+        self, node_id: str
+    ) -> Tuple[int, int, List[ThreadedVertex], List[ThreadedVertex]]:
+        """Intrinsic source/sink distances plus the scheduled DFG
+        ancestors/descendants of ``node_id`` (paper lines 53-54)."""
+        intrinsic_src = 0
+        ancestors: List[ThreadedVertex] = []
+        for anc_id in self.dfg.reaching_to(node_id):
+            vertex = self._vertices.get(anc_id)
+            if vertex is None:
+                continue
+            ancestors.append(vertex)
+            weight = 0
+            if self.dfg.has_edge(anc_id, node_id):
+                weight = self.dfg.edge(anc_id, node_id).weight
+            intrinsic_src = max(intrinsic_src, vertex.sdist + weight)
+
+        intrinsic_snk = 0
+        descendants: List[ThreadedVertex] = []
+        for desc_id in self.dfg.reachable_from(node_id):
+            vertex = self._vertices.get(desc_id)
+            if vertex is None:
+                continue
+            descendants.append(vertex)
+            weight = 0
+            if self.dfg.has_edge(node_id, desc_id):
+                weight = self.dfg.edge(node_id, desc_id).weight
+            intrinsic_snk = max(intrinsic_snk, vertex.tdist + weight)
+        return intrinsic_src, intrinsic_snk, ancestors, descendants
+
+    def _windows(
+        self,
+        ancestors: List[ThreadedVertex],
+        descendants: List[ThreadedVertex],
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Valid insertion window per thread.
+
+        Returns ``(lo, hi)``: in thread ``k`` the new vertex may be
+        inserted after ranks ``lo[k] .. hi[k] - 1`` (defaults: lo = -1,
+        hi = len(chain)).  ``lo[k]`` is the rank of the last thread-k
+        vertex that must stay before the new op (a state-ancestor of a
+        scheduled DFG predecessor); ``hi[k]`` the rank of the first that
+        must stay after.
+        """
+        lo: Dict[int, int] = {}
+        before = self._reach(ancestors, forward=False)
+        for vertex in before:
+            if vertex.thread is not None and not vertex.is_sentinel:
+                rank = self._rank[vertex]
+                if rank > lo.get(vertex.thread, -1):
+                    lo[vertex.thread] = rank
+
+        hi: Dict[int, int] = {}
+        after = self._reach(descendants, forward=True)
+        for vertex in after:
+            if vertex.thread is not None and not vertex.is_sentinel:
+                rank = self._rank[vertex]
+                if rank < hi.get(vertex.thread, len(self._threads[vertex.thread])):
+                    hi[vertex.thread] = rank
+        return lo, hi
+
+    def _reach(
+        self, roots: List[ThreadedVertex], forward: bool
+    ) -> Set[ThreadedVertex]:
+        """Multi-source reachability over the state (roots included)."""
+        seen: Set[ThreadedVertex] = set(roots)
+        frontier = list(roots)
+        while frontier:
+            vertex = frontier.pop()
+            self.stats.bfs_visits += 1
+            neighbours = (
+                vertex.successors() if forward else vertex.predecessors()
+            )
+            for other in neighbours:
+                if not other.is_sentinel and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return seen
+
+    # ------------------------------------------------------------------
+    # commit: insert and rewire (paper Figure 2 rules).
+    # ------------------------------------------------------------------
+
+    def _commit(self, node_id: str, node, k: int, rank: int) -> None:
+        vertex = ThreadedVertex(
+            node_id, node.op, node.delay, self.K, thread=k
+        )
+        chain = self._threads[k]
+        prev = chain[rank] if rank >= 0 else self._s[k]
+        nxt = chain[rank + 1] if rank + 1 < len(chain) else self._t[k]
+
+        # Link into the thread (paper lines 26-27).
+        prev.tout[k] = vertex
+        vertex.tin[k] = prev
+        vertex.tout[k] = nxt
+        nxt.tin[k] = vertex
+        chain.insert(rank + 1, vertex)
+        self._reindex(k)
+
+        self._vertices[node_id] = vertex
+        self._order.append(node_id)
+
+        self._wire_ancestors(vertex)
+        self._wire_descendants(vertex)
+        self._labels_dirty = True
+
+    # The free-edge containers are insertion-ordered dicts (see
+    # ThreadedVertex), so everything above iterates deterministically.
+
+    def _commit_free(self, node_id: str, node) -> None:
+        """Insert a structural op as a thread-less free vertex."""
+        vertex = ThreadedVertex(node_id, node.op, node.delay, self.K)
+        self._vertices[node_id] = vertex
+        self._free[node_id] = vertex
+        self._order.append(node_id)
+        self._wire_ancestors(vertex)
+        self._wire_descendants(vertex)
+        self._labels_dirty = True
+
+    def _wire_ancestors(self, vertex: ThreadedVertex) -> None:
+        """Add/rewire one edge per thread from scheduled DFG ancestors
+        (plus one per free ancestor) to ``vertex``."""
+        latest: Dict[int, ThreadedVertex] = {}
+        free_preds: List[ThreadedVertex] = []
+        for anc_id in self.dfg.reaching_to(vertex.node_id):
+            anc = self._vertices.get(anc_id)
+            if anc is None:
+                continue
+            if anc.thread is None:
+                free_preds.append(anc)
+            elif anc.thread == vertex.thread:
+                continue  # covered by the thread chain (validity window)
+            else:
+                current = latest.get(anc.thread)
+                if current is None or self._rank[anc] > self._rank[current]:
+                    latest[anc.thread] = anc
+        for anc in list(latest.values()) + free_preds:
+            self._add_edge(anc, vertex)
+
+    def _wire_descendants(self, vertex: ThreadedVertex) -> None:
+        earliest: Dict[int, ThreadedVertex] = {}
+        free_succs: List[ThreadedVertex] = []
+        for desc_id in self.dfg.reachable_from(vertex.node_id):
+            desc = self._vertices.get(desc_id)
+            if desc is None:
+                continue
+            if desc.thread is None:
+                free_succs.append(desc)
+            elif desc.thread == vertex.thread:
+                continue  # chain-covered
+            else:
+                current = earliest.get(desc.thread)
+                if current is None or self._rank[desc] < self._rank[current]:
+                    earliest[desc.thread] = desc
+        for desc in list(earliest.values()) + free_succs:
+            self._add_edge(vertex, desc)
+
+    def _add_edge(self, src: ThreadedVertex, dst: ThreadedVertex) -> None:
+        """Record precedence ``src -> dst`` with Figure 2's slot rules.
+
+        The edge is skipped when an existing slot edge already implies
+        it (Figure 2 (a)/(d)) and replaces an existing slot edge it
+        subsumes (Figure 2 (c)/(f)); otherwise it is simply added
+        (Figure 2 (b)/(e)).
+        """
+        self.stats.edges_rewired += 1
+        # Implication checks first — they must not mutate anything.
+        if dst.thread is not None:
+            occupant = src.tout[dst.thread]
+            if occupant is not None and (
+                occupant is dst or self._precedes_in_thread(occupant, dst)
+            ):
+                return  # src -> occupant -> (thread order) -> dst
+        if src.thread is not None:
+            occupant = dst.tin[src.thread]
+            if occupant is not None and (
+                occupant is src or self._precedes_in_thread(src, occupant)
+            ):
+                return  # src -> (thread order) -> occupant -> dst
+        # Displace edges the new one subsumes.
+        if dst.thread is not None and src.tout[dst.thread] is not None:
+            self._drop_edge(src, src.tout[dst.thread])
+        if src.thread is not None and dst.tin[src.thread] is not None:
+            self._drop_edge(dst.tin[src.thread], dst)
+        # Write both sides.
+        if dst.thread is not None:
+            src.tout[dst.thread] = dst
+        else:
+            src.free_out[dst] = None
+        if src.thread is not None:
+            dst.tin[src.thread] = src
+        else:
+            dst.free_in[src] = None
+
+    def _drop_edge(self, src: ThreadedVertex, dst: ThreadedVertex) -> None:
+        """Remove a state edge (both directions)."""
+        if dst.thread is not None and src.tout[dst.thread] is dst:
+            src.tout[dst.thread] = None
+        else:
+            src.free_out.pop(dst, None)
+        if src.thread is not None and dst.tin[src.thread] is src:
+            dst.tin[src.thread] = None
+        else:
+            dst.free_in.pop(src, None)
+
+    # ------------------------------------------------------------------
+    # Engineering change: removing a scheduled operation.
+    # ------------------------------------------------------------------
+
+    def remove(self, node_id: str) -> None:
+        """Unschedule an operation (engineering-change support).
+
+        The vertex leaves the state; every precedence relation that ran
+        *through* it is preserved by bridging its predecessors to its
+        successors (conservative: artificial relations made through the
+        vertex persist, which keeps the state sound w.r.t. Definition 3).
+        The operation may be scheduled again later.
+        """
+        vertex = self.vertex(node_id)
+        preds = [p for p in vertex.predecessors() if not p.is_sentinel]
+        succs = [q for q in vertex.successors() if not q.is_sentinel]
+
+        # Detach all incident edges (slots and free sets, both sides).
+        for pred in vertex.predecessors():
+            self._drop_edge(pred, vertex)
+        for succ in vertex.successors():
+            self._drop_edge(vertex, succ)
+
+        if vertex.thread is not None:
+            k = vertex.thread
+            chain = self._threads[k]
+            rank = self._rank.pop(vertex)
+            chain.pop(rank)
+            prev = chain[rank - 1] if rank - 1 >= 0 else self._s[k]
+            nxt = chain[rank] if rank < len(chain) else self._t[k]
+            prev.tout[k] = nxt
+            nxt.tin[k] = prev
+            self._reindex(k)
+        else:
+            self._free.pop(node_id, None)
+
+        del self._vertices[node_id]
+        self._order.remove(node_id)
+
+        # Bridge predecessors to successors to keep transitivity.
+        for pred in preds:
+            for succ in succs:
+                if pred is not succ:
+                    self._add_edge(pred, succ)
+        self._labels_dirty = True
+
+    def _precedes_in_thread(
+        self, first: ThreadedVertex, second: ThreadedVertex
+    ) -> bool:
+        """Thread-order comparison (both in the same thread)."""
+        return (
+            first.thread == second.thread
+            and self._rank[first] < self._rank[second]
+        )
+
+    def _reindex(self, k: int) -> None:
+        for rank, vertex in enumerate(self._threads[k]):
+            self._rank[vertex] = rank
+
+    def __repr__(self):
+        sizes = ",".join(str(len(chain)) for chain in self._threads)
+        return (
+            f"ThreadedGraph(K={self.K}, threads=[{sizes}], "
+            f"free={len(self._free)}, scheduled={len(self._vertices)})"
+        )

@@ -1,0 +1,36 @@
+"""Experiment harnesses regenerating every figure/table of the paper.
+
+Each module is runnable (``python -m repro.experiments.<name>``) and
+exposes a pure function the benches and tests call:
+
+* :mod:`repro.experiments.figure3` — the Figure 3 results table.
+* :mod:`repro.experiments.figure1` — the Figure 1 walkthrough numbers.
+* :mod:`repro.experiments.complexity` — Theorem 3 linearity measurements.
+* :mod:`repro.experiments.phase_coupling` — Section 1 scenarios
+  quantified (hard patch vs soft refinement).
+* :mod:`repro.experiments.meta_ablation` — Section 5's "many meta
+  schedules work" claim on a random-graph population.
+"""
+
+from repro.experiments.figure3 import figure3_table, FIGURE3_PAPER, Figure3Cell
+from repro.experiments.figure1 import figure1_walkthrough, Figure1Numbers
+from repro.experiments.complexity import complexity_series, ComplexityPoint
+from repro.experiments.phase_coupling import (
+    phase_coupling_table,
+    PhaseCouplingRow,
+)
+from repro.experiments.meta_ablation import meta_ablation, AblationSummary
+
+__all__ = [
+    "figure3_table",
+    "FIGURE3_PAPER",
+    "Figure3Cell",
+    "figure1_walkthrough",
+    "Figure1Numbers",
+    "complexity_series",
+    "ComplexityPoint",
+    "phase_coupling_table",
+    "PhaseCouplingRow",
+    "meta_ablation",
+    "AblationSummary",
+]

@@ -1,0 +1,25 @@
+"""End-to-end HLS flows: the traditional hard flow vs the soft flow.
+
+These encode the paper's motivation as runnable pipelines:
+
+* :mod:`repro.flows.hard_flow` — schedule hard, then patch the schedule
+  (or iterate the whole flow) whenever allocation or physical design
+  invalidates it.
+* :mod:`repro.flows.soft_flow` — schedule softly, let allocation and
+  physical design *refine* the partial order, and harden exactly once
+  at the end.
+* :mod:`repro.flows.report` — side-by-side comparison records.
+"""
+
+from repro.flows.hard_flow import HardFlowResult, run_hard_flow
+from repro.flows.soft_flow import SoftFlowResult, run_soft_flow
+from repro.flows.report import FlowComparison, compare_flows
+
+__all__ = [
+    "HardFlowResult",
+    "run_hard_flow",
+    "SoftFlowResult",
+    "run_soft_flow",
+    "FlowComparison",
+    "compare_flows",
+]

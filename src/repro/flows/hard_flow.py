@@ -1,0 +1,195 @@
+"""The traditional (hard) HLS flow the paper criticises.
+
+Pipeline: list-schedule -> allocate registers -> (if pressure exceeds
+the register file) insert spill code into the *behavior* and patch the
+schedule by pushing later steps down -> floorplan -> back-annotate wire
+delays -> patch again.  Each patch is the "trivial fix ... which leads
+to inferior result" of Section 1; the alternative the paper mentions —
+iterating the entire design process — is modelled by the optional
+``iterate`` flag, which reruns the list scheduler on the spill-augmented
+graph instead of patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.allocation.left_edge import RegisterAllocation, left_edge_allocate
+from repro.allocation.lifetimes import value_lifetimes
+from repro.allocation.spill import choose_spill_candidates
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+from repro.physical.annotate import annotate_schedule
+from repro.physical.floorplan import Floorplan, grid_floorplan
+from repro.physical.wire_model import WireModel
+from repro.scheduling.base import Schedule
+from repro.scheduling.list_scheduler import ListPriority, list_schedule
+from repro.scheduling.resources import MEM, ResourceSet
+
+
+@dataclass
+class HardFlowResult:
+    """Everything the hard flow produced, stage by stage."""
+
+    initial: Schedule
+    after_spill: Schedule
+    final: Schedule
+    spilled_values: List[str] = field(default_factory=list)
+    allocation: Optional[RegisterAllocation] = None
+    floorplan: Optional[Floorplan] = None
+    wire_delays: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    reschedules: int = 0
+
+    @property
+    def length(self) -> int:
+        return self.final.length
+
+
+def run_hard_flow(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    max_registers: Optional[int] = None,
+    wire_model: Optional[WireModel] = None,
+    priority: ListPriority = ListPriority.READY_ORDER,
+    iterate: bool = False,
+) -> HardFlowResult:
+    """Run the hard flow on a copy of ``dfg`` (the input is untouched)."""
+    working = dfg.copy()
+    if max_registers is not None and resources.count(MEM) == 0:
+        resources = resources.with_added(MEM, 1)
+    initial = list_schedule(working, resources, priority)
+    current = initial
+    reschedules = 0
+
+    # --- register allocation / spilling -----------------------------
+    spilled: List[str] = []
+    if max_registers is not None:
+        spilled = choose_spill_candidates(current, max_registers)
+        for value in spilled:
+            _insert_spill_nodes(working, value)
+        if spilled:
+            if iterate:
+                current = list_schedule(working, resources, priority)
+                reschedules += 1
+            else:
+                current = _patched_schedule(working, current, resources)
+    after_spill = current
+    allocation = left_edge_allocate(
+        current, lifetimes=value_lifetimes(current)
+    )
+
+    # --- physical design / wire delay --------------------------------
+    floorplan = None
+    delays: Dict[Tuple[str, str], int] = {}
+    if wire_model is not None:
+        unit_labels = [
+            f"{fu_type.name}{index}" for fu_type, index in resources.instances()
+        ]
+        floorplan = grid_floorplan(unit_labels)
+        delays = _hard_wire_delays(current, floorplan, wire_model)
+        if delays:
+            current = annotate_schedule(current, delays)
+
+    return HardFlowResult(
+        initial=initial,
+        after_spill=after_spill,
+        final=current,
+        spilled_values=spilled,
+        allocation=allocation,
+        floorplan=floorplan,
+        wire_delays=delays,
+        reschedules=reschedules,
+    )
+
+
+def _insert_spill_nodes(
+    dfg: DataFlowGraph, value_id: str
+) -> Tuple[str, Optional[str]]:
+    """Spill ``value_id`` in the behavior graph (store + load nodes).
+
+    Mirrors :func:`repro.core.refine.insert_spill`: a value with no
+    consumers gets only the store.
+    """
+    store_id = f"{value_id}_st"
+    load_id = f"{value_id}_ld"
+    suffix = 0
+    while store_id in dfg or load_id in dfg:
+        suffix += 1
+        store_id = f"{value_id}_st{suffix}"
+        load_id = f"{value_id}_ld{suffix}"
+    consumers = dfg.successors(value_id)
+    dfg.add_node(store_id, OpKind.STORE, name=f"spill {value_id}")
+    dfg.add_edge(value_id, store_id, port=0)
+    if not consumers:
+        return store_id, None
+    dfg.add_node(load_id, OpKind.LOAD, name=f"reload {value_id}")
+    dfg.add_edge(store_id, load_id)
+    for consumer in consumers:
+        edge = dfg.edge(value_id, consumer)
+        port, weight = edge.port, edge.weight
+        dfg.remove_edge(value_id, consumer)
+        dfg.add_edge(load_id, consumer, port=port, weight=weight)
+    return store_id, load_id
+
+
+def _patched_schedule(
+    dfg: DataFlowGraph,
+    schedule: Schedule,
+    resources: ResourceSet,
+) -> Schedule:
+    """The trivial hard-schedule repair for inserted spill code.
+
+    Every store/load pair opens two fresh steps right after the spilled
+    value's producer: all later operations shift down (Figure 1(c)'s
+    "inferior result").  New nodes are placed in the opened steps.
+    """
+    mem_delay = 1
+    new_times: Dict[str, int] = dict(schedule.start_times)
+    # Process inserted nodes in dependency order (stores before their
+    # loads), so every producer has a time when its consumer is placed.
+    inserted = [
+        n for n in dfg.topological_order() if n not in new_times
+    ]
+    for node_id in inserted:
+        producers = [
+            p for p in dfg.predecessors(node_id) if p in new_times
+        ]
+        at = (
+            max(new_times[p] + dfg.delay(p) for p in producers)
+            if producers
+            else 0
+        )
+        # Open mem_delay fresh steps at `at`: shift everything >= at.
+        for other in new_times:
+            if new_times[other] >= at:
+                new_times[other] += mem_delay
+        new_times[node_id] = at
+    return Schedule(
+        dfg=dfg,
+        start_times=new_times,
+        binding=dict(schedule.binding),
+        resources=resources,
+        algorithm=f"{schedule.algorithm}+spill-patch",
+    )
+
+
+def _hard_wire_delays(
+    schedule: Schedule,
+    floorplan: Floorplan,
+    model: WireModel,
+) -> Dict[Tuple[str, str], int]:
+    """Wire delays between bound units for every cross-unit DFG edge."""
+    dfg = schedule.dfg
+    delays: Dict[Tuple[str, str], int] = {}
+    for edge in dfg.edges():
+        src_unit = schedule.binding.get(edge.src)
+        dst_unit = schedule.binding.get(edge.dst)
+        if src_unit is None or dst_unit is None or src_unit == dst_unit:
+            continue
+        src_label = f"{src_unit[0].name}{src_unit[1]}"
+        dst_label = f"{dst_unit[0].name}{dst_unit[1]}"
+        delay = model.delay_between(floorplan, src_label, dst_label)
+        if delay > 0:
+            delays[(edge.src, edge.dst)] = delay
+    return delays

@@ -1,0 +1,74 @@
+"""Side-by-side comparison of the hard and soft flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.allocation.lifetimes import max_live
+from repro.flows.hard_flow import HardFlowResult, run_hard_flow
+from repro.flows.soft_flow import SoftFlowResult, run_soft_flow
+from repro.ir.dfg import DataFlowGraph
+from repro.physical.wire_model import WireModel
+from repro.scheduling.resources import ResourceSet
+
+
+@dataclass
+class FlowComparison:
+    """Lengths of each stage under both flows, ready to print."""
+
+    benchmark: str
+    hard: HardFlowResult
+    soft: SoftFlowResult
+
+    def rows(self):
+        return [
+            ("initial schedule", self.hard.initial.length,
+             self.soft.initial.length),
+            ("after spilling", self.hard.after_spill.length,
+             self.soft.after_spill.length),
+            ("after wire delay", self.hard.final.length,
+             self.soft.final.length),
+        ]
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark: {self.benchmark}",
+            f"{'stage':<20} {'hard flow':>10} {'soft flow':>10}",
+        ]
+        for label, hard_len, soft_len in self.rows():
+            lines.append(f"{label:<20} {hard_len:>10} {soft_len:>10}")
+        lines.append(
+            f"{'spilled values':<20} {len(self.hard.spilled_values):>10} "
+            f"{len(self.soft.spilled_values):>10}"
+        )
+        lines.append(
+            f"{'registers':<20} "
+            f"{self.hard.allocation.count if self.hard.allocation else '-':>10} "
+            f"{self.soft.allocation.count if self.soft.allocation else '-':>10}"
+        )
+        return "\n".join(lines)
+
+
+def compare_flows(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    max_registers: Optional[int] = None,
+    wire_model: Optional[WireModel] = None,
+    meta: str = "meta2-topological",
+) -> FlowComparison:
+    """Run both flows on the same inputs and package the comparison."""
+    hard = run_hard_flow(
+        dfg,
+        resources,
+        max_registers=max_registers,
+        wire_model=wire_model,
+    )
+    soft = run_soft_flow(
+        dfg,
+        resources,
+        max_registers=max_registers,
+        wire_model=wire_model,
+        meta=meta,
+    )
+    return FlowComparison(benchmark=dfg.name or "dfg", hard=hard, soft=soft)

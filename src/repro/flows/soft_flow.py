@@ -1,0 +1,98 @@
+"""The soft HLS flow the paper proposes.
+
+Pipeline: threaded-schedule softly -> harden *tentatively* to analyse
+register pressure -> spill through the online scheduler (the state
+absorbs the store/load ops) -> floorplan the threads (threads are
+units) -> back-annotate wire delays as edge weights -> harden exactly
+once at the end.  No stage ever invalidates a previous one — the
+partial order only gets refined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.allocation.left_edge import RegisterAllocation, left_edge_allocate
+from repro.allocation.spill import choose_spill_candidates
+from repro.core.hardening import harden
+from repro.core.meta import MetaSchedule
+from repro.core.refine import annotate_wire_weights, insert_spill
+from repro.core.scheduler import ThreadedScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+from repro.physical.annotate import wire_delays_for_state
+from repro.physical.floorplan import Floorplan, grid_floorplan
+from repro.physical.wire_model import WireModel
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import MEM, ResourceSet
+
+
+@dataclass
+class SoftFlowResult:
+    """Everything the soft flow produced, stage by stage."""
+
+    scheduler: ThreadedScheduler
+    initial: Schedule
+    after_spill: Schedule
+    final: Schedule
+    spilled_values: List[str] = field(default_factory=list)
+    allocation: Optional[RegisterAllocation] = None
+    floorplan: Optional[Floorplan] = None
+    wire_delays: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        return self.final.length
+
+
+def run_soft_flow(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    max_registers: Optional[int] = None,
+    wire_model: Optional[WireModel] = None,
+    meta: Union[str, MetaSchedule] = "meta2-topological",
+) -> SoftFlowResult:
+    """Run the soft flow on a copy of ``dfg`` (the input is untouched).
+
+    When spilling is possible (``max_registers`` given) the resource set
+    is extended with a memory port if it lacks one — the thread the
+    store/load operations will live on.
+    """
+    working = dfg.copy()
+    if max_registers is not None and resources.count(MEM) == 0:
+        resources = resources.with_added(MEM, 1)
+
+    scheduler = ThreadedScheduler(working, resources=resources, meta=meta)
+    scheduler.run()
+    initial = scheduler.harden()
+
+    # --- register allocation: spill through the online scheduler -----
+    spilled: List[str] = []
+    if max_registers is not None:
+        spilled = choose_spill_candidates(initial, max_registers)
+        for value in spilled:
+            insert_spill(scheduler.state, value)
+    after_spill = scheduler.harden()
+    allocation = left_edge_allocate(after_spill)
+
+    # --- physical design: annotate, relabel, done --------------------
+    floorplan = None
+    delays: Dict[Tuple[str, str], int] = {}
+    if wire_model is not None:
+        floorplan = grid_floorplan([spec.label for spec in scheduler.state.specs])
+        delays = wire_delays_for_state(scheduler.state, floorplan, wire_model)
+        if delays:
+            annotate_wire_weights(scheduler.state, delays)
+
+    final = scheduler.harden()
+    return SoftFlowResult(
+        scheduler=scheduler,
+        initial=initial,
+        after_spill=after_spill,
+        final=final,
+        spilled_values=spilled,
+        allocation=allocation,
+        floorplan=floorplan,
+        wire_delays=delays,
+    )

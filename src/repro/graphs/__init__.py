@@ -1,0 +1,36 @@
+"""Benchmark dataflow graph library.
+
+The paper evaluates on four classic HLS benchmarks — HAL, AR, EF and FIR
+(Figure 3).  This package encodes them, plus the paper's Figure 1 example
+graph, an extra DCT benchmark, and seeded random-DAG generators for the
+scaling and ablation experiments.  Every graph is registered by name in
+:mod:`repro.graphs.registry`.
+"""
+
+from repro.graphs.hal import hal
+from repro.graphs.fir import fir
+from repro.graphs.ar import ar_filter
+from repro.graphs.ewf import elliptic_wave_filter
+from repro.graphs.dct import dct8
+from repro.graphs.fft import fft
+from repro.graphs.iir import iir_biquad_cascade
+from repro.graphs.paper_fig1 import paper_fig1
+from repro.graphs.random_dags import random_layered_dag, random_expression_dag
+from repro.graphs.registry import get_graph, list_graphs, GraphInfo, REGISTRY
+
+__all__ = [
+    "hal",
+    "fir",
+    "ar_filter",
+    "elliptic_wave_filter",
+    "dct8",
+    "fft",
+    "iir_biquad_cascade",
+    "paper_fig1",
+    "random_layered_dag",
+    "random_expression_dag",
+    "get_graph",
+    "list_graphs",
+    "GraphInfo",
+    "REGISTRY",
+]

@@ -1,0 +1,59 @@
+"""An 8-point DCT benchmark (extra workload, not in the paper's table).
+
+A Chen-style fast 8-point DCT-II butterfly network: three stages of
+add/subtract butterflies interleaved with coefficient multiplications.
+Used by the ablation and phase-coupling benches as a mid-size workload
+with a different add/multiply mix than the paper's four benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+
+
+def dct8(delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+    """Build the 8-point DCT graph (16 add/sub, 12 mul, 6 final adds)."""
+    b = GraphBuilder("dct8", delay_model=delay_model)
+
+    # Stage 1: input butterflies x[i] +/- x[7-i].
+    stage1_sum: List[str] = []
+    stage1_diff: List[str] = []
+    for i in range(4):
+        stage1_sum.append(b.add(f"b1s{i}", name=f"x{i}+x{7 - i}"))
+        stage1_diff.append(b.sub(f"b1d{i}", name=f"x{i}-x{7 - i}"))
+
+    # Stage 2 (even half): butterflies over the sums.
+    e_sum0 = b.add("b2s0", stage1_sum[0], stage1_sum[3])
+    e_sum1 = b.add("b2s1", stage1_sum[1], stage1_sum[2])
+    e_dif0 = b.sub("b2d0", stage1_sum[0], stage1_sum[3])
+    e_dif1 = b.sub("b2d1", stage1_sum[1], stage1_sum[2])
+
+    # Even outputs: X0/X4 from sums, X2/X6 from rotated differences.
+    b.add("x0", e_sum0, e_sum1)
+    b.sub("x4", e_sum0, e_sum1)
+    r0 = b.mul("r0", e_dif0)
+    r1 = b.mul("r1", e_dif1)
+    r2 = b.mul("r2", e_dif0)
+    r3 = b.mul("r3", e_dif1)
+    b.add("x2", r0, r1)
+    b.sub("x6", r2, r3)
+
+    # Odd half: rotate each difference pair, then combine.
+    rot: List[str] = []
+    for i in range(4):
+        rot.append(b.mul(f"c{2 * i}", stage1_diff[i]))
+        rot.append(b.mul(f"c{2 * i + 1}", stage1_diff[i]))
+    o0 = b.add("o0", rot[0], rot[3])
+    o1 = b.sub("o1", rot[1], rot[2])
+    o2 = b.add("o2", rot[4], rot[7])
+    o3 = b.sub("o3", rot[5], rot[6])
+    b.add("x1", o0, o2)
+    b.sub("x5", o1, o3)
+    b.add("x3", o1, o2)
+    b.sub("x7", o0, o3)
+
+    return b.graph()

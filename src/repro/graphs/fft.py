@@ -1,0 +1,81 @@
+"""Radix-2 FFT butterfly network (extra workload).
+
+A decimation-in-time FFT dataflow over ``2**stages`` points, with the
+classic complex butterfly per crossing: one complex multiply
+(4 real ×, 2 real ±) plus the complex add/sub (4 real ±).  All values
+are kept as separate real/imaginary operations so the graph exercises
+realistic fanout.  Not a paper benchmark; used by ablations and larger
+scaling runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+
+
+def fft(
+    stages: int = 3,
+    delay_model: Optional[DelayModel] = None,
+) -> DataFlowGraph:
+    """Build an FFT butterfly DFG over ``2**stages`` complex points."""
+    if stages < 1:
+        raise GraphError(f"need at least 1 stage, got {stages}")
+    points = 1 << stages
+    b = GraphBuilder(f"fft{points}", delay_model=delay_model)
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    # Values: (real_id, imag_id); None = primary input (no node).
+    values: List[Tuple[Optional[str], Optional[str]]] = [
+        (None, None) for _ in range(points)
+    ]
+
+    def complex_mul(value):
+        """(a+bi) * twiddle: 4 real muls + 1 sub + 1 add."""
+        re_in, im_in = value
+        prods = []
+        for _ in range(4):
+            node = b.mul(fresh("m"))
+            operand = re_in if len(prods) < 2 else im_in
+            if operand is not None:
+                b.edge(operand, node)
+            prods.append(node)
+        real = b.sub(fresh("s"), prods[0], prods[3])
+        imag = b.add(fresh("a"), prods[1], prods[2])
+        return real, imag
+
+    def butterfly(top, bottom):
+        rotated = complex_mul(bottom)
+        outs = []
+        for make in (b.add, b.sub):
+            re = make(fresh("a" if make is b.add else "s"))
+            im = make(fresh("a" if make is b.add else "s"))
+            for part, node in zip(top, (re, im)):
+                if part is not None:
+                    b.edge(part, node)
+            for part, node in zip(rotated, (re, im)):
+                b.edge(part, node)
+            outs.append((re, im))
+        return outs[0], outs[1]
+
+    half = points // 2
+    for stage in range(stages):
+        span = 1 << stage
+        next_values = list(values)
+        for group_start in range(0, points, span * 2):
+            for offset in range(span):
+                i = group_start + offset
+                j = i + span
+                next_values[i], next_values[j] = butterfly(
+                    values[i], values[j]
+                )
+        values = next_values
+    return b.graph()

@@ -1,0 +1,46 @@
+"""The FIR filter benchmark.
+
+An N-tap direct-form FIR filter: N coefficient multiplications feeding a
+balanced adder tree.  The paper's Figure 3 lengths (11 / 7 / 19 under
+2 ALU + 2 MUL, 4 ALU + 4 MUL, 2 ALU + 1 MUL) are reproduced exactly by
+the 8-tap instance under the standard delay model — the 16 multiply
+cycles serialized on one multiplier plus the 3-deep adder-tree tail give
+the characteristic 19.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import GraphError
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+
+
+def fir(taps: int = 8, delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+    """Build a ``taps``-tap direct-form FIR graph (taps must be >= 2).
+
+    ``taps`` multiplications and ``taps - 1`` additions; the adder tree
+    is balanced (left-to-right pairing per level).
+    """
+    if taps < 2:
+        raise GraphError(f"FIR needs at least 2 taps, got {taps}")
+    b = GraphBuilder(f"fir{taps}", delay_model=delay_model)
+    level: List[str] = [
+        b.mul(f"m{i + 1}", name=f"x{i}*h{i}") for i in range(taps)
+    ]
+    counter = 0
+    while len(level) > 1:
+        next_level: List[str] = []
+        index = 0
+        while index + 1 < len(level):
+            counter += 1
+            next_level.append(
+                b.add(f"a{counter}", level[index], level[index + 1])
+            )
+            index += 2
+        if index < len(level):
+            next_level.append(level[index])  # odd element carries over
+        level = next_level
+    return b.graph()

@@ -1,0 +1,45 @@
+"""The HAL differential-equation benchmark.
+
+The canonical "HAL" example introduced with force-directed scheduling
+(Paulin & Knight, 1989): one Euler iteration of the second-order
+differential equation ``y'' + 3xy' + 3y = 0``::
+
+    x1 = x + dx
+    u1 = u - (3 * x) * (u * dx) - (3 * y) * dx
+    y1 = y + u * dx
+    c  = x1 < a
+
+Eleven operations: six multiplications, two subtractions, two additions,
+one comparison.  Node insertion order follows the classic left-to-right,
+top-to-bottom drawing of the DFG — the order matters to ready-queue
+tie-breaks and to meta schedules, and this order reproduces the paper's
+Figure 3 row exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+
+
+def hal(delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+    """Build the 11-operation HAL dataflow graph."""
+    b = GraphBuilder("hal", delay_model=delay_model)
+    # Level 1 (all operands are primary inputs).
+    m1 = b.mul("m1", name="3*x")
+    m2 = b.mul("m2", name="u*dx")
+    m4 = b.mul("m4", name="3*y")
+    m6 = b.mul("m6", name="u*dx'")
+    a1 = b.add("a1", name="x+dx")
+    # Level 2.
+    m3 = b.mul("m3", m1, m2, name="(3x)(udx)")
+    m5 = b.mul("m5", m4, name="(3y)dx")
+    a2 = b.add("a2", m6, name="y+udx")
+    c1 = b.lt("c1", a1, name="x1<a")
+    # Levels 3-4: the u1 subtraction chain.
+    s1 = b.sub("s1", m3, name="u-3xudx")  # port 1 of the subtract is m3
+    s2 = b.sub("s2", s1, m5, name="u1")
+    return b.graph()

@@ -1,0 +1,49 @@
+"""IIR biquad cascade (extra workload).
+
+A cascade of direct-form-II biquad sections, each::
+
+    w  = x - a1*w1 - a2*w2
+    y  = b0*w + b1*w1 + b2*w2
+
+(5 multiplications, 4 add/sub per section; sections chained through
+``y``).  A classic filter shape with a long multiply-add recurrence
+spine — the opposite resource profile of the FIR's flat product bank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GraphError
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+
+
+def iir_biquad_cascade(
+    sections: int = 3,
+    delay_model: Optional[DelayModel] = None,
+) -> DataFlowGraph:
+    """Build a cascade of ``sections`` biquads (9 ops per section)."""
+    if sections < 1:
+        raise GraphError(f"need at least 1 section, got {sections}")
+    b = GraphBuilder(f"iir{sections}", delay_model=delay_model)
+
+    x = None  # input of the current section (None = primary input)
+    for s in range(1, sections + 1):
+        # Feedback path: w = x - a1*w1 - a2*w2.
+        fb1 = b.mul(f"s{s}_m_a1", name=f"a1*w1[{s}]")
+        fb2 = b.mul(f"s{s}_m_a2", name=f"a2*w2[{s}]")
+        sub1 = b.sub(f"s{s}_sub1", name=f"x-a1w1[{s}]")
+        if x is not None:
+            b.edge(x, sub1, port=0)
+        b.edge(fb1, sub1, port=1)
+        w = b.sub(f"s{s}_w", sub1, fb2, name=f"w[{s}]")
+        # Feedforward path: y = b0*w + b1*w1 + b2*w2.
+        ff0 = b.mul(f"s{s}_m_b0", w, name=f"b0*w[{s}]")
+        ff1 = b.mul(f"s{s}_m_b1", name=f"b1*w1[{s}]")
+        ff2 = b.mul(f"s{s}_m_b2", name=f"b2*w2[{s}]")
+        add1 = b.add(f"s{s}_add1", ff0, ff1)
+        y = b.add(f"s{s}_y", add1, ff2, name=f"y[{s}]")
+        x = y
+    return b.graph()

@@ -1,0 +1,60 @@
+"""Reconstruction of the paper's Figure 1 example graph.
+
+Figure 1(a) shows a seven-vertex dataflow graph used throughout the
+paper to illustrate soft scheduling.  The figure is not machine-readable,
+so this is a reconstruction satisfying every quantitative property the
+paper states about it (with unit operation delays and two universal
+functional units):
+
+* a threaded schedule with threads ``{1, 2, 5}`` and ``{3, 4, 6, 7}``
+  and the artificial edge ``2 -> 5`` (Figure 1(e)) hardens to a
+  **5-state** schedule;
+* spilling the value computed by vertex 3 (inserting a store and a load
+  on a memory port, Figure 1(c)) and rescheduling softly yields a
+  **6-state** schedule;
+* inserting a wire-delay vertex on vertex 3's fanout (Figure 1(d)) and
+  rescheduling softly keeps the schedule at **5 states**.
+
+The tests in ``tests/experiments/test_figure1.py`` assert all three.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel, OpKind
+
+
+#: Thread partition used by the paper's Figure 1(e).
+FIG1_THREADS = ({"v1", "v2", "v5"}, {"v3", "v4", "v6", "v7"})
+
+#: The artificial (resource-serialization) edge shown in Figure 1(e).
+FIG1_ARTIFICIAL_EDGE = ("v2", "v5")
+
+#: The vertex whose value Figure 1(c) spills.
+FIG1_SPILLED = "v3"
+
+#: The edge Figure 1(d) splits with a wire-delay vertex.
+FIG1_WIRE_EDGE = ("v3", "v6")
+
+
+def paper_fig1(delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+    """Build the seven-vertex Figure 1(a) graph (unit delays)."""
+    delay_model = delay_model or DelayModel.unit()
+    b = GraphBuilder("fig1", delay_model=delay_model)
+    for index in range(1, 8):
+        b.node(OpKind.ADD, f"v{index}", delay=1)
+    b.edges(
+        [
+            ("v1", "v2"),
+            ("v1", "v3"),
+            ("v2", "v4"),
+            ("v3", "v6"),
+            ("v4", "v6"),
+            ("v5", "v7"),
+            ("v6", "v7"),
+        ]
+    )
+    return b.graph()

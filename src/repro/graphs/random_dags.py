@@ -1,0 +1,120 @@
+"""Seeded random dataflow-graph generators.
+
+Used by the complexity experiment (Theorem 3's linearity claim needs
+graphs of growing size), the meta-schedule ablation, and the
+property-based tests.  All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import GraphError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel, OpKind
+
+_ALU_KINDS = (OpKind.ADD, OpKind.SUB, OpKind.LT)
+
+
+def random_layered_dag(
+    num_nodes: int,
+    seed: int,
+    num_layers: Optional[int] = None,
+    edge_probability: float = 0.35,
+    mul_fraction: float = 0.4,
+    max_fanin: int = 2,
+    delay_model: Optional[DelayModel] = None,
+) -> DataFlowGraph:
+    """A layered random DAG shaped like real dataflow blocks.
+
+    Nodes are spread over ``num_layers`` layers (default ``~sqrt(n)``);
+    each node draws up to ``max_fanin`` predecessors from the previous
+    few layers with probability ``edge_probability`` per candidate, and
+    at least one predecessor when it is not in the first layer (so depth
+    actually grows with layers).  ``mul_fraction`` of nodes are
+    multiplications, the rest ALU operations.
+    """
+    if num_nodes <= 0:
+        raise GraphError(f"num_nodes must be positive, got {num_nodes}")
+    rng = random.Random(seed)
+    if num_layers is None:
+        num_layers = max(1, int(round(num_nodes ** 0.5)))
+    num_layers = min(num_layers, num_nodes)
+
+    dfg = DataFlowGraph(
+        name=f"rand{num_nodes}s{seed}", delay_model=delay_model
+    )
+
+    # Assign nodes to layers (every layer non-empty).
+    layer_of: List[int] = list(range(num_layers)) + [
+        rng.randrange(num_layers) for _ in range(num_nodes - num_layers)
+    ]
+    layer_of.sort()
+
+    layers: List[List[str]] = [[] for _ in range(num_layers)]
+    for index in range(num_nodes):
+        kind = (
+            OpKind.MUL
+            if rng.random() < mul_fraction
+            else rng.choice(_ALU_KINDS)
+        )
+        node_id = f"n{index}"
+        dfg.add_node(node_id, kind)
+        layers[layer_of[index]].append(node_id)
+
+    for layer_index in range(1, num_layers):
+        # Candidate predecessors: previous two layers.
+        pool: List[str] = list(layers[layer_index - 1])
+        if layer_index >= 2:
+            pool.extend(layers[layer_index - 2])
+        for node_id in layers[layer_index]:
+            fanin = 0
+            for candidate in rng.sample(pool, min(len(pool), 4)):
+                if fanin >= max_fanin:
+                    break
+                if rng.random() < edge_probability:
+                    dfg.add_edge(candidate, node_id, port=fanin)
+                    fanin += 1
+            if fanin == 0:
+                parent = rng.choice(layers[layer_index - 1])
+                dfg.add_edge(parent, node_id, port=0)
+    return dfg
+
+
+def random_expression_dag(
+    num_nodes: int,
+    seed: int,
+    mul_fraction: float = 0.4,
+    reuse_probability: float = 0.3,
+    delay_model: Optional[DelayModel] = None,
+) -> DataFlowGraph:
+    """A random expression-tree-with-sharing DAG.
+
+    Grows bottom-up the way lowering a big arithmetic expression would:
+    each new node consumes one or two earlier values, reusing a value
+    with ``reuse_probability`` (creating fanout) and otherwise consuming
+    a fresh leaf (no node, like a primary input).
+    """
+    if num_nodes <= 0:
+        raise GraphError(f"num_nodes must be positive, got {num_nodes}")
+    rng = random.Random(seed)
+    dfg = DataFlowGraph(
+        name=f"expr{num_nodes}s{seed}", delay_model=delay_model
+    )
+    created: List[str] = []
+    for index in range(num_nodes):
+        kind = (
+            OpKind.MUL
+            if rng.random() < mul_fraction
+            else rng.choice(_ALU_KINDS)
+        )
+        node_id = f"e{index}"
+        dfg.add_node(node_id, kind)
+        port = 0
+        for _ in range(2):
+            if created and rng.random() < reuse_probability:
+                dfg.add_edge(rng.choice(created), node_id, port=port)
+                port += 1
+        created.append(node_id)
+    return dfg

@@ -1,0 +1,144 @@
+"""Name-based registry of all shipped benchmark graphs.
+
+Experiments and benches look benchmarks up by the names the paper uses
+("HAL", "AR", "EF", "FIR"); extras are registered under their own names.
+Every registered factory is validated on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import GraphError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+from repro.ir.validate import validate_dfg
+from repro.graphs.ar import ar_filter
+from repro.graphs.dct import dct8
+from repro.graphs.ewf import elliptic_wave_filter
+from repro.graphs.fft import fft
+from repro.graphs.fir import fir
+from repro.graphs.hal import hal
+from repro.graphs.iir import iir_biquad_cascade
+from repro.graphs.paper_fig1 import paper_fig1
+
+
+@dataclass(frozen=True)
+class GraphInfo:
+    """Registry entry: a named benchmark and its provenance."""
+
+    name: str
+    factory: Callable[..., DataFlowGraph]
+    description: str
+    in_paper: bool
+
+
+REGISTRY: Dict[str, GraphInfo] = {}
+
+
+def _register(info: GraphInfo) -> None:
+    REGISTRY[info.name.lower()] = info
+
+
+_register(
+    GraphInfo(
+        name="HAL",
+        factory=hal,
+        description=(
+            "HAL differential-equation solver (Paulin & Knight): "
+            "11 ops, 6 mul / 2 add / 2 sub / 1 cmp"
+        ),
+        in_paper=True,
+    )
+)
+_register(
+    GraphInfo(
+        name="AR",
+        factory=ar_filter,
+        description=(
+            "Auto-regressive lattice filter: 28 ops, 16 mul / 12 add "
+            "(calibrated reconstruction)"
+        ),
+        in_paper=True,
+    )
+)
+_register(
+    GraphInfo(
+        name="EF",
+        factory=elliptic_wave_filter,
+        description=(
+            "Fifth-order elliptic wave filter: 34 ops, 8 mul / 26 add "
+            "(calibrated reconstruction)"
+        ),
+        in_paper=True,
+    )
+)
+_register(
+    GraphInfo(
+        name="FIR",
+        factory=fir,
+        description="8-tap direct-form FIR filter: 8 mul / 7 add",
+        in_paper=True,
+    )
+)
+_register(
+    GraphInfo(
+        name="DCT8",
+        factory=dct8,
+        description="8-point Chen DCT: 12 mul / 16 add-sub (extra workload)",
+        in_paper=False,
+    )
+)
+_register(
+    GraphInfo(
+        name="FIG1",
+        factory=paper_fig1,
+        description="Paper Figure 1 seven-vertex example (reconstruction)",
+        in_paper=False,
+    )
+)
+_register(
+    GraphInfo(
+        name="FFT8",
+        factory=fft,
+        description=(
+            "8-point radix-2 FFT butterfly network (extra workload)"
+        ),
+        in_paper=False,
+    )
+)
+_register(
+    GraphInfo(
+        name="IIR3",
+        factory=iir_biquad_cascade,
+        description=(
+            "3-section IIR biquad cascade: long multiply-add spine "
+            "(extra workload)"
+        ),
+        in_paper=False,
+    )
+)
+
+
+def get_graph(
+    name: str, delay_model: Optional[DelayModel] = None
+) -> DataFlowGraph:
+    """Build a registered benchmark by (case-insensitive) name."""
+    info = REGISTRY.get(name.lower())
+    if info is None:
+        known = ", ".join(sorted(info.name for info in REGISTRY.values()))
+        raise GraphError(f"unknown benchmark {name!r}; known: {known}")
+    graph = info.factory(delay_model=delay_model)
+    validate_dfg(graph)
+    return graph
+
+
+def list_graphs(paper_only: bool = False) -> List[GraphInfo]:
+    """All registered benchmarks, paper benchmarks first."""
+    infos = sorted(
+        REGISTRY.values(), key=lambda info: (not info.in_paper, info.name)
+    )
+    if paper_only:
+        infos = [info for info in infos if info.in_paper]
+    return infos

@@ -1,0 +1,70 @@
+"""Behavioral intermediate representation.
+
+This package provides the *precedence graph* abstraction of the paper
+(Definition 1) as :class:`~repro.ir.dfg.DataFlowGraph`, the operation
+vocabulary (:class:`~repro.ir.ops.OpKind`, :class:`~repro.ir.ops.DelayModel`),
+static analyses (ASAP/ALAP/mobility/longest paths), and a small behavioral
+frontend (expression parser + lowering) so realistic inputs can be written
+as text instead of hand-built graphs.
+"""
+
+from repro.ir.ops import OpKind, DelayModel
+from repro.ir.dfg import DataFlowGraph, Node, Edge
+from repro.ir.builder import GraphBuilder
+from repro.ir.analysis import (
+    asap_times,
+    alap_times,
+    mobility,
+    source_distances,
+    sink_distances,
+    node_distances,
+    diameter,
+    critical_path,
+    ancestors,
+    descendants,
+    transitive_closure,
+)
+from repro.ir.expr import (
+    Assign,
+    BinOp,
+    Expr,
+    Name,
+    Number,
+    Program,
+    UnaryOp,
+)
+from repro.ir.parser import parse_program
+from repro.ir.lowering import lower_program
+from repro.ir.dot import to_dot
+from repro.ir.validate import validate_dfg
+
+__all__ = [
+    "OpKind",
+    "DelayModel",
+    "DataFlowGraph",
+    "Node",
+    "Edge",
+    "GraphBuilder",
+    "asap_times",
+    "alap_times",
+    "mobility",
+    "source_distances",
+    "sink_distances",
+    "node_distances",
+    "diameter",
+    "critical_path",
+    "ancestors",
+    "descendants",
+    "transitive_closure",
+    "Program",
+    "Assign",
+    "Expr",
+    "BinOp",
+    "UnaryOp",
+    "Name",
+    "Number",
+    "parse_program",
+    "lower_program",
+    "to_dot",
+    "validate_dfg",
+]

@@ -1,0 +1,173 @@
+"""Static analyses over precedence graphs.
+
+Implements the distance vocabulary of the paper's Definition 1:
+
+* the **source distance** ``||<-v||`` of a vertex is the sum of the delays
+  of all vertices along the longest path from the primary inputs to ``v``
+  *including v itself*;
+* the **sink distance** ``||v->||`` is the symmetric quantity toward the
+  primary outputs;
+* the **distance** ``||<-v->||`` is the longest input-to-output path
+  through ``v``; Lemma 5 of the paper gives
+  ``||<-v->|| = D(v) + max_p ||<-p|| + max_q ||q->||``, which in inclusive
+  terms is ``sdist(v) + tdist(v) - D(v)``;
+* the **diameter** ``||G||`` is the maximum distance over all vertices —
+  the critical-path length the threaded scheduler minimises online.
+
+Edge weights (interconnect delay annotations) are honoured everywhere:
+a path's length is the sum of its vertex delays plus its edge weights.
+
+Also provided are the classic HLS control-step analyses (ASAP, ALAP,
+mobility) used by the list and force-directed baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import GraphError, UnknownNodeError
+from repro.ir.dfg import DataFlowGraph
+
+
+def source_distances(dfg: DataFlowGraph) -> Dict[str, int]:
+    """``||<-v||`` for every vertex (inclusive of the vertex's own delay)."""
+    sdist: Dict[str, int] = {}
+    for node_id in dfg.topological_order():
+        best = 0
+        for edge in dfg.in_edges(node_id):
+            best = max(best, sdist[edge.src] + edge.weight)
+        sdist[node_id] = best + dfg.delay(node_id)
+    return sdist
+
+
+def sink_distances(dfg: DataFlowGraph) -> Dict[str, int]:
+    """``||v->||`` for every vertex (inclusive of the vertex's own delay)."""
+    tdist: Dict[str, int] = {}
+    for node_id in reversed(dfg.topological_order()):
+        best = 0
+        for edge in dfg.out_edges(node_id):
+            best = max(best, tdist[edge.dst] + edge.weight)
+        tdist[node_id] = best + dfg.delay(node_id)
+    return tdist
+
+
+def node_distances(dfg: DataFlowGraph) -> Dict[str, int]:
+    """``||<-v->||`` for every vertex (longest through-path)."""
+    sdist = source_distances(dfg)
+    tdist = sink_distances(dfg)
+    return {
+        node_id: sdist[node_id] + tdist[node_id] - dfg.delay(node_id)
+        for node_id in dfg.nodes()
+    }
+
+
+def diameter(dfg: DataFlowGraph) -> int:
+    """``||G||``: the critical-path length (0 for the empty graph)."""
+    if dfg.num_nodes == 0:
+        return 0
+    return max(node_distances(dfg).values())
+
+
+def critical_path(dfg: DataFlowGraph) -> List[str]:
+    """One longest input-to-output path, as an ordered node list.
+
+    Ties are broken deterministically by graph insertion order.
+    """
+    if dfg.num_nodes == 0:
+        return []
+    sdist = source_distances(dfg)
+    tdist = sink_distances(dfg)
+    distances = {
+        n: sdist[n] + tdist[n] - dfg.delay(n) for n in dfg.nodes()
+    }
+    target = max(distances.values())
+    # Start from the first source on a critical path and walk forward,
+    # always stepping to a successor that keeps the total distance.
+    start = next(
+        n
+        for n in dfg.nodes()
+        if distances[n] == target and sdist[n] == dfg.delay(n)
+    )
+    path = [start]
+    current = start
+    while True:
+        step = None
+        for edge in dfg.out_edges(current):
+            succ = edge.dst
+            if (
+                sdist[succ] == sdist[current] + edge.weight + dfg.delay(succ)
+                and distances[succ] == target
+            ):
+                step = succ
+                break
+        if step is None:
+            break
+        path.append(step)
+        current = step
+    return path
+
+
+def asap_times(dfg: DataFlowGraph) -> Dict[str, int]:
+    """Earliest start step of each operation (unconstrained resources)."""
+    sdist = source_distances(dfg)
+    return {n: sdist[n] - dfg.delay(n) for n in dfg.nodes()}
+
+
+def alap_times(dfg: DataFlowGraph, latency: Optional[int] = None) -> Dict[str, int]:
+    """Latest start steps such that the graph finishes within ``latency``.
+
+    ``latency`` defaults to the diameter (the minimum feasible latency);
+    a smaller value raises :class:`GraphError`.
+    """
+    span = diameter(dfg)
+    if latency is None:
+        latency = span
+    elif latency < span:
+        raise GraphError(
+            f"latency {latency} is below the critical path length {span}"
+        )
+    tdist = sink_distances(dfg)
+    return {n: latency - tdist[n] for n in dfg.nodes()}
+
+
+def mobility(dfg: DataFlowGraph, latency: Optional[int] = None) -> Dict[str, int]:
+    """ALAP minus ASAP start step per operation (0 = on a critical path)."""
+    asap = asap_times(dfg)
+    alap = alap_times(dfg, latency=latency)
+    return {n: alap[n] - asap[n] for n in dfg.nodes()}
+
+
+def ancestors(dfg: DataFlowGraph, node_id: str) -> Set[str]:
+    """All strict predecessors of ``node_id`` under the partial order."""
+    return set(dfg.reaching_to(node_id))
+
+
+def descendants(dfg: DataFlowGraph, node_id: str) -> Set[str]:
+    """All strict successors of ``node_id`` under the partial order."""
+    return set(dfg.reachable_from(node_id))
+
+
+def transitive_closure(dfg: DataFlowGraph) -> Dict[str, FrozenSet[str]]:
+    """Map each vertex to the frozen set of its strict descendants.
+
+    Computed in reverse topological order so each vertex unions its
+    successors' closures exactly once — O(|V| * |E|) worst case but fast
+    in practice on the sparse graphs HLS deals with.
+    """
+    closure: Dict[str, FrozenSet[str]] = {}
+    for node_id in reversed(dfg.topological_order()):
+        acc: Set[str] = set()
+        for succ in dfg.successors(node_id):
+            acc.add(succ)
+            acc |= closure[succ]
+        closure[node_id] = frozenset(acc)
+    return closure
+
+
+def precedes(
+    closure: Dict[str, FrozenSet[str]], first: str, second: str
+) -> bool:
+    """``first < second`` under a precomputed transitive closure."""
+    if first not in closure:
+        raise UnknownNodeError(first)
+    return second in closure[first]

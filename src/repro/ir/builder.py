@@ -1,0 +1,105 @@
+"""Fluent construction helper for dataflow graphs.
+
+Benchmark graphs and tests build DFGs from many small operations; the
+builder removes the id-management boilerplate:
+
+>>> from repro.ir import GraphBuilder
+>>> b = GraphBuilder("demo")
+>>> p = b.mul("p")
+>>> q = b.add("q", p)          # q consumes p's value on port 0
+>>> g = b.graph()
+>>> g.successors(p)
+['q']
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel, OpKind
+
+
+class GraphBuilder:
+    """Accumulates nodes and edges, producing a :class:`DataFlowGraph`.
+
+    Operation helpers (:meth:`add`, :meth:`mul`, ...) take optional
+    predecessor ids; each listed predecessor is wired to the next operand
+    port.  Ids are explicit (benchmarks name nodes after the paper's
+    figures) or auto-generated (``op<N>``).
+    """
+
+    def __init__(self, name: str = "", delay_model: Optional[DelayModel] = None):
+        self._dfg = DataFlowGraph(name=name, delay_model=delay_model)
+        self._counter = 0
+
+    def graph(self) -> DataFlowGraph:
+        """Return the graph built so far (shared, not copied)."""
+        return self._dfg
+
+    def _fresh_id(self) -> str:
+        self._counter += 1
+        return f"op{self._counter}"
+
+    def node(
+        self,
+        op: OpKind,
+        node_id: Optional[str] = None,
+        *preds: str,
+        delay: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Add a node of kind ``op`` fed by ``preds`` and return its id."""
+        node_id = node_id or self._fresh_id()
+        self._dfg.add_node(node_id, op, delay=delay, name=name)
+        for port, pred in enumerate(preds):
+            self._dfg.add_edge(pred, node_id, port=port)
+        return node_id
+
+    # Convenience wrappers for the common kinds. ------------------------
+
+    def add(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.ADD, node_id, *preds, **kw)
+
+    def sub(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.SUB, node_id, *preds, **kw)
+
+    def mul(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.MUL, node_id, *preds, **kw)
+
+    def div(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.DIV, node_id, *preds, **kw)
+
+    def lt(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.LT, node_id, *preds, **kw)
+
+    def load(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.LOAD, node_id, *preds, **kw)
+
+    def store(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.STORE, node_id, *preds, **kw)
+
+    def move(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.MOVE, node_id, *preds, **kw)
+
+    def wire(self, node_id: Optional[str] = None, *preds: str, **kw) -> str:
+        return self.node(OpKind.WIRE, node_id, *preds, **kw)
+
+    # Wiring helpers. ----------------------------------------------------
+
+    def edge(self, src: str, dst: str, port: Optional[int] = None, weight: int = 0):
+        """Add an explicit edge (for fan-in beyond the constructor ports)."""
+        self._dfg.add_edge(src, dst, port=port, weight=weight)
+        return self
+
+    def edges(self, pairs: Iterable[Sequence[str]]) -> "GraphBuilder":
+        """Add many ``(src, dst)`` pairs at once."""
+        for src, dst in pairs:
+            self._dfg.add_edge(src, dst)
+        return self
+
+    def chain(self, node_ids: Sequence[str]) -> "GraphBuilder":
+        """Add edges forming a path through ``node_ids`` in order."""
+        for src, dst in zip(node_ids, node_ids[1:]):
+            self._dfg.add_edge(src, dst)
+        return self

@@ -1,0 +1,68 @@
+"""Graphviz DOT export for dataflow graphs and schedules.
+
+Useful for eyeballing benchmark graphs and debugging schedules; the
+output is plain text so it needs no graphviz installation to generate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.ir.dfg import DataFlowGraph
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def to_dot(
+    dfg: DataFlowGraph,
+    start_times: Optional[Mapping[str, int]] = None,
+    threads: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Render ``dfg`` as DOT text.
+
+    ``start_times`` (e.g. a hard schedule) groups nodes into ranked rows
+    by control step; ``threads`` (a threaded schedule) colors nodes by
+    thread index.
+    """
+    lines = [f"digraph {_quote(dfg.name or 'dfg')} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [shape=circle, fontsize=10];")
+
+    palette = [
+        "lightblue",
+        "lightsalmon",
+        "palegreen",
+        "plum",
+        "khaki",
+        "lightcyan",
+        "mistyrose",
+        "lavender",
+    ]
+
+    for node in dfg.node_objects():
+        attrs = [f"label={_quote(node.id + chr(92) + 'n' + node.op.symbol)}"]
+        if threads is not None and node.id in threads:
+            color = palette[threads[node.id] % len(palette)]
+            attrs.append("style=filled")
+            attrs.append(f"fillcolor={color}")
+        lines.append(f"  {_quote(node.id)} [{', '.join(attrs)}];")
+
+    if start_times is not None:
+        by_step: Dict[int, list] = {}
+        for node_id, step in start_times.items():
+            by_step.setdefault(step, []).append(node_id)
+        for step in sorted(by_step):
+            members = " ".join(_quote(n) for n in sorted(by_step[step]))
+            lines.append(f"  {{ rank=same; {members} }}  // step {step}")
+
+    for edge in dfg.edges():
+        attrs = []
+        if edge.weight:
+            attrs.append(f"label={_quote(str(edge.weight))}")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(edge.src)} -> {_quote(edge.dst)}{attr_text};")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

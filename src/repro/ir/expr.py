@@ -1,0 +1,121 @@
+"""Expression AST for the behavioral frontend.
+
+The frontend accepts straight-line arithmetic code — the basic-block /
+superblock granularity at which the paper's schedulers operate — e.g. the
+HAL differential-equation body::
+
+    x1 = x + dx
+    u1 = u - (3 * x * u * dx) - (3 * y * dx)
+    y1 = y + u * dx
+    c  = x1 < a
+
+An AST keeps the parser (:mod:`repro.ir.parser`) and the lowering pass
+(:mod:`repro.ir.lowering`) independent and separately testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable reference."""
+
+    ident: str
+
+    def __str__(self):
+        return self.ident
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation; ``op`` is the surface operator token."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self):
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operation (``-`` or ``~``)."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self):
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """One statement: ``target = expr``."""
+
+    target: str
+    expr: Expr
+
+    def __str__(self):
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered sequence of assignments (one basic block)."""
+
+    statements: Tuple[Assign, ...]
+
+    def __str__(self):
+        return "\n".join(str(stmt) for stmt in self.statements)
+
+    @classmethod
+    def of(cls, statements: List[Assign]) -> "Program":
+        return cls(tuple(statements))
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, depth first, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+ExprLike = Union[Expr, int, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce ints to :class:`Number` and strings to :class:`Name`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Number(value)
+    if isinstance(value, str):
+        return Name(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")

@@ -1,0 +1,209 @@
+"""Lowering from the expression AST to a dataflow graph.
+
+Straight-line code is in (trivial) SSA form after renaming: each
+assignment defines a fresh value, and later reads of the same variable
+refer to the most recent definition.  External variables (read before any
+definition) become free inputs; they carry no graph node, only port
+bookkeeping, matching how the benchmark DFGs in the literature are drawn
+(primary inputs are implicit).
+
+Constants are treated like external inputs by default (hardware would
+source them from the instruction word or a small ROM); pass
+``materialize_constants=True`` to create explicit zero-delay CONST nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.expr import Assign, BinOp, Expr, Name, Number, Program, UnaryOp
+from repro.ir.ops import DelayModel, OpKind
+
+_BINOPS: Dict[str, OpKind] = {
+    "+": OpKind.ADD,
+    "-": OpKind.SUB,
+    "*": OpKind.MUL,
+    "/": OpKind.DIV,
+    "<": OpKind.LT,
+    "<=": OpKind.LE,
+    ">": OpKind.GT,
+    ">=": OpKind.GE,
+    "==": OpKind.EQ,
+    "!=": OpKind.NE,
+    "&": OpKind.AND,
+    "|": OpKind.OR,
+    "^": OpKind.XOR,
+    "<<": OpKind.SHL,
+    ">>": OpKind.SHR,
+}
+
+_UNOPS: Dict[str, OpKind] = {
+    "-": OpKind.NEG,
+    "~": OpKind.NOT,
+}
+
+
+@dataclass
+class LoweringResult:
+    """Output of :func:`lower_program`.
+
+    Attributes
+    ----------
+    dfg:
+        The dataflow graph; node ids are ``t1, t2, ...`` in evaluation
+        order, with ``name`` set to the defined variable where applicable.
+    outputs:
+        Final definition of each assigned variable — variable name to the
+        node id computing it (or ``None`` when the definition is a plain
+        copy of an input/constant).
+    inputs:
+        For each free input, the list of ``(node_id, port)`` consumers.
+    constants:
+        Same bookkeeping for literal operands (empty when constants are
+        materialized as nodes).
+    """
+
+    dfg: DataFlowGraph
+    outputs: Dict[str, Optional[str]] = field(default_factory=dict)
+    inputs: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    constants: Dict[int, List[Tuple[str, int]]] = field(default_factory=dict)
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        name: str,
+        delay_model: Optional[DelayModel],
+        materialize_constants: bool,
+    ):
+        self.result = LoweringResult(
+            dfg=DataFlowGraph(name=name, delay_model=delay_model)
+        )
+        self._definitions: Dict[str, Optional[str]] = {}
+        self._materialize_constants = materialize_constants
+        self._counter = 0
+        self._const_nodes: Dict[int, str] = {}
+        # Variables that are plain copies: name -> root input name or
+        # literal value (resolved transitively at definition time).
+        self._input_aliases: Dict[str, str] = {}
+        self._const_aliases: Dict[str, int] = {}
+
+    def _fresh_id(self) -> str:
+        self._counter += 1
+        return f"t{self._counter}"
+
+    def lower(self, program: Program) -> LoweringResult:
+        for statement in program.statements:
+            self._lower_statement(statement)
+        self.result.outputs = dict(self._definitions)
+        return self.result
+
+    def _lower_statement(self, statement: Assign) -> None:
+        value = self._lower_expr(statement.expr)
+        self._definitions[statement.target] = value
+        if value is None:
+            # A plain copy: remember what it aliases so later reads
+            # resolve to the root input / literal.
+            expr = statement.expr
+            if isinstance(expr, Name):
+                if expr.ident in self._const_aliases:
+                    self._const_aliases[statement.target] = (
+                        self._const_aliases[expr.ident]
+                    )
+                else:
+                    self._input_aliases[statement.target] = (
+                        self._input_aliases.get(expr.ident, expr.ident)
+                    )
+            elif isinstance(expr, Number):
+                self._const_aliases[statement.target] = expr.value
+        else:
+            node = self.result.dfg.node(value)
+            if node.name is None:
+                node.name = statement.target
+
+    def _lower_expr(self, expr: Expr) -> Optional[str]:
+        """Return the node id producing ``expr``, or ``None`` for frees.
+
+        ``None`` means "comes from outside the block" (input or literal);
+        the caller records port bookkeeping through :meth:`_wire_operand`.
+        """
+        if isinstance(expr, BinOp):
+            kind = _BINOPS.get(expr.op)
+            if kind is None:
+                raise ParseError(f"unsupported operator {expr.op!r}")
+            node_id = self.result.dfg.add_node(self._fresh_id(), kind).id
+            self._wire_operand(expr.lhs, node_id, port=0)
+            self._wire_operand(expr.rhs, node_id, port=1)
+            return node_id
+        if isinstance(expr, UnaryOp):
+            kind = _UNOPS.get(expr.op)
+            if kind is None:
+                raise ParseError(f"unsupported unary operator {expr.op!r}")
+            node_id = self.result.dfg.add_node(self._fresh_id(), kind).id
+            self._wire_operand(expr.operand, node_id, port=0)
+            return node_id
+        if isinstance(expr, Name):
+            return self._definitions.get(expr.ident)
+        if isinstance(expr, Number):
+            if self._materialize_constants:
+                return self._const_node(expr.value)
+            return None
+        raise ParseError(f"cannot lower expression {expr!r}")
+
+    def _const_node(self, value: int) -> str:
+        node_id = self._const_nodes.get(value)
+        if node_id is None:
+            node_id = self.result.dfg.add_node(
+                f"c{value}", OpKind.CONST, name=str(value)
+            ).id
+            self._const_nodes[value] = node_id
+        return node_id
+
+    def _wire_operand(self, operand: Expr, consumer: str, port: int) -> None:
+        if isinstance(operand, Name) and operand.ident not in self._definitions:
+            self.result.inputs.setdefault(operand.ident, []).append(
+                (consumer, port)
+            )
+            return
+        if isinstance(operand, Number) and not self._materialize_constants:
+            self.result.constants.setdefault(operand.value, []).append(
+                (consumer, port)
+            )
+            return
+        producer = self._lower_expr(operand)
+        if producer is None:
+            # A variable defined as a plain copy of an input/constant:
+            # resolve through the alias chain to the root free value.
+            if isinstance(operand, Name):
+                if operand.ident in self._const_aliases:
+                    value = self._const_aliases[operand.ident]
+                    if self._materialize_constants:
+                        self.result.dfg.add_edge(
+                            self._const_node(value), consumer, port=port
+                        )
+                    else:
+                        self.result.constants.setdefault(value, []).append(
+                            (consumer, port)
+                        )
+                    return
+                root = self._input_aliases.get(operand.ident, operand.ident)
+                self.result.inputs.setdefault(root, []).append(
+                    (consumer, port)
+                )
+                return
+            raise ParseError(f"operand {operand!r} has no producer")
+        self.result.dfg.add_edge(producer, consumer, port=port)
+
+
+def lower_program(
+    program: Program,
+    name: str = "block",
+    delay_model: Optional[DelayModel] = None,
+    materialize_constants: bool = False,
+) -> LoweringResult:
+    """Lower a parsed :class:`Program` into a :class:`DataFlowGraph`."""
+    lowerer = _Lowerer(name, delay_model, materialize_constants)
+    return lowerer.lower(program)

@@ -1,0 +1,208 @@
+"""Recursive-descent parser for the behavioral frontend.
+
+Grammar (one basic block of straight-line code)::
+
+    program    := statement*
+    statement  := NAME '=' expr (';' | NEWLINE)
+    expr       := comparison
+    comparison := bitor (('<'|'<='|'>'|'>='|'=='|'!=') bitor)?
+    bitor      := bitxor ('|' bitxor)*
+    bitxor     := bitand ('^' bitand)*
+    bitand     := shift ('&' shift)*
+    shift      := additive (('<<'|'>>') additive)*
+    additive   := term (('+'|'-') term)*
+    term       := unary (('*'|'/') unary)*
+    unary      := ('-'|'~') unary | atom
+    atom       := NAME | NUMBER | '(' expr ')'
+
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ParseError
+from repro.ir.expr import Assign, BinOp, Expr, Name, Number, Program, UnaryOp
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<ws>[ \t\r]+)
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><<|>>|<=|>=|==|!=|[-+*/<>=&|^~();])
+    """,
+    re.VERBOSE,
+)
+
+_STATEMENT_END = {"newline", "semicolon"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens; raises :class:`ParseError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(
+                f"unexpected character {source[pos]!r}", line=line, column=column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        if kind == "newline":
+            tokens.append(Token("newline", text, line, column))
+            line += 1
+            line_start = match.end()
+        elif kind == "op":
+            name = "semicolon" if text == ";" else "op"
+            tokens.append(Token(name, text, line, column))
+        elif kind in ("name", "number"):
+            tokens.append(Token(kind, text, line, column))
+        # comments and whitespace are skipped
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect_op(self, text: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != "op" or token.text != text:
+            found = token.text if token else "end of input"
+            line = token.line if token else None
+            raise ParseError(f"expected {text!r}, found {found!r}", line=line)
+        return self._advance()
+
+    def _skip_separators(self) -> None:
+        while True:
+            token = self._peek()
+            if token is not None and token.kind in _STATEMENT_END:
+                self._advance()
+            else:
+                return
+
+    def parse_program(self) -> Program:
+        statements: List[Assign] = []
+        self._skip_separators()
+        while self._peek() is not None:
+            statements.append(self._parse_statement())
+            self._skip_separators()
+        return Program.of(statements)
+
+    def _parse_statement(self) -> Assign:
+        token = self._peek()
+        if token is None or token.kind != "name":
+            found = token.text if token else "end of input"
+            line = token.line if token else None
+            raise ParseError(
+                f"expected an assignment target, found {found!r}", line=line
+            )
+        target = self._advance().text
+        self._expect_op("=")
+        expr = self._parse_expr()
+        end = self._peek()
+        if end is not None and end.kind not in _STATEMENT_END:
+            raise ParseError(
+                f"expected end of statement, found {end.text!r}", line=end.line
+            )
+        return Assign(target=target, expr=expr)
+
+    # Precedence-climbing levels. ---------------------------------------
+
+    def _binary_level(self, operators, next_level) -> Expr:
+        expr = next_level()
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "op" or token.text not in operators:
+                return expr
+            op = self._advance().text
+            rhs = next_level()
+            expr = BinOp(op=op, lhs=expr, rhs=rhs)
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        expr = self._binary_level({"|"}, self._parse_bitxor)
+        token = self._peek()
+        comparisons = {"<", "<=", ">", ">=", "==", "!="}
+        if token is not None and token.kind == "op" and token.text in comparisons:
+            op = self._advance().text
+            rhs = self._binary_level({"|"}, self._parse_bitxor)
+            return BinOp(op=op, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_bitxor(self) -> Expr:
+        return self._binary_level({"^"}, self._parse_bitand)
+
+    def _parse_bitand(self) -> Expr:
+        return self._binary_level({"&"}, self._parse_shift)
+
+    def _parse_shift(self) -> Expr:
+        return self._binary_level({"<<", ">>"}, self._parse_additive)
+
+    def _parse_additive(self) -> Expr:
+        return self._binary_level({"+", "-"}, self._parse_term)
+
+    def _parse_term(self) -> Expr:
+        return self._binary_level({"*", "/"}, self._parse_unary)
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text in ("-", "~"):
+            op = self._advance().text
+            return UnaryOp(op=op, operand=self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in expression")
+        if token.kind == "name":
+            return Name(self._advance().text)
+        if token.kind == "number":
+            return Number(int(self._advance().text))
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression", line=token.line
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse straight-line behavioral code into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

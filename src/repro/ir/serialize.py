@@ -1,0 +1,128 @@
+"""JSON (de)serialization of graphs and schedules.
+
+A downstream user needs to move workloads and results in and out of the
+library; plain-dict JSON keeps that dependency-free and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import GraphError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+
+_FORMAT = "repro-dfg-v1"
+_SCHEDULE_FORMAT = "repro-schedule-v1"
+
+
+def dfg_to_dict(dfg: DataFlowGraph) -> Dict[str, Any]:
+    """Plain-dict form of a graph (stable key order)."""
+    return {
+        "format": _FORMAT,
+        "name": dfg.name,
+        "nodes": [
+            {
+                "id": node.id,
+                "op": node.op.value,
+                "delay": node.delay,
+                **({"name": node.name} if node.name else {}),
+            }
+            for node in dfg.node_objects()
+        ],
+        "edges": [
+            {
+                "src": edge.src,
+                "dst": edge.dst,
+                **({"port": edge.port} if edge.port is not None else {}),
+                **({"weight": edge.weight} if edge.weight else {}),
+            }
+            for edge in dfg.edges()
+        ],
+    }
+
+
+def dfg_from_dict(data: Dict[str, Any]) -> DataFlowGraph:
+    """Rebuild a graph from :func:`dfg_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise GraphError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    dfg = DataFlowGraph(name=data.get("name", ""))
+    for node in data.get("nodes", []):
+        dfg.add_node(
+            node["id"],
+            OpKind(node["op"]),
+            delay=node["delay"],
+            name=node.get("name"),
+        )
+    for edge in data.get("edges", []):
+        dfg.add_edge(
+            edge["src"],
+            edge["dst"],
+            port=edge.get("port"),
+            weight=edge.get("weight", 0),
+        )
+    return dfg
+
+
+def dumps_dfg(dfg: DataFlowGraph, indent: Optional[int] = 2) -> str:
+    return json.dumps(dfg_to_dict(dfg), indent=indent)
+
+
+def loads_dfg(text: str) -> DataFlowGraph:
+    return dfg_from_dict(json.loads(text))
+
+
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """Plain-dict form of a hard schedule (graph embedded)."""
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "algorithm": schedule.algorithm,
+        "length": schedule.length,
+        "graph": dfg_to_dict(schedule.dfg),
+        "start_times": dict(schedule.start_times),
+        "binding": {
+            node_id: [fu_type.name, index]
+            for node_id, (fu_type, index) in schedule.binding.items()
+        },
+        "resources": (
+            schedule.resources.notation() if schedule.resources else None
+        ),
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]):
+    """Rebuild a Schedule from :func:`schedule_to_dict` output."""
+    from repro.scheduling.base import Schedule
+    from repro.scheduling.resources import FU_TYPES, ResourceSet
+
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise GraphError(
+            f"not a {_SCHEDULE_FORMAT} document "
+            f"(format={data.get('format')!r})"
+        )
+    dfg = dfg_from_dict(data["graph"])
+    binding = {
+        node_id: (FU_TYPES[type_name], index)
+        for node_id, (type_name, index) in data.get("binding", {}).items()
+    }
+    resources = (
+        ResourceSet.parse(data["resources"]) if data.get("resources") else None
+    )
+    return Schedule(
+        dfg=dfg,
+        start_times=dict(data["start_times"]),
+        binding=binding,
+        resources=resources,
+        algorithm=data.get("algorithm", ""),
+    )
+
+
+def dumps_schedule(schedule, indent: Optional[int] = 2) -> str:
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def loads_schedule(text: str):
+    return schedule_from_dict(json.loads(text))

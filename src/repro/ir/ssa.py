@@ -1,0 +1,131 @@
+"""Loop SSA construction: the paper's phi-node scenario, executable.
+
+Section 1 of the paper: "the φ nodes, as artifacts of static single
+assignment (SSA) analysis, can be resolved to either register moves or
+void operation only after register allocation."  This module builds
+exactly those artifacts for the common HLS case — a single loop body:
+
+* variables that are both *read* and *re-assigned* by the body are
+  loop-carried; each gets a :attr:`OpKind.PHI` node at the top of the
+  body DFG selecting between the loop-entry value (a free input) and
+  the previous iteration's value;
+* the previous-iteration wiring is a *back edge* with iteration
+  distance 1 — recorded in :attr:`LoopSSA.back_edges` rather than as a
+  DFG edge (the body DFG stays acyclic).
+
+The scheduler schedules the PHIs like any ALU op; after register
+allocation, :func:`repro.core.refine.resolve_phi` turns each into a
+register move (different registers) or a zero-delay no-op (coalesced) —
+refining the *soft* schedule without invalidating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.expr import Assign, Name, Program, walk
+from repro.ir.lowering import LoweringResult, lower_program
+from repro.ir.ops import DelayModel, OpKind
+
+
+@dataclass
+class LoopSSA:
+    """SSA form of one loop body.
+
+    Attributes
+    ----------
+    dfg:
+        The acyclic body DFG, including one PHI node per loop-carried
+        variable (in-degree 0 or 1: the loop-entry value is a free
+        input; the recurrence arrives via ``back_edges``).
+    phis:
+        Variable name -> PHI node id.
+    back_edges:
+        PHI node id -> node id computing the variable's next-iteration
+        value (iteration distance 1).
+    lowering:
+        The underlying straight-line lowering result.
+    """
+
+    dfg: DataFlowGraph
+    phis: Dict[str, str] = field(default_factory=dict)
+    back_edges: Dict[str, str] = field(default_factory=dict)
+    lowering: Optional[LoweringResult] = None
+
+    def loop_carried_variables(self) -> List[str]:
+        return list(self.phis)
+
+
+def _reads_and_writes(program: Program) -> Tuple[Set[str], Set[str]]:
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    defined: Set[str] = set()
+    for statement in program.statements:
+        for expr in walk(statement.expr):
+            if isinstance(expr, Name):
+                # A read of a name not yet defined in this body reads
+                # the value flowing in from before the statement.
+                if expr.ident not in defined:
+                    reads.add(expr.ident)
+        writes.add(statement.target)
+        defined.add(statement.target)
+    return reads, writes
+
+
+def loop_ssa(
+    program: Program,
+    name: str = "loop",
+    delay_model: Optional[DelayModel] = None,
+) -> LoopSSA:
+    """Build SSA for a loop whose body is ``program``.
+
+    Loop-carried variables are those read (before any body definition)
+    *and* re-assigned by the body.  Each becomes a PHI whose first
+    operand is the loop-entry value (free input ``<var>``) and whose
+    recurrence operand is the body's final definition, recorded as a
+    distance-1 back edge.
+    """
+    reads, writes = _reads_and_writes(program)
+    carried = sorted(reads & writes)
+
+    lowering = lower_program(program, name=name, delay_model=delay_model)
+    dfg = lowering.dfg
+
+    result = LoopSSA(dfg=dfg, lowering=lowering)
+    for variable in carried:
+        phi_id = f"phi_{variable}"
+        if phi_id in dfg:
+            raise ParseError(f"phi id collision for {variable!r}")
+        dfg.add_node(phi_id, OpKind.PHI, name=f"phi({variable})")
+        result.phis[variable] = phi_id
+        # Reads of the entry value now come from the phi: rewire the
+        # free-input consumers the lowering recorded.
+        for consumer, port in lowering.inputs.pop(variable, []):
+            dfg.add_edge(phi_id, consumer, port=port)
+        final_def = lowering.outputs.get(variable)
+        if final_def is not None:
+            result.back_edges[phi_id] = final_def
+    return result
+
+
+def resolve_all_phis(ssa: LoopSSA, register_of: Dict[str, int]) -> Dict[str, str]:
+    """Decide each PHI's fate from a register allocation.
+
+    A PHI whose entry/recurrence values land in the same register is a
+    void operation (``"nop"``); otherwise it is a register move
+    (``"move"``).  Returns phi id -> decision; apply the decisions to a
+    live schedule with :func:`repro.core.refine.resolve_phi`.
+    """
+    decisions: Dict[str, str] = {}
+    for variable, phi_id in ssa.phis.items():
+        source = ssa.back_edges.get(phi_id)
+        same = (
+            source is not None
+            and register_of.get(phi_id) is not None
+            and register_of.get(phi_id) == register_of.get(source)
+        )
+        decisions[phi_id] = "nop" if same else "move"
+    return decisions

@@ -1,0 +1,66 @@
+"""Well-formedness checks for dataflow graphs.
+
+:func:`validate_dfg` returns a list of human-readable problems (empty
+means valid) and optionally raises.  It is used by the benchmark registry
+(every shipped graph must validate) and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import GraphError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+
+# Maximum operand count per op kind; None = unbounded (e.g. NOP joins).
+_MAX_ARITY: Dict[OpKind, int] = {
+    OpKind.NEG: 1,
+    OpKind.NOT: 1,
+    OpKind.MOVE: 1,
+    OpKind.WIRE: 1,
+    OpKind.CONST: 0,
+}
+
+
+def validate_dfg(dfg: DataFlowGraph, raise_on_error: bool = True) -> List[str]:
+    """Check structural well-formedness of ``dfg``.
+
+    Checks: acyclicity, port uniqueness per consumer, arity limits for
+    single-operand ops, non-negative delays and weights.
+    """
+    problems: List[str] = []
+
+    cycle = dfg.find_cycle()
+    if cycle is not None:
+        problems.append("graph has a cycle: " + " -> ".join(cycle))
+
+    for node in dfg.node_objects():
+        if node.delay < 0:
+            problems.append(f"node {node.id} has negative delay {node.delay}")
+        max_arity = _MAX_ARITY.get(node.op)
+        if max_arity is not None and dfg.in_degree(node.id) > max_arity:
+            problems.append(
+                f"node {node.id} ({node.op.name}) has "
+                f"{dfg.in_degree(node.id)} operands, at most {max_arity} allowed"
+            )
+
+    seen_ports: Dict[Tuple[str, int], str] = {}
+    for edge in dfg.edges():
+        if edge.weight < 0:
+            problems.append(
+                f"edge {edge.src}->{edge.dst} has negative weight {edge.weight}"
+            )
+        if edge.port is not None:
+            key = (edge.dst, edge.port)
+            if key in seen_ports:
+                problems.append(
+                    f"port {edge.port} of {edge.dst} driven by both "
+                    f"{seen_ports[key]} and {edge.src}"
+                )
+            else:
+                seen_ports[key] = edge.src
+
+    if problems and raise_on_error:
+        raise GraphError("; ".join(problems))
+    return problems

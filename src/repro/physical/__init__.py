@@ -1,0 +1,22 @@
+"""Physical design substrate: floorplanning and wire-delay modelling.
+
+The paper's second phase-coupling scenario: "the interconnect delay can
+be determined only after place and route, which in turn can be performed
+[only after] HLS is performed."  This package closes that loop for the
+experiments: a toy grid floorplanner places functional units and
+register files, a Manhattan wire model turns distances into cycle
+delays, and :mod:`repro.physical.annotate` feeds those delays back into
+a schedule — hard (requiring repair) or soft (absorbed by refinement).
+"""
+
+from repro.physical.floorplan import Floorplan, grid_floorplan
+from repro.physical.wire_model import WireModel
+from repro.physical.annotate import wire_delays_for_state, annotate_schedule
+
+__all__ = [
+    "Floorplan",
+    "grid_floorplan",
+    "WireModel",
+    "wire_delays_for_state",
+    "annotate_schedule",
+]

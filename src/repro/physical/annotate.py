@@ -1,0 +1,108 @@
+"""Back-annotation of wire delays into schedules.
+
+Connects the physical substrate to scheduling:
+
+* :func:`wire_delays_for_state` — given a threaded state (whose threads
+  *are* units) and a floorplan of those units, compute the extra delay
+  of every cross-unit DFG edge.
+* :func:`annotate_schedule` — the hard-schedule counterpart used by the
+  comparison experiments: returns the repaired start times obtained by
+  pushing every consumer past its annotated wire delay (the "trivial
+  fix" of Figure 1(d)), along with the new length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.threaded_graph import ThreadedGraph
+from repro.physical.floorplan import Floorplan
+from repro.physical.wire_model import WireModel
+from repro.scheduling.base import Schedule
+
+
+def wire_delays_for_state(
+    state: ThreadedGraph,
+    floorplan: Floorplan,
+    model: Optional[WireModel] = None,
+) -> Dict[Tuple[str, str], int]:
+    """Extra delay per DFG edge whose endpoints sit on different units.
+
+    Thread index ``k`` maps to the unit label of ``state.specs[k]``.
+    Edges touching free vertices or unscheduled ops get no annotation.
+    """
+    model = model or WireModel()
+    delays: Dict[Tuple[str, str], int] = {}
+    for edge in state.dfg.edges():
+        if edge.src not in state or edge.dst not in state:
+            continue
+        src_thread = state.thread_of(edge.src)
+        dst_thread = state.thread_of(edge.dst)
+        if src_thread is None or dst_thread is None:
+            continue
+        if src_thread == dst_thread:
+            continue  # same unit: local feedback path, no global wire
+        src_label = state.specs[src_thread].label
+        dst_label = state.specs[dst_thread].label
+        delay = model.delay_between(floorplan, src_label, dst_label)
+        if delay > 0:
+            delays[(edge.src, edge.dst)] = delay
+    return delays
+
+
+def annotate_schedule(
+    schedule: Schedule,
+    delays: Dict[Tuple[str, str], int],
+) -> Schedule:
+    """Repair a *hard* schedule for annotated wire delays.
+
+    The classic fix the paper criticises: keep the relative order and
+    push every operation down until all annotated edges have enough
+    slack (longest-path over the original precedence plus annotations,
+    with the original start order preserved as extra precedence so the
+    binding stays valid).  Returns a new Schedule; the original is
+    untouched.
+    """
+    dfg = schedule.dfg
+    order = sorted(
+        schedule.start_times, key=lambda n: (schedule.start(n), n)
+    )
+    new_times: Dict[str, int] = {}
+    # Same-unit serialization edges derived from the binding.
+    unit_prev: Dict[Tuple[str, int], str] = {}
+    serial: Dict[str, str] = {}
+    for node_id in order:
+        unit = schedule.binding.get(node_id)
+        if unit is not None:
+            key = (unit[0].name, unit[1])
+            if key in unit_prev:
+                serial[node_id] = unit_prev[key]
+            unit_prev[key] = node_id
+
+    for node_id in order:
+        earliest = schedule.start(node_id)  # never move an op earlier
+        for edge in dfg.in_edges(node_id):
+            if edge.src not in new_times:
+                continue
+            extra = delays.get((edge.src, edge.dst), 0)
+            earliest = max(
+                earliest,
+                new_times[edge.src]
+                + dfg.delay(edge.src)
+                + edge.weight
+                + extra,
+            )
+        if node_id in serial and serial[node_id] in new_times:
+            prev = serial[node_id]
+            earliest = max(
+                earliest, new_times[prev] + max(1, dfg.delay(prev))
+            )
+        new_times[node_id] = earliest
+
+    return Schedule(
+        dfg=dfg,
+        start_times=new_times,
+        binding=dict(schedule.binding),
+        resources=schedule.resources,
+        algorithm=f"{schedule.algorithm}+wire-repair",
+    )

@@ -1,0 +1,104 @@
+"""A toy slicing floorplanner for datapath blocks.
+
+Functional units (one per thread / unit instance) are placed on an
+integer grid, largest units first, in a boustrophedon (snake) order.
+The point is not layout quality — it is to produce *deterministic,
+distance-dependent* wire lengths so the deep-submicron experiments have
+a physical substrate to couple against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PhysicalError
+
+#: Relative footprint (grid cells) per functional-unit type name.
+DEFAULT_AREAS: Dict[str, int] = {
+    "mul": 4,
+    "alu": 2,
+    "mem": 3,
+}
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A unit instance at a grid position (cell centre)."""
+
+    label: str
+    x: float
+    y: float
+    area: int
+
+
+@dataclass
+class Floorplan:
+    """Positions of every placed unit, by label."""
+
+    placements: Dict[str, Placement] = field(default_factory=dict)
+    width: int = 0
+    height: int = 0
+
+    def position(self, label: str) -> Tuple[float, float]:
+        placement = self.placements.get(label)
+        if placement is None:
+            raise PhysicalError(f"unit {label!r} is not placed")
+        return placement.x, placement.y
+
+    def distance(self, first: str, second: str) -> float:
+        """Manhattan distance between two placed units."""
+        x1, y1 = self.position(first)
+        x2, y2 = self.position(second)
+        return abs(x1 - x2) + abs(y1 - y2)
+
+    def __repr__(self):
+        return (
+            f"Floorplan({len(self.placements)} units, "
+            f"{self.width}x{self.height})"
+        )
+
+
+def grid_floorplan(
+    unit_labels: Sequence[str],
+    areas: Optional[Dict[str, int]] = None,
+) -> Floorplan:
+    """Place units on a near-square grid, largest first, snake order.
+
+    ``unit_labels`` look like ``"mul0"``, ``"alu1"``; the type prefix
+    selects the footprint from ``areas`` (default: multipliers 4 cells,
+    ALUs 2, memory ports 3).
+    """
+    if not unit_labels:
+        raise PhysicalError("nothing to place")
+    areas = {**DEFAULT_AREAS, **(areas or {})}
+
+    def area_of(label: str) -> int:
+        prefix = label.rstrip("0123456789")
+        return areas.get(prefix, 2)
+
+    ordered = sorted(
+        unit_labels, key=lambda lab: (-area_of(lab), lab)
+    )
+    total_area = sum(area_of(lab) for lab in ordered)
+    width = max(1, int(math.ceil(math.sqrt(total_area))))
+
+    plan = Floorplan(width=width)
+    x = y = 0
+    direction = 1
+    for label in ordered:
+        area = area_of(label)
+        span = max(1, area // 2)
+        if (direction > 0 and x + span > width) or (
+            direction < 0 and x - span < 0
+        ):
+            y += 2
+            direction = -direction
+        centre_x = x + direction * (span / 2.0)
+        plan.placements[label] = Placement(
+            label=label, x=centre_x, y=y + 1.0, area=area
+        )
+        x += direction * span
+    plan.height = y + 2
+    return plan

@@ -1,0 +1,41 @@
+"""Wire delay estimation from floorplan distances.
+
+A linear-with-threshold model: wires shorter than ``free_length`` fit in
+the producing cycle (delay 0); beyond that, every ``cells_per_cycle``
+grid cells of Manhattan distance cost one extra control step.  Linear
+delay is the standard first-order model for buffered deep-submicron
+interconnect; the threshold reflects that short local wires were exactly
+what pre-DSM timing models already accounted for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PhysicalError
+from repro.physical.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Distance -> extra control steps."""
+
+    free_length: float = 2.0
+    cells_per_cycle: float = 4.0
+
+    def delay_for_distance(self, distance: float) -> int:
+        if distance < 0:
+            raise PhysicalError(f"negative distance {distance}")
+        if self.cells_per_cycle <= 0:
+            raise PhysicalError("cells_per_cycle must be positive")
+        excess = distance - self.free_length
+        if excess <= 0:
+            return 0
+        return int(math.ceil(excess / self.cells_per_cycle))
+
+    def delay_between(
+        self, floorplan: Floorplan, first: str, second: str
+    ) -> int:
+        """Extra steps for a transfer between two placed units."""
+        return self.delay_for_distance(floorplan.distance(first, second))

@@ -1,0 +1,21 @@
+"""RTL output generation: controller FSM, datapath netlist, Verilog.
+
+High-level synthesis "computes an optimal microarchitecture, typically
+composed of a datapath and a controller" (paper Section 1).  This
+package emits that microarchitecture from a bound hard schedule: a
+Moore FSM with one state per control step, a structural datapath
+netlist (units, registers, muxes), and a toy-but-legal Verilog dump of
+both.
+"""
+
+from repro.rtl.fsm import Controller, build_controller
+from repro.rtl.datapath import Datapath, build_datapath
+from repro.rtl.verilog import emit_verilog
+
+__all__ = [
+    "Controller",
+    "build_controller",
+    "Datapath",
+    "build_datapath",
+    "emit_verilog",
+]

@@ -1,0 +1,117 @@
+"""Structural datapath netlist from a bound schedule + allocation.
+
+Components: one functional unit per binding target, one register per
+allocated register, and one mux per unit operand port with more than
+one distinct source.  The netlist is purely structural — enough to
+count area-relevant objects and to emit Verilog — not a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import RTLError
+from repro.allocation.left_edge import RegisterAllocation
+from repro.scheduling.base import Schedule
+
+
+@dataclass(frozen=True)
+class Mux:
+    """A multiplexer feeding one operand port of a unit."""
+
+    unit: str
+    port: int
+    sources: Tuple[str, ...]
+
+    @property
+    def ways(self) -> int:
+        return len(self.sources)
+
+
+@dataclass
+class Datapath:
+    """The structural netlist."""
+
+    units: List[str] = field(default_factory=list)
+    registers: List[str] = field(default_factory=list)
+    muxes: List[Mux] = field(default_factory=list)
+    #: (source register/input) -> destination (unit port / register).
+    connections: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def mux_ways_total(self) -> int:
+        return sum(m.ways for m in self.muxes)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.units)} units, {len(self.registers)} registers, "
+            f"{len(self.muxes)} muxes ({self.mux_ways_total} ways)"
+        )
+
+
+def build_datapath(
+    schedule: Schedule,
+    allocation: Optional[RegisterAllocation] = None,
+) -> Datapath:
+    """Build the netlist for a bound hard schedule.
+
+    Values without an allocated register (no allocation given) get a
+    dedicated register each — the pre-allocation datapath.
+    """
+    if not schedule.binding:
+        raise RTLError("datapath needs a bound schedule")
+    dfg = schedule.dfg
+    datapath = Datapath()
+
+    unit_labels: Set[str] = set()
+    for fu_type, index in schedule.binding.values():
+        unit_labels.add(f"{fu_type.name}{index}")
+    datapath.units = sorted(unit_labels)
+
+    def register_of(value_id: str) -> str:
+        if allocation is not None and value_id in allocation.register_of:
+            return f"r{allocation.register_of[value_id]}"
+        return f"r_{value_id}"
+
+    registers: Set[str] = set()
+    for node_id in schedule.start_times:
+        if dfg.node(node_id).op.is_structural:
+            continue
+        registers.add(register_of(node_id))
+    datapath.registers = sorted(registers)
+
+    def unit_label(node_id: str) -> Optional[str]:
+        unit = schedule.binding.get(node_id)
+        if unit is None:
+            return None
+        return f"{unit[0].name}{unit[1]}"
+
+    port_sources: Dict[Tuple[str, int], Set[str]] = {}
+    for edge in dfg.edges():
+        dst_unit = unit_label(edge.dst)
+        if dst_unit is None:
+            continue
+        src_name = (
+            register_of(edge.src)
+            if not dfg.node(edge.src).op.is_structural
+            else f"w_{edge.src}"
+        )
+        port = edge.port if edge.port is not None else 0
+        port_sources.setdefault((dst_unit, port), set()).add(src_name)
+
+    for (unit, port), sources in sorted(port_sources.items()):
+        ordered = tuple(sorted(sources))
+        if len(ordered) > 1:
+            datapath.muxes.append(Mux(unit=unit, port=port, sources=ordered))
+            for src in ordered:
+                datapath.connections.append((src, f"{unit}.in{port}"))
+        else:
+            datapath.connections.append((ordered[0], f"{unit}.in{port}"))
+
+    # Unit outputs drive the registers of the values they compute.
+    for node_id in sorted(schedule.start_times):
+        unit = unit_label(node_id)
+        if unit is not None:
+            datapath.connections.append((f"{unit}.out", register_of(node_id)))
+    return datapath

@@ -1,0 +1,74 @@
+"""Controller generation: one FSM state per control step.
+
+The FSM is a straight-line Moore machine (one basic block): state ``i``
+asserts the control signals of every operation *starting* at step ``i``
+and advances to state ``i + 1``; the last state loops back to 0 (block
+restart).  Multi-cycle operations assert a busy signal in their later
+steps so the datapath holds their operand registers stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import RTLError
+from repro.scheduling.base import Schedule
+
+
+@dataclass(frozen=True)
+class ControlSignal:
+    """One asserted signal: start (or hold) of an op on its unit."""
+
+    op: str
+    unit: str
+    kind: str  # "start" | "hold"
+
+
+@dataclass
+class Controller:
+    """A Moore FSM over the schedule's control steps."""
+
+    num_states: int
+    #: state index -> asserted signals, deterministic order.
+    signals: Dict[int, List[ControlSignal]] = field(default_factory=dict)
+
+    def state_signals(self, state: int) -> List[ControlSignal]:
+        return self.signals.get(state, [])
+
+    @property
+    def signal_count(self) -> int:
+        return sum(len(sigs) for sigs in self.signals.values())
+
+
+def build_controller(schedule: Schedule) -> Controller:
+    """Build the FSM for a hard schedule (requires start times)."""
+    if not schedule.start_times:
+        raise RTLError("cannot build a controller for an empty schedule")
+    dfg = schedule.dfg
+    controller = Controller(num_states=schedule.length)
+
+    for node_id in sorted(schedule.start_times):
+        node = dfg.node(node_id)
+        start = schedule.start(node_id)
+        unit = "wire" if node.op.is_structural else _unit_label(
+            schedule, node_id
+        )
+        controller.signals.setdefault(start, []).append(
+            ControlSignal(op=node_id, unit=unit, kind="start")
+        )
+        for step in range(start + 1, start + max(1, node.delay)):
+            controller.signals.setdefault(step, []).append(
+                ControlSignal(op=node_id, unit=unit, kind="hold")
+            )
+    for step in controller.signals:
+        controller.signals[step].sort(key=lambda s: (s.unit, s.op, s.kind))
+    return controller
+
+
+def _unit_label(schedule: Schedule, node_id: str) -> str:
+    unit = schedule.binding.get(node_id)
+    if unit is None:
+        return "unbound"
+    fu_type, index = unit
+    return f"{fu_type.name}{index}"

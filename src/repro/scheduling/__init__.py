@@ -1,0 +1,36 @@
+"""Hard (traditional) scheduling: baselines and shared infrastructure.
+
+This package hosts everything a *hard* scheduler needs — the resource
+model with the paper's ``"2+/-,2*"`` constraint notation, the
+:class:`~repro.scheduling.base.Schedule` container with validity
+checking, and the baseline algorithms the paper compares against or
+cites: resource-constrained list scheduling, ASAP/ALAP, force-directed
+scheduling, and an exact branch-and-bound scheduler for small graphs.
+"""
+
+from repro.scheduling.resources import FuType, ResourceSet, FU_TYPES
+from repro.scheduling.base import Schedule, validate_schedule
+from repro.scheduling.asap_alap import asap_schedule, alap_schedule
+from repro.scheduling.list_scheduler import (
+    ListPriority,
+    list_schedule,
+)
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.simulator import evaluate_dfg, simulate_schedule
+
+__all__ = [
+    "FuType",
+    "ResourceSet",
+    "FU_TYPES",
+    "Schedule",
+    "validate_schedule",
+    "asap_schedule",
+    "alap_schedule",
+    "ListPriority",
+    "list_schedule",
+    "force_directed_schedule",
+    "exact_schedule",
+    "evaluate_dfg",
+    "simulate_schedule",
+]

@@ -1,0 +1,37 @@
+"""Unconstrained ASAP and ALAP schedules.
+
+These are the textbook starting points for the paper's motivation: the
+hard ALAP schedule in Figure 1(b) is produced exactly this way.  Neither
+algorithm respects resource constraints — their usage profile is a lower
+bound used by the list and force-directed schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.analysis import alap_times, asap_times
+from repro.ir.dfg import DataFlowGraph
+from repro.scheduling.base import Schedule
+
+
+def asap_schedule(dfg: DataFlowGraph) -> Schedule:
+    """Schedule every op at its earliest feasible start step."""
+    return Schedule(
+        dfg=dfg,
+        start_times=asap_times(dfg),
+        algorithm="asap",
+    )
+
+
+def alap_schedule(dfg: DataFlowGraph, latency: Optional[int] = None) -> Schedule:
+    """Schedule every op at its latest start within ``latency``.
+
+    ``latency`` defaults to the critical-path length, giving the tightest
+    ALAP schedule (paper Figure 1(b)).
+    """
+    return Schedule(
+        dfg=dfg,
+        start_times=alap_times(dfg, latency=latency),
+        algorithm="alap",
+    )

@@ -1,0 +1,196 @@
+"""Hard-schedule container and validity checking.
+
+A *hard* schedule (the paper's terminology) fixes a start step for every
+operation — a total order.  :class:`Schedule` also optionally carries a
+binding (which concrete functional unit runs each op), produced by the
+list scheduler and by threaded-schedule hardening (where the thread *is*
+the unit — the paper's "each thread corresponds to one functional unit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.scheduling.resources import FuType, ResourceSet
+
+
+@dataclass
+class Schedule:
+    """A mapping from operations to start steps (plus optional binding).
+
+    Attributes
+    ----------
+    dfg:
+        The scheduled graph (not copied; treat as read-only).
+    start_times:
+        Operation id to start control step (0-based).
+    binding:
+        Optional op id to ``(fu_type, instance_index)``.
+    resources:
+        The constraint the schedule was produced under, if any.
+    algorithm:
+        Free-form provenance tag (e.g. ``"list"``, ``"threaded/meta=dfs"``).
+    """
+
+    dfg: DataFlowGraph
+    start_times: Dict[str, int]
+    binding: Dict[str, Tuple[FuType, int]] = field(default_factory=dict)
+    resources: Optional[ResourceSet] = None
+    algorithm: str = ""
+
+    def start(self, node_id: str) -> int:
+        return self.start_times[node_id]
+
+    def finish(self, node_id: str) -> int:
+        """First step at which the result is available."""
+        return self.start_times[node_id] + self.dfg.delay(node_id)
+
+    @property
+    def length(self) -> int:
+        """Total number of control steps (the paper's "states")."""
+        if not self.start_times:
+            return 0
+        return max(self.finish(n) for n in self.start_times)
+
+    def ops_at(self, step: int) -> List[str]:
+        """Ids of operations *starting* at ``step`` (insertion order)."""
+        return [n for n, s in self.start_times.items() if s == step]
+
+    def ops_running_at(self, step: int) -> List[str]:
+        """Ids of operations occupying ``step`` (multi-cycle aware)."""
+        return [
+            n
+            for n, s in self.start_times.items()
+            if s <= step < s + max(1, self.dfg.delay(n))
+        ]
+
+    def usage_profile(self, resources: Optional[ResourceSet] = None):
+        """Per-step, per-FU-type occupancy: ``{step: {fu_type: count}}``.
+
+        Structural ops are excluded.  ``resources`` defaults to the
+        schedule's own constraint and is used only for op->type mapping;
+        pass one explicitly for unconstrained schedules.
+        """
+        resources = resources or self.resources
+        if resources is None:
+            raise SchedulingError(
+                "usage_profile needs a ResourceSet to map ops to unit types"
+            )
+        profile: Dict[int, Dict[FuType, int]] = {}
+        for node in self.dfg.node_objects():
+            if node.op.is_structural or node.id not in self.start_times:
+                continue
+            fu_type = resources.fu_for_op(node.op)
+            if fu_type is None:
+                continue
+            start = self.start_times[node.id]
+            for step in range(start, start + max(1, node.delay)):
+                profile.setdefault(step, {})
+                profile[step][fu_type] = profile[step].get(fu_type, 0) + 1
+        return profile
+
+    def table(self) -> str:
+        """Render as a step-by-step text table (for reports/examples)."""
+        lines = []
+        for step in range(self.length):
+            started = ", ".join(
+                self.dfg.node(n).label() for n in sorted(self.ops_at(step))
+            )
+            lines.append(f"step {step:3d}: {started}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        tag = f", algorithm={self.algorithm!r}" if self.algorithm else ""
+        return f"Schedule(length={self.length}, ops={len(self.start_times)}{tag})"
+
+
+def validate_schedule(
+    schedule: Schedule,
+    resources: Optional[ResourceSet] = None,
+    check_binding: bool = True,
+    raise_on_error: bool = True,
+) -> List[str]:
+    """Check a hard schedule for validity.
+
+    Verifies that
+
+    1. every graph operation has a start time >= 0,
+    2. every dependence ``p -> q`` satisfies
+       ``start(q) >= start(p) + delay(p) + weight(p, q)``,
+    3. per-step usage never exceeds the resource constraint, and
+    4. the binding (if present and ``check_binding``) maps each op to a
+       compatible unit and never double-books a unit in a step.
+    """
+    problems: List[str] = []
+    dfg = schedule.dfg
+    resources = resources or schedule.resources
+
+    for node in dfg.node_objects():
+        if node.id not in schedule.start_times:
+            problems.append(f"op {node.id} has no start time")
+        elif schedule.start_times[node.id] < 0:
+            problems.append(
+                f"op {node.id} starts at negative step "
+                f"{schedule.start_times[node.id]}"
+            )
+
+    for edge in dfg.edges():
+        if edge.src not in schedule.start_times:
+            continue
+        if edge.dst not in schedule.start_times:
+            continue
+        earliest = (
+            schedule.start_times[edge.src]
+            + dfg.delay(edge.src)
+            + edge.weight
+        )
+        actual = schedule.start_times[edge.dst]
+        if actual < earliest:
+            problems.append(
+                f"dependence violated: {edge.dst} starts at {actual}, "
+                f"but {edge.src} (+weight) finishes at {earliest}"
+            )
+
+    if resources is not None:
+        for step, usage in sorted(schedule.usage_profile(resources).items()):
+            for fu_type, used in usage.items():
+                available = resources.count(fu_type)
+                if used > available:
+                    problems.append(
+                        f"step {step}: {used} {fu_type.name} ops in flight, "
+                        f"only {available} units"
+                    )
+
+    if check_binding and schedule.binding:
+        occupancy: Dict[Tuple[str, int, int], str] = {}
+        for node_id, (fu_type, index) in schedule.binding.items():
+            node = dfg.node(node_id)
+            if not fu_type.supports(node.op):
+                problems.append(
+                    f"op {node_id} ({node.op.name}) bound to incompatible "
+                    f"unit {fu_type.name}[{index}]"
+                )
+            if resources is not None and index >= resources.count(fu_type):
+                problems.append(
+                    f"op {node_id} bound to {fu_type.name}[{index}] but only "
+                    f"{resources.count(fu_type)} units exist"
+                )
+            if node_id not in schedule.start_times:
+                continue
+            start = schedule.start_times[node_id]
+            for step in range(start, start + max(1, node.delay)):
+                key = (fu_type.name, index, step)
+                if key in occupancy:
+                    problems.append(
+                        f"unit {fu_type.name}[{index}] double-booked at step "
+                        f"{step} by {occupancy[key]} and {node_id}"
+                    )
+                else:
+                    occupancy[key] = node_id
+
+    if problems and raise_on_error:
+        raise SchedulingError("; ".join(problems))
+    return problems

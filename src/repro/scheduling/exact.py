@@ -1,0 +1,224 @@
+"""Exact resource-constrained scheduling by branch and bound.
+
+The paper contrasts heuristics with "global optimization approaches,
+which usually reduce the high level synthesis task to a linear integer
+programming problem ... the problem size which these methods can tackle
+is limited".  This module provides that exact comparator for small
+graphs: a depth-first branch-and-bound over per-step start decisions,
+used in tests to certify the heuristics' quality and in an ablation
+bench.
+
+The search enumerates, at each control step, every subset of startable
+ready operations that fits the free units, recursing step by step.  Two
+classic bounds prune the tree: the critical-path bound (longest remaining
+sink distance) and the resource bound (remaining work per unit type over
+unit count).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import InfeasibleError
+from repro.ir.analysis import sink_distances
+from repro.ir.dfg import DataFlowGraph
+from repro.scheduling.base import Schedule
+from repro.scheduling.list_scheduler import ListPriority, list_schedule
+from repro.scheduling.resources import FuType, ResourceSet
+
+# A search state: ops already started (with start times) plus per-unit
+# busy-until times, advanced step by step.
+
+
+def exact_schedule(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    node_limit: int = 200_000,
+) -> Schedule:
+    """Minimum-latency resource-constrained schedule (exact).
+
+    Intended for graphs up to roughly 20 operations; raises
+    :class:`InfeasibleError` when an op has no compatible unit, and
+    stops early (returning the best found so far, which is optimal if
+    the search completed) after ``node_limit`` search nodes.
+    """
+    missing = resources.check_schedulable(dfg)
+    if missing:
+        raise InfeasibleError(
+            f"no functional unit can execute: {', '.join(missing)}"
+        )
+
+    # Upper bound / incumbent from the list scheduler.
+    incumbent = list_schedule(dfg, resources, ListPriority.SINK_DISTANCE)
+    best_length = incumbent.length
+    best_times = dict(incumbent.start_times)
+
+    tdist = sink_distances(dfg)
+    order = dfg.topological_order()
+    fu_of: Dict[str, Optional[FuType]] = {
+        n: (None if dfg.node(n).op.is_structural
+            else resources.fu_for_op(dfg.node(n).op))
+        for n in order
+    }
+    work_per_type: Dict[FuType, int] = {}
+    for n in order:
+        fu_type = fu_of[n]
+        if fu_type is not None:
+            work_per_type[fu_type] = (
+                work_per_type.get(fu_type, 0) + max(1, dfg.delay(n))
+            )
+
+    explored = 0
+    seen: Dict[Tuple[FrozenSet[str], Tuple[int, ...]], int] = {}
+
+    def remaining_bound(unstarted: List[str], finish_of: Dict[str, int]) -> int:
+        """Lower bound on the final makespan given current progress."""
+        bound = max(finish_of.values(), default=0)
+        rem_work: Dict[FuType, int] = {}
+        for n in unstarted:
+            # Critical-path component: op cannot finish before its ready
+            # time plus its sink distance.
+            ready = 0
+            for e in dfg.in_edges(n):
+                if e.src in finish_of:
+                    ready = max(ready, finish_of[e.src] + e.weight)
+            bound = max(bound, ready + tdist[n])
+            fu_type = fu_of[n]
+            if fu_type is not None:
+                rem_work[fu_type] = rem_work.get(fu_type, 0) + max(
+                    1, dfg.delay(n)
+                )
+        for fu_type, work in rem_work.items():
+            count = resources.count(fu_type)
+            bound = max(bound, -(-work // count))
+        return bound
+
+    start_times: Dict[str, int] = {}
+    finish_of: Dict[str, int] = {}
+
+    def search(step: int, busy: Dict[Tuple[FuType, int], int]) -> None:
+        nonlocal best_length, best_times, explored
+        explored += 1
+        if explored > node_limit:
+            return
+
+        unstarted = [n for n in order if n not in start_times]
+        if not unstarted:
+            length = max(finish_of.values(), default=0)
+            if length < best_length:
+                best_length = length
+                best_times = dict(start_times)
+            return
+
+        if remaining_bound(unstarted, finish_of) >= best_length:
+            return
+
+        key = (
+            frozenset(start_times.items()),
+            tuple(sorted(max(0, b - step) for b in busy.values())),
+        )
+        prev = seen.get(key)
+        if prev is not None and prev <= step:
+            return
+        seen[key] = step
+
+        # Structural ops start the moment they are ready (no choice).
+        placed_structural: List[str] = []
+        for n in unstarted:
+            if fu_of[n] is not None or dfg.node(n).op.is_structural is False:
+                if fu_of[n] is not None:
+                    continue
+            if any(e.src not in finish_of for e in dfg.in_edges(n)):
+                continue
+            ready = max(
+                (finish_of[e.src] + e.weight for e in dfg.in_edges(n)),
+                default=0,
+            )
+            if ready <= step:
+                start_times[n] = step
+                finish_of[n] = step + dfg.delay(n)
+                placed_structural.append(n)
+        if placed_structural:
+            search(step, busy)
+            for n in placed_structural:
+                del start_times[n]
+                del finish_of[n]
+            return
+
+        startable: Dict[FuType, List[str]] = {}
+        for n in unstarted:
+            fu_type = fu_of[n]
+            if fu_type is None:
+                continue
+            if any(e.src not in finish_of for e in dfg.in_edges(n)):
+                continue
+            ready = max(
+                (finish_of[e.src] + e.weight for e in dfg.in_edges(n)),
+                default=0,
+            )
+            if ready <= step:
+                startable.setdefault(fu_type, []).append(n)
+
+        free: Dict[FuType, List[Tuple[FuType, int]]] = {}
+        for unit, until in busy.items():
+            if until <= step:
+                free.setdefault(unit[0], []).append(unit)
+
+        # Enumerate per-type subsets (largest first so good solutions
+        # surface early), then take the cartesian product across types.
+        per_type_choices: List[List[Tuple[str, ...]]] = []
+        fu_types = [ft for ft in startable if free.get(ft)]
+        for fu_type in fu_types:
+            candidates = startable[fu_type]
+            capacity = min(len(free[fu_type]), len(candidates))
+            choices: List[Tuple[str, ...]] = []
+            for size in range(capacity, -1, -1):
+                choices.extend(combinations(candidates, size))
+            per_type_choices.append(choices)
+
+        def issue(type_index: int, chosen: List[Tuple[str, ...]]) -> None:
+            if type_index == len(per_type_choices):
+                flat = [n for group in chosen for n in group]
+                if not flat and not _anything_running(busy, step):
+                    # Idling with nothing in flight can never help.
+                    return
+                new_busy = dict(busy)
+                for group, fu_type in zip(chosen, fu_types):
+                    units = iter(free[fu_type])
+                    for n in group:
+                        unit = next(units)
+                        new_busy[unit] = step + max(1, dfg.delay(n))
+                for n in flat:
+                    start_times[n] = step
+                    finish_of[n] = step + dfg.delay(n)
+                search(step + 1, new_busy)
+                for n in flat:
+                    del start_times[n]
+                    del finish_of[n]
+                return
+            for group in per_type_choices[type_index]:
+                chosen.append(group)
+                issue(type_index + 1, chosen)
+                chosen.pop()
+
+        if per_type_choices:
+            issue(0, [])
+        else:
+            if not _anything_running(busy, step) and startable:
+                return  # deadlock: ready work but no unit ever free
+            search(step + 1, dict(busy))
+
+    initial_busy = {unit: 0 for unit in resources.instances()}
+    search(0, initial_busy)
+
+    return Schedule(
+        dfg=dfg,
+        start_times=best_times,
+        resources=resources,
+        algorithm="exact-bnb",
+    )
+
+
+def _anything_running(busy: Dict[Tuple[FuType, int], int], step: int) -> bool:
+    return any(until > step for until in busy.values())

@@ -1,0 +1,236 @@
+"""Force-directed scheduling (Paulin & Knight, 1989).
+
+The second classic hard scheduler the paper cites.  FDS is
+*time-constrained*: given a latency, it balances expected functional-unit
+usage across steps so the peak (and hence the number of units) is
+minimized.  We use it as a baseline in the ablation benches and to
+produce latency/resource trade-off curves.
+
+Implementation notes
+--------------------
+* Time frames are the ASAP/ALAP windows, recomputed after each
+  assignment (fixing an op tightens its neighbours' frames).
+* The distribution graph for a unit type spreads each op's occupancy
+  probability uniformly over its feasible start steps, accounting for
+  multi-cycle delays.
+* The force of fixing op ``o`` at step ``s`` is the classic self force
+  plus predecessor/successor forces (their self forces under the frames
+  implied by the assignment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError, SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.analysis import diameter
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import FuType, ResourceSet
+
+
+def _frames(
+    dfg: DataFlowGraph,
+    latency: int,
+    fixed: Dict[str, int],
+) -> Dict[str, Tuple[int, int]]:
+    """ASAP/ALAP start windows honouring already-fixed ops."""
+    order = dfg.topological_order()
+    asap: Dict[str, int] = {}
+    for node_id in order:
+        lo = 0
+        for edge in dfg.in_edges(node_id):
+            lo = max(lo, asap[edge.src] + dfg.delay(edge.src) + edge.weight)
+        if node_id in fixed:
+            if fixed[node_id] < lo:
+                raise SchedulingError(
+                    f"fixed time {fixed[node_id]} for {node_id} violates "
+                    f"precedence (needs >= {lo})"
+                )
+            lo = fixed[node_id]
+        asap[node_id] = lo
+
+    alap: Dict[str, int] = {}
+    for node_id in reversed(order):
+        hi = latency - dfg.delay(node_id)
+        for edge in dfg.out_edges(node_id):
+            hi = min(hi, alap[edge.dst] - edge.weight - dfg.delay(node_id))
+        if node_id in fixed:
+            hi = fixed[node_id]
+        alap[node_id] = hi
+
+    for node_id in order:
+        if asap[node_id] > alap[node_id]:
+            raise SchedulingError(
+                f"infeasible frame for {node_id}: "
+                f"[{asap[node_id]}, {alap[node_id]}] within latency {latency}"
+            )
+    return {n: (asap[n], alap[n]) for n in order}
+
+
+def _distribution(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    frames: Dict[str, Tuple[int, int]],
+    latency: int,
+) -> Dict[FuType, List[float]]:
+    """Expected per-step occupancy per unit type (the classic DG)."""
+    dist: Dict[FuType, List[float]] = {
+        fu: [0.0] * latency for fu in resources.fu_types
+    }
+    for node in dfg.node_objects():
+        fu_type = resources.fu_for_op(node.op)
+        if fu_type is None:
+            continue
+        lo, hi = frames[node.id]
+        width = hi - lo + 1
+        weight = 1.0 / width
+        span = max(1, node.delay)
+        for start in range(lo, hi + 1):
+            for step in range(start, min(start + span, latency)):
+                dist[fu_type][step] += weight
+    return dist
+
+
+def _self_force(
+    node_delay: int,
+    fu_dist: List[float],
+    frame: Tuple[int, int],
+    start: int,
+    latency: int,
+) -> float:
+    """Force of pinning an op (frame -> single start step)."""
+    lo, hi = frame
+    width = hi - lo + 1
+    span = max(1, node_delay)
+    old = [0.0] * latency
+    for s in range(lo, hi + 1):
+        for step in range(s, min(s + span, latency)):
+            old[step] += 1.0 / width
+    force = 0.0
+    for step in range(latency):
+        new_occ = 1.0 if start <= step < start + span else 0.0
+        force += fu_dist[step] * (new_occ - old[step])
+    return force
+
+
+def force_directed_schedule(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    latency: Optional[int] = None,
+) -> Schedule:
+    """Time-constrained force-directed scheduling.
+
+    ``latency`` defaults to the critical-path length.  ``resources`` is
+    used for the op->unit-type mapping of the distribution graphs; the
+    returned schedule reports (rather than enforces) per-type peak usage
+    via :meth:`Schedule.usage_profile`.
+    """
+    span = diameter(dfg)
+    if latency is None:
+        latency = span
+    if latency < span:
+        raise GraphError(
+            f"latency {latency} below critical path length {span}"
+        )
+
+    fixed: Dict[str, int] = {}
+    pending = [n for n in dfg.nodes()]
+
+    while pending:
+        frames = _frames(dfg, latency, fixed)
+        dist = _distribution(dfg, resources, frames, latency)
+
+        # Ops whose frame is already a single step are fixed for free.
+        trivially_fixed = [
+            n for n in pending if frames[n][0] == frames[n][1]
+        ]
+        if trivially_fixed:
+            for node_id in trivially_fixed:
+                fixed[node_id] = frames[node_id][0]
+                pending.remove(node_id)
+            continue
+
+        best: Optional[Tuple[float, str, int]] = None
+        for node_id in pending:
+            node = dfg.node(node_id)
+            fu_type = resources.fu_for_op(node.op)
+            lo, hi = frames[node_id]
+            for start in range(lo, hi + 1):
+                force = 0.0
+                if fu_type is not None:
+                    force += _self_force(
+                        node.delay, dist[fu_type], (lo, hi), start, latency
+                    )
+                force += _neighbour_forces(
+                    dfg, resources, frames, dist, node_id, start, latency
+                )
+                key = (force, node_id, start)
+                if best is None or key < best:
+                    best = key
+        assert best is not None
+        _, chosen, start = best
+        fixed[chosen] = start
+        pending.remove(chosen)
+
+    return Schedule(
+        dfg=dfg,
+        start_times=fixed,
+        resources=resources,
+        algorithm="force-directed",
+    )
+
+
+def _neighbour_forces(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    frames: Dict[str, Tuple[int, int]],
+    dist: Dict[FuType, List[float]],
+    node_id: str,
+    start: int,
+    latency: int,
+) -> float:
+    """Predecessor/successor forces of pinning ``node_id`` at ``start``.
+
+    Fixing an op clips the ALAP of predecessors and the ASAP of
+    successors; each clipped neighbour contributes its self force under
+    the narrowed frame.
+    """
+    total = 0.0
+    for edge in dfg.in_edges(node_id):
+        pred = dfg.node(edge.src)
+        lo, hi = frames[edge.src]
+        new_hi = min(hi, start - edge.weight - pred.delay)
+        if new_hi < hi:
+            fu_type = resources.fu_for_op(pred.op)
+            if fu_type is not None and new_hi >= lo:
+                total += _avg_self_force(
+                    pred.delay, dist[fu_type], (lo, hi), (lo, new_hi), latency
+                )
+    for edge in dfg.out_edges(node_id):
+        succ = dfg.node(edge.dst)
+        lo, hi = frames[edge.dst]
+        new_lo = max(lo, start + dfg.delay(node_id) + edge.weight)
+        if new_lo > lo:
+            fu_type = resources.fu_for_op(succ.op)
+            if fu_type is not None and new_lo <= hi:
+                total += _avg_self_force(
+                    succ.delay, dist[fu_type], (lo, hi), (new_lo, hi), latency
+                )
+    return total
+
+
+def _avg_self_force(
+    node_delay: int,
+    fu_dist: List[float],
+    old_frame: Tuple[int, int],
+    new_frame: Tuple[int, int],
+    latency: int,
+) -> float:
+    """Force of narrowing a neighbour's frame (averaged over new frame)."""
+    lo_new, hi_new = new_frame
+    width = hi_new - lo_new + 1
+    total = 0.0
+    for start in range(lo_new, hi_new + 1):
+        total += _self_force(node_delay, fu_dist, old_frame, start, latency)
+    return total / width

@@ -1,0 +1,173 @@
+"""Resource-constrained list scheduling — the paper's baseline.
+
+The scheduler walks control steps in order.  At each step it collects the
+*ready* operations (all predecessors finished, edge weights honoured),
+orders them by a priority function, and starts as many as free units
+allow; multi-cycle operations hold their unit for their full delay
+(non-pipelined units, the standard assumption for the benchmarks).
+
+The priority function is pluggable because the paper does not state which
+variant its baseline used, and the choice changes a few Figure 3 cells:
+
+* :attr:`ListPriority.SINK_DISTANCE` — classic critical-path list
+  scheduling (higher ``||v->||`` first).
+* :attr:`ListPriority.READY_ORDER` — first-come-first-served on the ready
+  queue (arrival step, then graph order).  This variant reproduces the
+  paper's reported lengths exactly (see EXPERIMENTS.md).
+* :attr:`ListPriority.MOBILITY` — least mobility (ALAP - ASAP) first.
+
+Structural operations (wire delays, constants) never occupy a unit; they
+are placed at their earliest feasible step.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleError
+from repro.ir.analysis import mobility, sink_distances
+from repro.ir.dfg import DataFlowGraph
+from repro.scheduling.base import Schedule
+from repro.scheduling.resources import FuType, ResourceSet
+
+
+class ListPriority(enum.Enum):
+    """Ready-list ordering policies for :func:`list_schedule`."""
+
+    SINK_DISTANCE = "sink_distance"
+    READY_ORDER = "ready_order"
+    MOBILITY = "mobility"
+
+
+def list_schedule(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    priority: ListPriority = ListPriority.SINK_DISTANCE,
+) -> Schedule:
+    """Resource-constrained list scheduling.
+
+    Returns a :class:`Schedule` with a concrete unit binding.  Raises
+    :class:`InfeasibleError` if some operation cannot execute on any
+    available unit type.
+    """
+    missing = resources.check_schedulable(dfg)
+    if missing:
+        raise InfeasibleError(
+            f"no functional unit can execute: {', '.join(missing)}"
+        )
+
+    order_index = {node_id: i for i, node_id in enumerate(dfg.nodes())}
+    keys = _priority_keys(dfg, priority, order_index)
+
+    remaining_preds = {n: dfg.in_degree(n) for n in dfg.nodes()}
+    # earliest[n]: earliest start once all preds are done (edge weights in).
+    earliest: Dict[str, int] = {n: 0 for n in dfg.nodes()}
+    # ready pool: ops whose preds have all been *scheduled* (their finish
+    # times known); each becomes startable at earliest[n].
+    ready: List[str] = [n for n in dfg.nodes() if remaining_preds[n] == 0]
+    arrival: Dict[str, int] = {n: 0 for n in ready}
+
+    start_times: Dict[str, int] = {}
+    binding: Dict[str, Tuple[FuType, int]] = {}
+    # busy_until[(fu_type, idx)]: first step the unit is free again.
+    busy_until: Dict[Tuple[FuType, int], int] = {
+        unit: 0 for unit in resources.instances()
+    }
+
+    scheduled = 0
+    step = 0
+    total = dfg.num_nodes
+    # Upper bound on steps: serialize everything (defensive guard).
+    guard = dfg.total_delay() + dfg.num_edges + dfg.num_nodes + 1
+
+    def on_scheduled(node_id: str, start: int) -> None:
+        """Release successors whose last predecessor just got a time."""
+        finish = start + dfg.delay(node_id)
+        for edge in dfg.out_edges(node_id):
+            succ = edge.dst
+            earliest[succ] = max(earliest[succ], finish + edge.weight)
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.append(succ)
+                arrival[succ] = earliest[succ]
+
+    while scheduled < total:
+        if step > guard:
+            raise InfeasibleError(
+                f"list scheduler exceeded {guard} steps; "
+                "graph or resources are inconsistent"
+            )
+        # Structural ops issue as soon as they are startable, outside the
+        # unit-allocation loop.
+        for node_id in list(ready):
+            if dfg.node(node_id).op.is_structural and earliest[node_id] <= step:
+                ready.remove(node_id)
+                start_times[node_id] = step
+                scheduled += 1
+                on_scheduled(node_id, step)
+
+        startable = [
+            n
+            for n in ready
+            if earliest[n] <= step and not dfg.node(n).op.is_structural
+        ]
+        if priority is ListPriority.READY_ORDER:
+            startable.sort(key=lambda n: (arrival[n], order_index[n]))
+        else:
+            startable.sort(key=lambda n: keys[n])
+
+        for node_id in startable:
+            fu_type = resources.fu_for_op(dfg.node(node_id).op)
+            unit = _free_unit(busy_until, resources, fu_type, step)
+            if unit is None:
+                continue
+            ready.remove(node_id)
+            start_times[node_id] = step
+            binding[node_id] = unit
+            busy_until[unit] = step + max(1, dfg.delay(node_id))
+            scheduled += 1
+            on_scheduled(node_id, step)
+
+        step += 1
+
+    return Schedule(
+        dfg=dfg,
+        start_times=start_times,
+        binding=binding,
+        resources=resources,
+        algorithm=f"list/{priority.value}",
+    )
+
+
+def _priority_keys(
+    dfg: DataFlowGraph,
+    priority: ListPriority,
+    order_index: Dict[str, int],
+):
+    """Sort keys per node; lower sorts first."""
+    if priority is ListPriority.SINK_DISTANCE:
+        tdist = sink_distances(dfg)
+        return {n: (-tdist[n], order_index[n]) for n in dfg.nodes()}
+    if priority is ListPriority.MOBILITY:
+        mob = mobility(dfg)
+        return {n: (mob[n], order_index[n]) for n in dfg.nodes()}
+    if priority is ListPriority.READY_ORDER:
+        return {n: (0, order_index[n]) for n in dfg.nodes()}
+    raise ValueError(f"unknown priority {priority!r}")
+
+
+def _free_unit(
+    busy_until: Dict[Tuple[FuType, int], int],
+    resources: ResourceSet,
+    fu_type: Optional[FuType],
+    step: int,
+) -> Optional[Tuple[FuType, int]]:
+    """First free instance of ``fu_type`` at ``step``, or ``None``."""
+    if fu_type is None:
+        return None
+    for index in range(resources.count(fu_type)):
+        unit = (fu_type, index)
+        if busy_until[unit] <= step:
+            return unit
+    return None

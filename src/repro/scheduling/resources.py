@@ -1,0 +1,214 @@
+"""Functional-unit types and resource constraint sets.
+
+The paper's Figure 3 writes resource constraints in a compact notation:
+``"2+/-,2*"`` means two ALUs (each able to do add, subtract, compare)
+and two multipliers.  :meth:`ResourceSet.parse` accepts exactly that
+notation (including the ``"2+/"`` abbreviation that appears in the
+table header) so experiment configs read like the paper.
+
+A functional-unit type (:class:`FuType`) owns a set of operation kinds it
+can execute.  The standard library of types:
+
+========  =========================================  ==================
+name      operations                                 Figure 3 notation
+========  =========================================  ==================
+``alu``   add, sub, neg, compares, logic, move, phi  ``+/-`` or ``+/``
+``mul``   mul, div                                   ``*``
+``mem``   load, store                                ``mem``
+========  =========================================  ==================
+
+Structural kinds (wire/const/nop) never occupy a functional unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ResourceError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+
+
+@dataclass(frozen=True)
+class FuType:
+    """A functional-unit type: a name plus the op kinds it executes."""
+
+    name: str
+    ops: FrozenSet[OpKind]
+
+    def supports(self, op: OpKind) -> bool:
+        return op in self.ops
+
+    def __repr__(self):
+        return f"FuType({self.name!r})"
+
+
+ALU = FuType(
+    "alu",
+    frozenset(
+        {
+            OpKind.ADD,
+            OpKind.SUB,
+            OpKind.NEG,
+            OpKind.LT,
+            OpKind.LE,
+            OpKind.GT,
+            OpKind.GE,
+            OpKind.EQ,
+            OpKind.NE,
+            OpKind.AND,
+            OpKind.OR,
+            OpKind.XOR,
+            OpKind.NOT,
+            OpKind.SHL,
+            OpKind.SHR,
+            OpKind.MOVE,
+            OpKind.PHI,
+        }
+    ),
+)
+
+MUL = FuType("mul", frozenset({OpKind.MUL, OpKind.DIV}))
+
+MEM = FuType("mem", frozenset({OpKind.LOAD, OpKind.STORE}))
+
+FU_TYPES: Dict[str, FuType] = {ft.name: ft for ft in (ALU, MUL, MEM)}
+
+# The paper's Figure 3 tokens for each type (all accepted spellings).
+_NOTATION: Dict[str, FuType] = {
+    "+/-": ALU,
+    "+/": ALU,
+    "+": ALU,
+    "alu": ALU,
+    "*": MUL,
+    "mul": MUL,
+    "mem": MEM,
+}
+
+
+class ResourceSet:
+    """A multiset of functional units, e.g. two ALUs and one multiplier.
+
+    >>> rs = ResourceSet.parse("2+/-,1*")
+    >>> rs.count(ALU), rs.count(MUL)
+    (2, 1)
+    >>> rs.fu_for_op(OpKind.MUL).name
+    'mul'
+    """
+
+    def __init__(self, counts: Mapping[FuType, int]):
+        for fu_type, count in counts.items():
+            if not isinstance(fu_type, FuType):
+                raise ResourceError(f"expected FuType key, got {fu_type!r}")
+            if count < 0:
+                raise ResourceError(
+                    f"count for {fu_type.name} must be >= 0, got {count}"
+                )
+        self._counts: Dict[FuType, int] = {
+            ft: c for ft, c in counts.items() if c > 0
+        }
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ResourceSet":
+        """Parse the paper's constraint notation (``"2+/-,2*"``)."""
+        counts: Dict[FuType, int] = {}
+        for raw in text.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            digits = ""
+            while token and token[0].isdigit():
+                digits += token[0]
+                token = token[1:]
+            if not digits:
+                raise ResourceError(
+                    f"malformed resource token {raw!r}: missing count"
+                )
+            token = token.strip()
+            fu_type = _NOTATION.get(token)
+            if fu_type is None:
+                raise ResourceError(
+                    f"unknown functional-unit notation {token!r} in {raw!r}"
+                )
+            counts[fu_type] = counts.get(fu_type, 0) + int(digits)
+        if not counts:
+            raise ResourceError(f"empty resource specification: {text!r}")
+        return cls(counts)
+
+    @classmethod
+    def of(cls, alu: int = 0, mul: int = 0, mem: int = 0) -> "ResourceSet":
+        """Build directly from counts of the standard types."""
+        return cls({ALU: alu, MUL: mul, MEM: mem})
+
+    def with_added(self, fu_type: FuType, count: int = 1) -> "ResourceSet":
+        counts = dict(self._counts)
+        counts[fu_type] = counts.get(fu_type, 0) + count
+        return ResourceSet(counts)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def count(self, fu_type: FuType) -> int:
+        return self._counts.get(fu_type, 0)
+
+    @property
+    def fu_types(self) -> List[FuType]:
+        return list(self._counts)
+
+    @property
+    def total_units(self) -> int:
+        return sum(self._counts.values())
+
+    def instances(self) -> List[Tuple[FuType, int]]:
+        """All concrete units as ``(type, index)`` pairs, deterministic."""
+        result = []
+        for fu_type, count in self._counts.items():
+            result.extend((fu_type, index) for index in range(count))
+        return result
+
+    def fu_for_op(self, op: OpKind) -> Optional[FuType]:
+        """The unit type that executes ``op`` (first match), or ``None``.
+
+        Structural kinds always map to ``None``.
+        """
+        if op.is_structural:
+            return None
+        for fu_type in self._counts:
+            if fu_type.supports(op):
+                return fu_type
+        return None
+
+    def check_schedulable(self, dfg: DataFlowGraph) -> List[str]:
+        """Ops in ``dfg`` that no available unit can execute (ids)."""
+        missing = []
+        for node in dfg.node_objects():
+            if node.op.is_structural:
+                continue
+            if self.fu_for_op(node.op) is None:
+                missing.append(node.id)
+        return missing
+
+    def __eq__(self, other):
+        if not isinstance(other, ResourceSet):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self):
+        return hash(frozenset(self._counts.items()))
+
+    def notation(self) -> str:
+        """Render back to the paper's notation (canonical spelling)."""
+        spelling = {ALU: "+/-", MUL: "*", MEM: "mem"}
+        return ",".join(
+            f"{count}{spelling.get(fu_type, fu_type.name)}"
+            for fu_type, count in self._counts.items()
+        )
+
+    def __repr__(self):
+        return f"ResourceSet({self.notation()!r})"

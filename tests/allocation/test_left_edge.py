@@ -1,0 +1,68 @@
+"""Tests for left-edge register allocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation import left_edge_allocate, max_live, value_lifetimes
+from repro.allocation.lifetimes import Lifetime
+from repro.errors import AllocationError
+from repro.graphs import hal
+from repro.graphs.random_dags import random_layered_dag
+from repro.scheduling import ListPriority, ResourceSet, list_schedule
+
+
+def hal_schedule():
+    return list_schedule(
+        hal(), ResourceSet.parse("2+/-,2*"), ListPriority.READY_ORDER
+    )
+
+
+class TestLeftEdge:
+    def test_no_overlap_within_a_register(self):
+        schedule = hal_schedule()
+        allocation = left_edge_allocate(schedule)
+        for packed in allocation.registers:
+            for first, second in zip(packed, packed[1:]):
+                assert first.death <= second.birth
+
+    def test_count_equals_max_live(self):
+        """Left-edge is optimal on interval graphs."""
+        schedule = hal_schedule()
+        allocation = left_edge_allocate(schedule)
+        assert allocation.count == max_live(schedule)
+
+    def test_every_live_value_assigned(self):
+        schedule = hal_schedule()
+        allocation = left_edge_allocate(schedule)
+        lifetimes = value_lifetimes(schedule)
+        for value, lifetime in lifetimes.items():
+            if lifetime.span > 0:
+                assert value in allocation.register_of
+
+    def test_register_budget_enforced(self):
+        schedule = hal_schedule()
+        need = max_live(schedule)
+        with pytest.raises(AllocationError):
+            left_edge_allocate(schedule, max_registers=need - 1)
+        allocation = left_edge_allocate(schedule, max_registers=need)
+        assert allocation.count == need
+
+    def test_values_in(self):
+        schedule = hal_schedule()
+        allocation = left_edge_allocate(schedule)
+        for index in range(allocation.count):
+            for value in allocation.values_in(index):
+                assert allocation.register_of[value] == index
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=50), st.integers(0, 5_000))
+    def test_random_schedules_pack_optimally(self, size, seed):
+        g = random_layered_dag(size, seed=seed)
+        schedule = list_schedule(
+            g, ResourceSet.of(alu=2, mul=2), ListPriority.SINK_DISTANCE
+        )
+        allocation = left_edge_allocate(schedule)
+        assert allocation.count == max_live(schedule)
+        for packed in allocation.registers:
+            for first, second in zip(packed, packed[1:]):
+                assert first.death <= second.birth

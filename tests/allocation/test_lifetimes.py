@@ -1,0 +1,72 @@
+"""Tests for value lifetime analysis."""
+
+from repro.allocation import max_live, value_lifetimes
+from repro.graphs import hal
+from repro.scheduling import ListPriority, ResourceSet, list_schedule
+
+
+def hal_schedule():
+    return list_schedule(
+        hal(), ResourceSet.parse("2+/-,2*"), ListPriority.READY_ORDER
+    )
+
+
+class TestLifetimes:
+    def test_birth_is_producer_finish(self):
+        schedule = hal_schedule()
+        lifetimes = value_lifetimes(schedule)
+        for value, lifetime in lifetimes.items():
+            assert lifetime.birth == schedule.finish(value)
+
+    def test_death_after_last_consumer_start(self):
+        schedule = hal_schedule()
+        lifetimes = value_lifetimes(schedule)
+        g = schedule.dfg
+        for value, lifetime in lifetimes.items():
+            for consumer in g.successors(value):
+                assert lifetime.death >= schedule.start(consumer)
+
+    def test_outputs_live_to_the_end(self):
+        schedule = hal_schedule()
+        lifetimes = value_lifetimes(schedule)
+        for sink in schedule.dfg.sinks():
+            assert lifetimes[sink].death >= schedule.length
+
+    def test_overlap_predicate(self):
+        from repro.allocation.lifetimes import Lifetime
+
+        a = Lifetime("a", 0, 5)
+        b = Lifetime("b", 4, 6)
+        c = Lifetime("c", 5, 7)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # half-open intervals touch at 5
+
+    def test_span(self):
+        from repro.allocation.lifetimes import Lifetime
+
+        assert Lifetime("x", 2, 6).span == 4
+
+
+class TestMaxLive:
+    def test_peak_positive_for_hal(self):
+        assert max_live(hal_schedule()) >= 2
+
+    def test_peak_counts_actual_overlap(self):
+        schedule = hal_schedule()
+        lifetimes = value_lifetimes(schedule)
+        peak = max_live(schedule)
+        # Verify against a brute-force step sweep.
+        brute = 0
+        for step in range(schedule.length + 1):
+            live = sum(
+                1
+                for lt in lifetimes.values()
+                if lt.birth <= step < lt.death
+            )
+            brute = max(brute, live)
+        assert peak == brute
+
+    def test_empty_schedule(self):
+        from repro.scheduling.base import Schedule
+
+        assert max_live(Schedule(dfg=hal(), start_times={})) == 0

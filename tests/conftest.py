@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graphs import (
+    ar_filter,
+    dct8,
+    elliptic_wave_filter,
+    fir,
+    hal,
+    paper_fig1,
+)
+from repro.scheduling.resources import ResourceSet
+
+
+@pytest.fixture
+def hal_graph():
+    return hal()
+
+
+@pytest.fixture
+def fir_graph():
+    return fir()
+
+
+@pytest.fixture
+def ar_graph():
+    return ar_filter()
+
+
+@pytest.fixture
+def ewf_graph():
+    return elliptic_wave_filter()
+
+
+@pytest.fixture
+def dct_graph():
+    return dct8()
+
+
+@pytest.fixture
+def fig1_graph():
+    return paper_fig1()
+
+
+@pytest.fixture
+def paper_constraints():
+    """The paper's three Figure 3 resource columns."""
+    return [
+        ResourceSet.parse("2+/-,2*"),
+        ResourceSet.parse("4+/-,4*"),
+        ResourceSet.parse("2+/-,1*"),
+    ]
+
+
+@pytest.fixture
+def two_two():
+    return ResourceSet.parse("2+/-,2*")

@@ -1,0 +1,141 @@
+"""Experiment E3: the six commit rewrite rules of the paper's Figure 2.
+
+Each test builds a tiny typed-thread scenario that drives ``commit``
+into exactly one of the six cases and then inspects the pointer
+structure directly:
+
+=====  ==========================  ==============================
+case   situation                    expected action
+=====  ==========================  ==============================
+(a)    ``p.out[k]`` before ``v``    untouched (implied by chain)
+(b)    ``p.out[k]`` empty           add ``p -> v``
+(c)    ``p.out[k]`` after ``v``     replace by ``p -> v``
+(d)    ``q.in[k]`` after ``v``      untouched (implied by chain)
+(e)    ``q.in[k]`` empty            add ``v -> q``
+(f)    ``q.in[k]`` before ``v``     replace by ``v -> q``
+=====  ==========================  ==============================
+"""
+
+from repro.core import check_against_graph, check_state
+from repro.core.threaded_graph import ThreadedGraph
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.scheduling.resources import ResourceSet
+
+ALU_T = 0  # thread index of the single ALU
+MUL_T = 1  # thread index of the single multiplier
+
+
+def make_state(graph):
+    state = ThreadedGraph.from_resources(
+        graph, ResourceSet.of(alu=1, mul=1)
+    )
+    assert state.specs[ALU_T].fu_type.name == "alu"
+    assert state.specs[MUL_T].fu_type.name == "mul"
+    return state
+
+
+def test_case_b_empty_slot_gets_edge():
+    b = GraphBuilder()
+    p = b.mul("p")
+    v = b.add("v", p)
+    state = make_state(b.graph())
+    state.schedule("p")
+    state.schedule("v")
+    assert state.vertex("p").tout[ALU_T] is state.vertex("v")
+    assert state.vertex("v").tin[MUL_T] is state.vertex("p")
+    assert check_state(state) == [] and check_against_graph(state) == []
+
+
+def test_case_a_earlier_target_untouched():
+    b = GraphBuilder()
+    p = b.mul("p")
+    w = b.add("w", p)
+    v = b.add("v", p)
+    state = make_state(b.graph())
+    for node in ("p", "w", "v"):
+        state.schedule(node)
+    # v lands after w in the ALU thread (append tie-break).
+    assert state.thread_members(ALU_T) == ["w", "v"]
+    # p's out-slot still points at w; no direct p -> v edge.
+    assert state.vertex("p").tout[ALU_T] is state.vertex("w")
+    assert state.vertex("v").tin[MUL_T] is None
+    assert check_state(state) == [] and check_against_graph(state) == []
+
+
+def test_case_c_later_target_replaced():
+    b = GraphBuilder()
+    p = b.mul("p")
+    w = b.add("w", p)
+    v = b.add("v", p)
+    b.edge(v, w)  # forces v before w
+    state = make_state(b.graph())
+    for node in ("p", "w", "v"):
+        state.schedule(node)
+    assert state.thread_members(ALU_T) == ["v", "w"]
+    # p's slot edge re-targets from w to v; w loses its reverse pointer.
+    assert state.vertex("p").tout[ALU_T] is state.vertex("v")
+    assert state.vertex("w").tin[MUL_T] is None
+    assert check_state(state) == [] and check_against_graph(state) == []
+
+
+def test_case_e_empty_in_slot_gets_edge():
+    b = GraphBuilder()
+    v = b.mul("v")
+    q = b.add("q", v)
+    state = make_state(b.graph())
+    state.schedule("q")
+    state.schedule("v")
+    assert state.vertex("q").tin[MUL_T] is state.vertex("v")
+    assert state.vertex("v").tout[ALU_T] is state.vertex("q")
+    assert check_state(state) == [] and check_against_graph(state) == []
+
+
+def test_case_d_later_source_untouched():
+    b = GraphBuilder()
+    v = b.mul("v")
+    u = b.mul("u")
+    q = b.add("q", u)
+    b.edge(v, q)
+    b.edge(v, u)  # forces v before u in the MUL thread
+    state = make_state(b.graph())
+    for node in ("u", "q", "v"):
+        state.schedule(node)
+    assert state.thread_members(MUL_T) == ["v", "u"]
+    # q's in-slot still comes from u (v precedes q through u).
+    assert state.vertex("q").tin[MUL_T] is state.vertex("u")
+    assert state.vertex("v").tout[ALU_T] is None
+    assert check_state(state) == [] and check_against_graph(state) == []
+
+
+def test_case_f_earlier_source_replaced():
+    b = GraphBuilder()
+    u = b.mul("u")
+    v = b.mul("v")
+    q = b.add("q", u)
+    b.edge(v, q)
+    b.edge(u, v)  # forces u before v in the MUL thread
+    state = make_state(b.graph())
+    for node in ("u", "q", "v"):
+        state.schedule(node)
+    assert state.thread_members(MUL_T) == ["u", "v"]
+    # q's in-slot re-sources from u to v; u loses its forward pointer.
+    assert state.vertex("q").tin[MUL_T] is state.vertex("v")
+    assert state.vertex("u").tout[ALU_T] is None
+    assert state.vertex("v").tout[ALU_T] is state.vertex("q")
+    assert check_state(state) == [] and check_against_graph(state) == []
+
+
+def test_rules_compose_on_fanout_heavy_graph():
+    """All six rules fire across a richer graph; state stays sound."""
+    b = GraphBuilder()
+    sources = [b.mul(f"m{i}") for i in range(3)]
+    mids = [b.add(f"a{i}", sources[i % 3], sources[(i + 1) % 3])
+            for i in range(4)]
+    b.mul("top", mids[0])
+    b.edge(mids[1], "top")
+    state = make_state(b.graph())
+    for node in b.graph().topological_order():
+        state.schedule(node)
+        assert check_state(state) == []
+    assert check_against_graph(state) == []

@@ -1,0 +1,91 @@
+"""Tests for the remove-and-reinsert improvement kernel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ThreadedScheduler,
+    check_against_graph,
+    check_state,
+    improve_schedule,
+)
+from repro.core.meta import meta_random
+from repro.graphs import elliptic_wave_filter, hal
+from repro.graphs.random_dags import random_layered_dag
+from repro.scheduling import ResourceSet
+
+
+class TestImprove:
+    def test_never_worsens(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        report = improve_schedule(scheduler.state)
+        assert report.final_diameter <= report.initial_diameter
+
+    def test_improves_bad_meta_order(self):
+        """A random feed order leaves slack the local search recovers."""
+        resources = ResourceSet.parse("2+/-,1*")
+        improved_any = False
+        for seed in range(6):
+            scheduler = ThreadedScheduler(
+                elliptic_wave_filter(),
+                resources=resources,
+                meta=meta_random(seed),
+            ).run()
+            report = improve_schedule(scheduler.state)
+            assert report.final_diameter <= report.initial_diameter
+            if report.improvement > 0:
+                improved_any = True
+        assert improved_any
+
+    def test_state_stays_sound(self, two_two):
+        scheduler = ThreadedScheduler(
+            hal(), resources=two_two, meta=meta_random(3)
+        ).run()
+        improve_schedule(scheduler.state)
+        assert check_state(scheduler.state) == []
+        assert check_against_graph(scheduler.state) == []
+
+    def test_report_bookkeeping(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        report = improve_schedule(scheduler.state, max_rounds=2)
+        assert report.rounds >= 1
+        assert report.moves_tried >= report.moves_kept
+        assert report.improvement == (
+            report.initial_diameter - report.final_diameter
+        )
+        assert len(report.history) == report.rounds
+
+    def test_explicit_targets(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        report = improve_schedule(
+            scheduler.state, targets=["m1", "m2"], max_rounds=1
+        )
+        assert report.moves_tried == 2
+
+    def test_hardens_after_improvement(self, two_two):
+        scheduler = ThreadedScheduler(
+            hal(), resources=two_two, meta=meta_random(1)
+        ).run()
+        improve_schedule(scheduler.state)
+        schedule = scheduler.harden()
+        from repro.scheduling import validate_schedule
+
+        assert validate_schedule(schedule) == []
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=30),
+        st.integers(0, 3_000),
+        st.integers(0, 5),
+    )
+    def test_monotone_on_random_graphs(self, size, graph_seed, order_seed):
+        dfg = random_layered_dag(size, seed=graph_seed)
+        scheduler = ThreadedScheduler(
+            dfg,
+            resources=ResourceSet.of(alu=2, mul=1),
+            meta=meta_random(order_seed),
+        ).run()
+        report = improve_schedule(scheduler.state, max_rounds=2)
+        assert report.final_diameter <= report.initial_diameter
+        assert check_state(scheduler.state) == []
+        assert check_against_graph(scheduler.state) == []

@@ -1,0 +1,80 @@
+"""Property tests: Definitions 3/4 and Lemma 7 on random graphs/orders.
+
+After every single insertion, the scheduling state must
+
+* satisfy the structural invariants (partition into totally ordered
+  threads, bidirectional pointer consistency, acyclicity) — Definition 4;
+* remain consistent with the DFG partial order — Definition 3's
+  correctness condition;
+* respect the degree bound — Lemma 7.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import check_against_graph, check_state
+from repro.core.threaded_graph import ThreadedGraph
+from repro.graphs.random_dags import random_expression_dag, random_layered_dag
+from repro.scheduling.resources import ResourceSet
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+    st.integers(0, 10),
+)
+def test_invariants_hold_after_every_insertion(size, seed, threads, order_seed):
+    dfg = random_layered_dag(size, seed=seed, mul_fraction=0.0)
+    state = ThreadedGraph(dfg, threads)
+    order = dfg.nodes()
+    random.Random(order_seed).shuffle(order)
+    for node_id in order:
+        state.schedule(node_id)
+        assert check_state(state) == []
+        assert check_against_graph(state) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=25), st.integers(0, 10_000))
+def test_invariants_with_typed_threads(size, seed):
+    dfg = random_expression_dag(size, seed=seed)
+    resources = ResourceSet.of(alu=2, mul=1)
+    state = ThreadedGraph.from_resources(dfg, resources)
+    for node_id in dfg.topological_order():
+        state.schedule(node_id)
+    assert check_state(state) == []
+    assert check_against_graph(state) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+)
+def test_lemma7_degree_bound(size, seed, threads):
+    """No threaded vertex ever exceeds K slot edges per direction."""
+    dfg = random_layered_dag(size, seed=seed)
+    state = ThreadedGraph(dfg, threads)
+    state.schedule_all(dfg.topological_order())
+    for vertex in state.vertices():
+        assert sum(1 for p in vertex.tin if p is not None) <= threads
+        assert sum(1 for q in vertex.tout if q is not None) <= threads
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(0, 10_000))
+def test_random_insertion_order_always_legal(size, seed):
+    """Any permutation is a legal meta schedule (Definition 2 allows an
+    arbitrary sequence); the state must absorb all of them."""
+    dfg = random_layered_dag(size, seed=seed)
+    order = dfg.nodes()
+    random.Random(seed * 31 + 7).shuffle(order)
+    state = ThreadedGraph(dfg, 2)
+    state.schedule_all(order)
+    assert len(state) == size
+    assert check_state(state) == []
+    assert check_against_graph(state) == []

@@ -1,0 +1,117 @@
+"""Tests for the meta schedules (Definition 2 sequences)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.meta import (
+    META_SCHEDULES,
+    get_meta_schedule,
+    meta_alap,
+    meta_dfs,
+    meta_list_order,
+    meta_paths,
+    meta_random,
+    meta_topological,
+)
+from repro.errors import SchedulingError
+from repro.graphs import hal
+from repro.graphs.random_dags import random_layered_dag
+from repro.ir.analysis import critical_path
+
+
+ALL_METAS = [meta_dfs, meta_topological, meta_paths, meta_list_order,
+             meta_alap, meta_random(17)]
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("meta", ALL_METAS,
+                             ids=lambda m: getattr(m, "__name__", str(m)))
+    def test_every_meta_is_a_permutation(self, meta):
+        g = hal()
+        order = meta(g)
+        assert sorted(order) == sorted(g.nodes())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=50), st.integers(0, 1_000))
+    def test_permutation_on_random_graphs(self, size, seed):
+        g = random_layered_dag(size, seed=seed)
+        for meta in (meta_dfs, meta_topological, meta_paths, meta_alap):
+            assert sorted(meta(g)) == sorted(g.nodes())
+
+
+class TestIndividualMetas:
+    def test_dfs_starts_at_a_source(self):
+        g = hal()
+        assert meta_dfs(g)[0] in g.sources()
+
+    def test_dfs_parent_before_child_on_tree_paths(self):
+        g = hal()
+        order = meta_dfs(g)
+        position = {n: i for i, n in enumerate(order)}
+        # DFS from sources reaches m3 only via m1 or m2.
+        assert position["m3"] > min(position["m1"], position["m2"])
+
+    def test_topological_respects_all_edges(self):
+        g = hal()
+        order = meta_topological(g)
+        position = {n: i for i, n in enumerate(order)}
+        for edge in g.edges():
+            assert position[edge.src] < position[edge.dst]
+
+    def test_paths_emits_critical_path_first(self):
+        g = hal()
+        order = meta_paths(g)
+        cp = critical_path(g)
+        assert order[: len(cp)] == cp
+
+    def test_list_order_sorted_by_start_step(self):
+        from repro.scheduling import ListPriority, ResourceSet, list_schedule
+
+        g = hal()
+        rs = ResourceSet.parse("2+/-,2*")
+        order = meta_list_order(g, rs)
+        schedule = list_schedule(g, rs, ListPriority.READY_ORDER)
+        starts = [schedule.start_times[n] for n in order]
+        assert starts == sorted(starts)
+
+    def test_list_order_default_resources(self):
+        order = meta_list_order(hal())
+        assert sorted(order) == sorted(hal().nodes())
+
+    def test_alap_orders_by_urgency(self):
+        from repro.ir.analysis import alap_times
+
+        g = hal()
+        order = meta_alap(g)
+        alap = alap_times(g)
+        values = [alap[n] for n in order]
+        assert values == sorted(values)
+
+    def test_random_deterministic_by_seed(self):
+        g = hal()
+        assert meta_random(3)(g) == meta_random(3)(g)
+        assert meta_random(3)(g) != meta_random(4)(g)
+
+
+class TestRegistry:
+    def test_paper_numbering(self):
+        assert set(META_SCHEDULES) == {
+            "meta1-dfs",
+            "meta2-topological",
+            "meta3-paths",
+            "meta4-list-order",
+        }
+
+    @pytest.mark.parametrize("alias,key", [
+        ("meta1", "meta1-dfs"),
+        ("dfs", "meta1-dfs"),
+        ("META2", "meta2-topological"),
+        ("paths", "meta3-paths"),
+        ("meta4", "meta4-list-order"),
+    ])
+    def test_aliases(self, alias, key):
+        assert get_meta_schedule(alias) is META_SCHEDULES[key]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SchedulingError):
+            get_meta_schedule("meta99")

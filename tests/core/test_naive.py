@@ -1,0 +1,67 @@
+"""Unit tests for the naive speculative reference scheduler."""
+
+import pytest
+
+from repro.core.naive import NaiveSoftScheduler
+from repro.errors import NoValidPositionError, SchedulingError
+from repro.graphs import hal, paper_fig1
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.scheduling.resources import ResourceSet
+
+
+class TestNaive:
+    def test_idempotent(self):
+        naive = NaiveSoftScheduler(hal(), 2)
+        naive.schedule("m1")
+        naive.schedule("m1")
+        assert sum(len(naive.thread_members(k)) for k in range(2)) == 1
+
+    def test_single_thread_serializes(self):
+        g = hal()
+        naive = NaiveSoftScheduler(g, 1)
+        naive.schedule_all(g.topological_order())
+        assert naive.diameter() == g.total_delay()
+
+    def test_fig1_reaches_5(self):
+        g = paper_fig1()
+        naive = NaiveSoftScheduler(g, 2)
+        naive.schedule_all(g.topological_order())
+        assert naive.diameter() == 5
+
+    def test_typed_threads(self):
+        naive = NaiveSoftScheduler.from_resources(
+            hal(), ResourceSet.of(alu=1, mul=2)
+        )
+        g = hal()
+        naive.schedule_all(g.topological_order())
+        for k, spec in enumerate(naive.specs):
+            for node_id in naive.thread_members(k):
+                assert spec.fu_type.supports(g.node(node_id).op)
+
+    def test_incompatible_op_rejected(self):
+        naive = NaiveSoftScheduler.from_resources(
+            hal(), ResourceSet.of(alu=1)
+        )
+        with pytest.raises(NoValidPositionError):
+            naive.schedule("m1")
+
+    def test_structural_ops_are_free(self):
+        g = hal()
+        g.splice_on_edge("m1", "m3", "w", OpKind.WIRE, delay=1)
+        naive = NaiveSoftScheduler(g, 2)
+        naive.schedule_all(g.topological_order())
+        assert "w" in naive
+        assert all(
+            "w" not in naive.thread_members(k) for k in range(2)
+        )
+
+    def test_empty_thread_list_rejected(self):
+        with pytest.raises(SchedulingError):
+            NaiveSoftScheduler(hal(), [])
+
+    def test_work_counter_accumulates(self):
+        g = hal()
+        naive = NaiveSoftScheduler(g, 2)
+        naive.schedule_all(g.topological_order())
+        assert naive.work > 0

@@ -1,0 +1,101 @@
+"""Property tests for Theorem 2 (online optimality).
+
+Algorithm 1 must, after *every* insertion, reach the same state
+diameter as the exhaustive naive scheduler that tries every position
+and picks the global best (they optimise the same objective; Theorem 2
+says the O(1)-cost position evaluation loses nothing).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive import NaiveSoftScheduler
+from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
+from repro.graphs import hal, paper_fig1
+from repro.graphs.random_dags import random_expression_dag, random_layered_dag
+from repro.scheduling.resources import ResourceSet
+
+
+def _shuffled(dfg, seed):
+    order = dfg.nodes()
+    random.Random(seed).shuffle(order)
+    return order
+
+
+class TestAgainstNaiveOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=22),
+        st.integers(0, 10_000),
+        st.integers(1, 3),
+        st.integers(0, 10),
+    )
+    def test_same_diameter_after_every_insertion(
+        self, size, seed, threads, order_seed
+    ):
+        dfg = random_layered_dag(size, seed=seed, mul_fraction=0.0)
+        fast = ThreadedGraph(dfg, threads)
+        slow = NaiveSoftScheduler(dfg, threads)
+        for node_id in _shuffled(dfg, order_seed):
+            fast.schedule(node_id)
+            slow.schedule(node_id)
+            assert fast.diameter() == slow.diameter(), (
+                f"divergence after {node_id}: "
+                f"threaded={fast.diameter()} naive={slow.diameter()}"
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=18), st.integers(0, 10_000))
+    def test_expression_dags_typed_threads(self, size, seed):
+        dfg = random_expression_dag(size, seed=seed)
+        resources = ResourceSet.of(alu=1, mul=1)
+        fast = ThreadedGraph.from_resources(dfg, resources)
+        slow = NaiveSoftScheduler.from_resources(dfg, resources)
+        for node_id in dfg.topological_order():
+            fast.schedule(node_id)
+            slow.schedule(node_id)
+            assert fast.diameter() == slow.diameter()
+
+    def test_hal_full_run_matches(self, two_two):
+        dfg = hal()
+        fast = ThreadedGraph.from_resources(dfg, two_two)
+        slow = NaiveSoftScheduler.from_resources(dfg, two_two)
+        for node_id in dfg.topological_order():
+            fast.schedule(node_id)
+            slow.schedule(node_id)
+            assert fast.diameter() == slow.diameter()
+        # Identical objective + tie-break => identical thread layout.
+        for k in range(fast.K):
+            assert fast.thread_members(k) == slow.thread_members(k)
+
+    def test_fig1_matches_with_universal_units(self):
+        dfg = paper_fig1()
+        fast = ThreadedGraph(dfg, 2)
+        slow = NaiveSoftScheduler(dfg, 2)
+        for node_id in dfg.topological_order():
+            fast.schedule(node_id)
+            slow.schedule(node_id)
+        assert fast.diameter() == slow.diameter() == 5
+
+
+class TestOptimalityCorollary:
+    """Corollary 1: the newly inserted vertex's distance is minimal,
+    so the new diameter is max(old diameter, chosen cost)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=25), st.integers(0, 5_000))
+    def test_diameter_growth_equals_insertion_cost(self, size, seed):
+        dfg = random_layered_dag(size, seed=seed, mul_fraction=0.3)
+        state = ThreadedGraph(dfg, 2)
+        for node_id in dfg.topological_order():
+            before = state.diameter()
+            state.schedule(node_id)
+            after = state.diameter()
+            vertex = state.vertex(node_id)
+            state.label()
+            inserted_distance = (
+                vertex.sdist + vertex.tdist - vertex.delay
+            )
+            assert after == max(before, inserted_distance)

@@ -1,0 +1,207 @@
+"""Tests for the soft refinement operations (spill, wire, phi, ECO)."""
+
+import pytest
+
+from repro.core import (
+    ThreadedScheduler,
+    check_against_graph,
+    check_state,
+    insert_spill,
+    insert_wire_delay,
+)
+from repro.core.refine import annotate_wire_weights, resolve_phi, unschedule
+from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
+from repro.errors import GraphError, ThreadedGraphError
+from repro.graphs import hal, paper_fig1
+from repro.graphs.paper_fig1 import FIG1_SPILLED, FIG1_WIRE_EDGE
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.scheduling.resources import MEM, ResourceSet
+
+
+def fig1_scheduler(with_mem=True):
+    """Two ALU threads (every Figure 1 op is an addition) plus,
+    optionally, a memory port for spill code."""
+    from repro.scheduling.resources import ALU
+
+    threads = [
+        ThreadSpec(fu_type=ALU, label="fu0"),
+        ThreadSpec(fu_type=ALU, label="fu1"),
+    ]
+    if with_mem:
+        threads.append(ThreadSpec(fu_type=MEM, label="mem0"))
+    return ThreadedScheduler(
+        paper_fig1(), threads=threads, meta="meta2"
+    ).run()
+
+
+class TestSpill:
+    def test_paper_numbers(self):
+        scheduler = fig1_scheduler()
+        assert scheduler.diameter == 5
+        store, load = insert_spill(scheduler.state, FIG1_SPILLED)
+        assert scheduler.diameter == 6
+        assert check_state(scheduler.state) == []
+        assert check_against_graph(scheduler.state) == []
+        # Memory ops landed on the memory thread.
+        assert scheduler.state.thread_of(store) == 2
+        assert scheduler.state.thread_of(load) == 2
+
+    def test_graph_rewired(self):
+        scheduler = fig1_scheduler()
+        g = scheduler.state.dfg
+        store, load = insert_spill(scheduler.state, "v3")
+        assert not g.has_edge("v3", "v6")
+        assert g.has_edge("v3", store)
+        assert g.has_edge(store, load)
+        assert g.has_edge(load, "v6")
+
+    def test_requires_memory_thread(self):
+        scheduler = fig1_scheduler(with_mem=False)
+        with pytest.raises(ThreadedGraphError):
+            insert_spill(scheduler.state, "v3")
+
+    def test_store_only_for_output_values(self):
+        scheduler = fig1_scheduler()
+        store, load = insert_spill(scheduler.state, "v7")  # a sink
+        assert load is None
+        assert scheduler.state.dfg.has_edge("v7", store)
+
+    def test_partial_consumer_redirect(self):
+        scheduler = fig1_scheduler()
+        g = scheduler.state.dfg
+        # v1 feeds v2 and v3; spill only the v3 leg.
+        store, load = insert_spill(scheduler.state, "v1", consumers=["v3"])
+        assert g.has_edge("v1", "v2")
+        assert not g.has_edge("v1", "v3")
+        assert g.has_edge(load, "v3")
+
+    def test_spill_hardens_validly(self):
+        scheduler = fig1_scheduler()
+        insert_spill(scheduler.state, "v3")
+        schedule = scheduler.harden()
+        assert schedule.length == 6
+
+
+class TestWireDelay:
+    def test_paper_numbers(self):
+        scheduler = fig1_scheduler(with_mem=False)
+        assert scheduler.diameter == 5
+        wire = insert_wire_delay(scheduler.state, *FIG1_WIRE_EDGE, delay=1)
+        assert scheduler.diameter == 5
+        assert scheduler.state.thread_of(wire) is None
+        assert check_state(scheduler.state) == []
+        assert check_against_graph(scheduler.state) == []
+
+    def test_wire_on_critical_edge_grows_diameter(self):
+        scheduler = fig1_scheduler(with_mem=False)
+        insert_wire_delay(scheduler.state, "v6", "v7", delay=2)
+        assert scheduler.diameter == 7
+
+    def test_missing_edge_rejected(self):
+        scheduler = fig1_scheduler(with_mem=False)
+        with pytest.raises(GraphError):
+            insert_wire_delay(scheduler.state, "v1", "v7")
+
+
+class TestAnnotate:
+    def test_edge_weight_annotation_relabels(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        before = scheduler.diameter
+        annotate_wire_weights(
+            scheduler.state, {("m3", "s1"): 2}
+        )
+        assert scheduler.diameter >= before + 1
+        assert check_state(scheduler.state) == []
+
+    def test_negative_weight_rejected(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        with pytest.raises(GraphError):
+            annotate_wire_weights(scheduler.state, {("m3", "s1"): -1})
+
+    def test_partial_order_untouched(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        edges_before = scheduler.state.state_edges()
+        annotate_wire_weights(scheduler.state, {("m3", "s1"): 3})
+        assert scheduler.state.state_edges() == edges_before
+
+
+class TestPhi:
+    def _phi_graph(self):
+        b = GraphBuilder()
+        x = b.add("x")
+        y = b.add("y")
+        phi = b.node(OpKind.PHI, "phi", x, y)
+        b.add("z", phi)
+        return b.graph()
+
+    def test_phi_to_move(self):
+        g = self._phi_graph()
+        scheduler = ThreadedScheduler(
+            g, resources=ResourceSet.of(alu=2)
+        ).run()
+        resolve_phi(scheduler.state, "phi", into="move")
+        assert g.node("phi").op is OpKind.MOVE
+        assert g.node("phi").delay == 1
+        assert check_state(scheduler.state) == []
+
+    def test_phi_to_nop_shrinks_diameter(self):
+        g = self._phi_graph()
+        scheduler = ThreadedScheduler(
+            g, resources=ResourceSet.of(alu=2)
+        ).run()
+        before = scheduler.diameter
+        resolve_phi(scheduler.state, "phi", into="nop")
+        assert scheduler.diameter <= before
+
+    def test_non_phi_rejected(self):
+        g = self._phi_graph()
+        scheduler = ThreadedScheduler(
+            g, resources=ResourceSet.of(alu=2)
+        ).run()
+        with pytest.raises(GraphError):
+            resolve_phi(scheduler.state, "x")
+
+    def test_unknown_resolution_rejected(self):
+        g = self._phi_graph()
+        scheduler = ThreadedScheduler(
+            g, resources=ResourceSet.of(alu=2)
+        ).run()
+        with pytest.raises(GraphError):
+            resolve_phi(scheduler.state, "phi", into="magic")
+
+
+class TestEngineeringChange:
+    def test_unschedule_then_reschedule(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        unschedule(scheduler.state, "m5")
+        assert "m5" not in scheduler.state
+        assert check_state(scheduler.state) == []
+        scheduler.state.schedule("m5")
+        assert "m5" in scheduler.state
+        assert check_state(scheduler.state) == []
+        assert check_against_graph(scheduler.state) == []
+
+    def test_relations_through_removed_vertex_preserved(self):
+        scheduler = fig1_scheduler(with_mem=False)
+        state = scheduler.state
+        from repro.core.invariants import _state_closure
+
+        closure_before = _state_closure(state)
+        through_v6 = {
+            (p, q)
+            for p in closure_before
+            for q in closure_before[p]
+            if p != "v6" and q != "v6"
+        }
+        unschedule(state, "v6")
+        closure_after = _state_closure(state)
+        for p, q in through_v6:
+            assert q in closure_after[p], f"lost {p} < {q}"
+
+    def test_unschedule_free_vertex(self):
+        scheduler = fig1_scheduler(with_mem=False)
+        wire = insert_wire_delay(scheduler.state, "v3", "v6", delay=1)
+        unschedule(scheduler.state, wire)
+        assert wire not in scheduler.state
+        assert check_state(scheduler.state) == []

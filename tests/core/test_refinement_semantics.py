@@ -1,0 +1,98 @@
+"""Property tests: refinements preserve semantics and invariants.
+
+The strongest guarantee the library offers: after an arbitrary chain of
+spill and wire-delay refinements on a random graph, the hardened
+schedule still computes exactly what the *original* graph computed, and
+the state invariants (Definitions 3/4) still hold.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ThreadedScheduler,
+    check_against_graph,
+    check_state,
+    insert_spill,
+    insert_wire_delay,
+)
+from repro.graphs.random_dags import random_expression_dag
+from repro.scheduling import (
+    ResourceSet,
+    evaluate_dfg,
+    simulate_schedule,
+    validate_schedule,
+)
+from repro.scheduling.resources import MEM
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=25),
+    st.integers(0, 3_000),
+    st.integers(1, 3),
+    st.integers(0, 7),
+)
+def test_refinement_chain_preserves_everything(
+    size, graph_seed, num_spills, chaos_seed
+):
+    dfg = random_expression_dag(size, seed=graph_seed)
+    original_ids = list(dfg.nodes())
+    reference = evaluate_dfg(dfg, default_input=2)
+
+    resources = ResourceSet.of(alu=2, mul=1).with_added(MEM, 1)
+    scheduler = ThreadedScheduler(dfg, resources=resources).run()
+
+    rng = random.Random(chaos_seed)
+
+    # Random spills of values that have consumers.
+    spillable = [n for n in original_ids if dfg.successors(n)]
+    rng.shuffle(spillable)
+    for victim in spillable[:num_spills]:
+        insert_spill(scheduler.state, victim)
+
+    # One wire delay on a random remaining edge between original ops.
+    edges = [
+        (e.src, e.dst)
+        for e in dfg.edges()
+        if e.src in original_ids and e.dst in original_ids
+    ]
+    if edges:
+        src, dst = rng.choice(edges)
+        insert_wire_delay(scheduler.state, src, dst, delay=1)
+
+    # Invariants survive the chain.
+    assert check_state(scheduler.state) == []
+    assert check_against_graph(scheduler.state) == []
+
+    # The hardened schedule is valid and semantics-preserving.
+    schedule = scheduler.harden()
+    assert validate_schedule(schedule) == []
+    simulated = simulate_schedule(schedule, default_input=2)
+    for node_id in original_ids:
+        assert simulated[node_id] == reference[node_id], node_id
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=4, max_value=20), st.integers(0, 2_000))
+def test_spill_then_improve_preserves_semantics(size, seed):
+    """Local search after refinement keeps the computation intact."""
+    from repro.core import improve_schedule
+
+    dfg = random_expression_dag(size, seed=seed)
+    original_ids = list(dfg.nodes())
+    reference = evaluate_dfg(dfg, default_input=2)
+    resources = ResourceSet.of(alu=1, mul=1).with_added(MEM, 1)
+    scheduler = ThreadedScheduler(dfg, resources=resources).run()
+
+    spillable = [n for n in original_ids if dfg.successors(n)]
+    if spillable:
+        insert_spill(scheduler.state, spillable[0])
+    improve_schedule(scheduler.state, max_rounds=2)
+
+    assert check_state(scheduler.state) == []
+    schedule = scheduler.harden()
+    simulated = simulate_schedule(schedule, default_input=2)
+    for node_id in original_ids:
+        assert simulated[node_id] == reference[node_id]

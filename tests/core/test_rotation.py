@@ -1,0 +1,104 @@
+"""Tests for rotation scheduling (the retiming outlook of Section 6)."""
+
+import pytest
+
+from repro.core.rotation import rotate_loop
+from repro.errors import GraphError
+from repro.ir.builder import GraphBuilder
+from repro.ir.parser import parse_program
+from repro.ir.ssa import loop_ssa
+from repro.scheduling import ResourceSet, validate_schedule
+
+
+def gating_loop():
+    """A body where a cheap step-0 op gates a long multiply chain.
+
+    Rotating ``a`` into the previous iteration removes it from the
+    critical prefix: body length drops from 7 to 6 with ample units.
+    """
+    return loop_ssa(
+        parse_program(
+            """
+            a = x + k1
+            b = a * c1
+            c = b * c2
+            d = c + a
+            acc = acc + d
+            """
+        ),
+        name="gating",
+    )
+
+
+class TestRotation:
+    def test_improves_gated_chain(self):
+        result = rotate_loop(
+            gating_loop(), ResourceSet.of(alu=4, mul=4), rotations=3
+        )
+        assert result.initial_length == 7
+        assert result.best_length < result.initial_length
+        assert result.improvement >= 1
+
+    def test_best_schedule_is_valid(self):
+        result = rotate_loop(
+            gating_loop(), ResourceSet.of(alu=2, mul=2), rotations=3
+        )
+        assert validate_schedule(result.best_schedule) == []
+
+    def test_history_starts_with_initial(self):
+        result = rotate_loop(
+            gating_loop(), ResourceSet.of(alu=2, mul=1), rotations=2
+        )
+        assert result.history[0] == result.initial_length
+        assert len(result.history) == result.rotations_applied + 1
+
+    def test_best_never_above_initial(self):
+        for constraint in ("1+/-,1*", "2+/-,1*", "2+/-,2*"):
+            result = rotate_loop(
+                gating_loop(), ResourceSet.parse(constraint), rotations=4
+            )
+            assert result.best_length <= result.initial_length
+
+    def test_op_set_preserved(self):
+        ssa = gating_loop()
+        ops = set(ssa.dfg.nodes())
+        result = rotate_loop(ssa, ResourceSet.of(alu=2, mul=2), rotations=3)
+        assert set(result.best_schedule.start_times) == ops
+        # Input untouched.
+        assert set(ssa.dfg.nodes()) == ops
+
+    def test_back_edge_distances_stay_positive(self):
+        result = rotate_loop(
+            gating_loop(), ResourceSet.of(alu=2, mul=2), rotations=4
+        )
+        assert all(d >= 1 for d in result.back_edges.values())
+
+    def test_plain_dfg_with_explicit_back_edges(self):
+        b = GraphBuilder("manual")
+        head = b.add("head")
+        tail = b.mul("tail", head)
+        result = rotate_loop(
+            b.graph(),
+            ResourceSet.of(alu=1, mul=1),
+            rotations=1,
+            back_edges={("tail", "head"): 1},
+        )
+        assert result.rotations_applied == 1
+        assert result.best_length <= result.initial_length
+
+    def test_negative_distance_rejected(self):
+        b = GraphBuilder("bad")
+        x = b.add("x")
+        y = b.add("y", x)
+        with pytest.raises(GraphError):
+            rotate_loop(
+                b.graph(),
+                ResourceSet.of(alu=1),
+                back_edges={("y", "x"): 0},
+            )
+
+    def test_single_step_body_cannot_rotate(self):
+        b = GraphBuilder("flat")
+        b.add("only")
+        result = rotate_loop(b.graph(), ResourceSet.of(alu=1), rotations=3)
+        assert result.rotations_applied == 0

@@ -1,0 +1,133 @@
+"""Tests pinning the reproduced results of every paper artifact.
+
+These are the repository's headline assertions: if any of them breaks,
+the reproduction no longer reproduces.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import Figure1Numbers, figure1_walkthrough
+from repro.experiments.figure3 import (
+    BENCHMARKS,
+    CONSTRAINTS,
+    FIGURE3_PAPER,
+    SCHEDULERS,
+    figure3_table,
+    render,
+)
+from repro.experiments.complexity import complexity_series
+from repro.experiments.meta_ablation import meta_ablation
+from repro.experiments.phase_coupling import phase_coupling_table
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return figure3_table()
+
+    def test_full_grid_computed(self, cells):
+        assert len(cells) == len(BENCHMARKS) * len(SCHEDULERS) * len(
+            CONSTRAINTS
+        )
+
+    def test_list_baseline_matches_paper_everywhere(self, cells):
+        """The anchor: the list scheduler reproduces its row exactly."""
+        for cell in cells:
+            if cell.scheduler == "list sched":
+                assert cell.measured == cell.paper, cell
+
+    def test_fir_row_matches_everywhere(self, cells):
+        for cell in cells:
+            if cell.benchmark == "FIR":
+                assert cell.measured == cell.paper, cell
+
+    def test_threaded_never_worse_than_paper(self, cells):
+        """Every deviation from the paper is in our favour (the online
+        scheduler found an equal or shorter schedule)."""
+        for cell in cells:
+            assert cell.measured <= cell.paper, cell
+
+    def test_at_least_50_of_60_cells_exact(self, cells):
+        matched = sum(1 for c in cells if c.matches)
+        assert matched >= 50
+
+    def test_threaded_matches_list_with_few_exceptions(self, cells):
+        """The paper's qualitative claim (Section 5)."""
+        by_key = {
+            (c.benchmark, c.scheduler, c.constraint): c.measured
+            for c in cells
+        }
+        total = mismatches = 0
+        for benchmark in BENCHMARKS:
+            for constraint in CONSTRAINTS:
+                baseline = by_key[(benchmark, "list sched", constraint)]
+                for scheduler in SCHEDULERS[:-1]:
+                    total += 1
+                    if by_key[(benchmark, scheduler, constraint)] > baseline:
+                        mismatches += 1
+        assert mismatches <= total * 0.15
+
+    def test_render_annotates_mismatches(self, cells):
+        text = render(cells)
+        assert "Figure 3" in text
+        assert "HAL" in text and "FIR" in text
+
+
+class TestFigure1:
+    def test_all_paper_numbers(self):
+        numbers = figure1_walkthrough()
+        assert numbers.soft_states == Figure1Numbers.PAPER_SOFT_STATES
+        assert numbers.soft_after_spill == Figure1Numbers.PAPER_AFTER_SPILL
+        assert numbers.soft_after_wire == Figure1Numbers.PAPER_AFTER_WIRE
+
+    def test_soft_beats_hard_patching(self):
+        numbers = figure1_walkthrough()
+        assert numbers.soft_after_spill < numbers.hard_after_spill
+        assert numbers.soft_after_wire < numbers.hard_after_wire
+
+
+class TestComplexity:
+    def test_linearity_shape(self):
+        points = complexity_series(sizes=(50, 100, 200, 400), naive_limit=100)
+        # Algorithm 1's per-op work grows at most ~linearly (with slack
+        # for constants): an 8x size increase may grow work/op by at
+        # most ~12x; a quadratic scheduler would grow it 64x.
+        ratio = points[-1].threaded_work_per_op / points[0].threaded_work_per_op
+        assert ratio < 12
+
+    def test_naive_grows_superlinearly(self):
+        points = complexity_series(sizes=(50, 100), naive_limit=100)
+        fast_ratio = (
+            points[1].threaded_work_per_op / points[0].threaded_work_per_op
+        )
+        slow_ratio = points[1].naive_work_per_op / points[0].naive_work_per_op
+        assert slow_ratio > fast_ratio * 1.5
+
+
+class TestPhaseCoupling:
+    def test_soft_growth_bounded_by_hard(self):
+        rows = phase_coupling_table(benchmarks=("HAL", "FIR", "DCT8"))
+        for row in rows:
+            assert row.soft_growth <= row.hard_growth, row.benchmark
+
+    def test_totals_favour_soft(self):
+        rows = phase_coupling_table(benchmarks=("HAL", "FIR", "DCT8"))
+        assert sum(r.soft_growth for r in rows) < sum(
+            r.hard_growth for r in rows
+        )
+
+
+class TestMetaAblation:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        return meta_ablation(num_graphs=8, num_nodes=40)
+
+    def test_paper_metas_track_list(self, summaries):
+        """Mean ratio within 10% of the list scheduler."""
+        for summary in summaries:
+            if summary.meta.startswith("meta"):
+                if "random" not in summary.meta:
+                    assert summary.mean <= 1.10, summary.meta
+
+    def test_ratios_populated(self, summaries):
+        assert all(len(s.ratios) == 8 for s in summaries)

@@ -1,0 +1,108 @@
+"""Integration tests for the hard and soft HLS flows."""
+
+import pytest
+
+from repro.flows import compare_flows, run_hard_flow, run_soft_flow
+from repro.graphs import hal, fir, dct8
+from repro.physical import WireModel
+from repro.scheduling import ResourceSet, validate_schedule
+
+
+CONSTRAINT = ResourceSet.parse("2+/-,1*")
+AGGRESSIVE_WIRES = WireModel(free_length=1.0, cells_per_cycle=3.0)
+
+
+class TestHardFlow:
+    def test_plain_run_no_refinements(self):
+        result = run_hard_flow(hal(), CONSTRAINT)
+        assert result.initial.length == result.final.length
+        assert result.spilled_values == []
+
+    def test_spill_patch_grows_schedule(self):
+        result = run_hard_flow(hal(), CONSTRAINT, max_registers=3)
+        assert result.spilled_values
+        assert result.after_spill.length > result.initial.length
+        # The patched schedule still respects every dependence.
+        assert validate_schedule(
+            result.after_spill, resources=None, check_binding=False
+        ) == []
+
+    def test_iterate_reschedules_instead_of_patching(self):
+        patched = run_hard_flow(hal(), CONSTRAINT, max_registers=3)
+        iterated = run_hard_flow(
+            hal(), CONSTRAINT, max_registers=3, iterate=True
+        )
+        assert iterated.reschedules == 1
+        # Rescheduling from scratch is at least as good as patching.
+        assert iterated.after_spill.length <= patched.after_spill.length
+
+    def test_wire_repair_applied(self):
+        result = run_hard_flow(
+            hal(), CONSTRAINT, wire_model=AGGRESSIVE_WIRES
+        )
+        assert result.wire_delays
+        assert result.final.length >= result.initial.length
+
+    def test_input_graph_untouched(self):
+        g = hal()
+        before = g.num_nodes
+        run_hard_flow(g, CONSTRAINT, max_registers=2)
+        assert g.num_nodes == before
+
+
+class TestSoftFlow:
+    def test_plain_run(self):
+        result = run_soft_flow(hal(), CONSTRAINT)
+        assert result.initial.length == result.final.length
+        assert validate_schedule(result.final) == []
+
+    def test_spill_refinement_absorbed(self):
+        result = run_soft_flow(hal(), CONSTRAINT, max_registers=3)
+        assert result.spilled_values
+        assert result.after_spill.length >= result.initial.length
+        assert validate_schedule(result.after_spill) == []
+
+    def test_wire_annotation(self):
+        result = run_soft_flow(
+            hal(), CONSTRAINT, wire_model=AGGRESSIVE_WIRES
+        )
+        assert result.final.length >= result.initial.length
+        assert validate_schedule(
+            result.final, resources=None, check_binding=False
+        ) == []
+
+    def test_memory_port_added_automatically(self):
+        result = run_soft_flow(hal(), CONSTRAINT, max_registers=3)
+        labels = [spec.label for spec in result.scheduler.state.specs]
+        assert any(label.startswith("mem") for label in labels)
+
+    def test_input_graph_untouched(self):
+        g = hal()
+        before = g.num_nodes
+        run_soft_flow(g, CONSTRAINT, max_registers=2)
+        assert g.num_nodes == before
+
+
+class TestComparison:
+    @pytest.mark.parametrize("graph_factory", [hal, fir, dct8])
+    def test_soft_growth_never_exceeds_hard(self, graph_factory):
+        comparison = compare_flows(
+            graph_factory(),
+            CONSTRAINT,
+            max_registers=4,
+            wire_model=AGGRESSIVE_WIRES,
+        )
+        hard_growth = (
+            comparison.hard.final.length - comparison.hard.initial.length
+        )
+        soft_growth = (
+            comparison.soft.final.length - comparison.soft.initial.length
+        )
+        assert soft_growth <= hard_growth
+
+    def test_render_contains_stages(self):
+        comparison = compare_flows(hal(), CONSTRAINT, max_registers=4)
+        text = comparison.render()
+        assert "initial schedule" in text
+        assert "after spilling" in text
+        assert "hard flow" in text and "soft flow" in text

@@ -1,0 +1,41 @@
+"""Tests for the flow comparison report."""
+
+from repro.flows import compare_flows
+from repro.flows.report import FlowComparison
+from repro.graphs import hal
+from repro.physical import WireModel
+from repro.scheduling import ResourceSet
+
+
+class TestReport:
+    def test_rows_structure(self):
+        comparison = compare_flows(
+            hal(), ResourceSet.parse("2+/-,1*"), max_registers=4
+        )
+        rows = comparison.rows()
+        assert [label for label, _, _ in rows] == [
+            "initial schedule",
+            "after spilling",
+            "after wire delay",
+        ]
+        for _, hard_len, soft_len in rows:
+            assert hard_len > 0 and soft_len > 0
+
+    def test_wire_model_flows_through(self):
+        comparison = compare_flows(
+            hal(),
+            ResourceSet.parse("2+/-,1*"),
+            max_registers=4,
+            wire_model=WireModel(free_length=0.5, cells_per_cycle=2.0),
+        )
+        assert comparison.hard.wire_delays or comparison.soft.wire_delays
+
+    def test_meta_selection(self):
+        comparison = compare_flows(
+            hal(), ResourceSet.parse("2+/-,2*"), meta="meta3-paths"
+        )
+        assert "meta_paths" in comparison.soft.final.algorithm
+
+    def test_benchmark_name_in_render(self):
+        comparison = compare_flows(hal(), ResourceSet.parse("2+/-,2*"))
+        assert "hal" in comparison.render()

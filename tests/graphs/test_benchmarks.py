@@ -1,0 +1,140 @@
+"""Tests for the benchmark graph library."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    ar_filter,
+    dct8,
+    elliptic_wave_filter,
+    fir,
+    get_graph,
+    hal,
+    list_graphs,
+    paper_fig1,
+)
+from repro.graphs.paper_fig1 import FIG1_THREADS
+from repro.ir.analysis import diameter
+from repro.ir.ops import DelayModel, OpKind
+from repro.ir.validate import validate_dfg
+
+
+class TestHal:
+    def test_op_counts(self):
+        hist = hal().op_histogram()
+        assert hist[OpKind.MUL] == 6
+        assert hist[OpKind.ADD] == 2
+        assert hist[OpKind.SUB] == 2
+        assert hist[OpKind.LT] == 1
+        assert hal().num_nodes == 11
+
+    def test_critical_path(self):
+        assert diameter(hal()) == 6
+
+    def test_validates(self):
+        assert validate_dfg(hal()) == []
+
+
+class TestAr:
+    def test_op_counts(self):
+        hist = ar_filter().op_histogram()
+        assert hist[OpKind.MUL] == 16
+        assert hist[OpKind.ADD] == 12
+        assert ar_filter().num_nodes == 28
+
+    def test_validates(self):
+        assert validate_dfg(ar_filter()) == []
+
+    def test_all_multiplications_are_inputs(self):
+        g = ar_filter()
+        for node in g.node_objects():
+            if node.op is OpKind.MUL:
+                assert g.in_degree(node.id) == 0
+
+
+class TestEwf:
+    def test_op_counts(self):
+        hist = elliptic_wave_filter().op_histogram()
+        assert hist[OpKind.ADD] == 26
+        assert hist[OpKind.MUL] == 8
+        assert elliptic_wave_filter().num_nodes == 34
+
+    def test_critical_path_is_17(self):
+        """The EWF's famous 17-step critical path (mul=2, add=1)."""
+        assert diameter(elliptic_wave_filter()) == 17
+
+    def test_validates(self):
+        assert validate_dfg(elliptic_wave_filter()) == []
+
+
+class TestFir:
+    def test_default_is_8_tap(self):
+        hist = fir().op_histogram()
+        assert hist[OpKind.MUL] == 8
+        assert hist[OpKind.ADD] == 7
+
+    def test_parametric_taps(self):
+        g = fir(taps=16)
+        hist = g.op_histogram()
+        assert hist[OpKind.MUL] == 16
+        assert hist[OpKind.ADD] == 15
+
+    def test_odd_taps(self):
+        g = fir(taps=5)
+        assert g.op_histogram()[OpKind.ADD] == 4
+        assert validate_dfg(g) == []
+
+    def test_too_few_taps_rejected(self):
+        with pytest.raises(GraphError):
+            fir(taps=1)
+
+    def test_adder_tree_depth_balanced(self):
+        assert diameter(fir()) == 2 + 3  # mul + log2(8) adds
+
+
+class TestDct:
+    def test_op_mix(self):
+        hist = dct8().op_histogram()
+        assert hist[OpKind.MUL] == 12
+        assert hist[OpKind.ADD] + hist[OpKind.SUB] == 24
+        assert dct8().num_nodes == 36
+
+    def test_validates(self):
+        assert validate_dfg(dct8()) == []
+
+
+class TestFig1:
+    def test_seven_unit_delay_vertices(self):
+        g = paper_fig1()
+        assert g.num_nodes == 7
+        assert all(node.delay == 1 for node in g.node_objects())
+
+    def test_thread_partition_covers_graph(self):
+        g = paper_fig1()
+        combined = set().union(*FIG1_THREADS)
+        assert combined == set(g.nodes())
+
+    def test_critical_path_is_5(self):
+        assert diameter(paper_fig1()) == 5
+
+
+class TestRegistry:
+    def test_paper_benchmarks_present(self):
+        names = {info.name for info in list_graphs(paper_only=True)}
+        assert names == {"HAL", "AR", "EF", "FIR"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_graph("hal").num_nodes == 11
+        assert get_graph("EF").num_nodes == 34
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GraphError):
+            get_graph("nonsense")
+
+    def test_custom_delay_model_threads_through(self):
+        g = get_graph("HAL", delay_model=DelayModel.unit())
+        assert g.node("m1").delay == 1
+
+    def test_descriptions_nonempty(self):
+        for info in list_graphs():
+            assert info.description

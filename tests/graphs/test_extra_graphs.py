@@ -1,0 +1,71 @@
+"""Tests for the extra (non-paper) benchmark graphs."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.fft import fft
+from repro.graphs.iir import iir_biquad_cascade
+from repro.ir.analysis import diameter
+from repro.ir.ops import OpKind
+from repro.ir.validate import validate_dfg
+
+
+class TestFft:
+    def test_default_8_point(self):
+        g = fft()
+        hist = g.op_histogram()
+        # 12 butterflies x (4 muls + 6 add/sub).
+        assert hist[OpKind.MUL] == 48
+        assert hist[OpKind.ADD] + hist[OpKind.SUB] == 72
+        assert validate_dfg(g) == []
+
+    def test_stage_scaling(self):
+        # N points -> (N/2)*log2(N) butterflies, 10 ops each.
+        for stages in (1, 2, 4):
+            points = 1 << stages
+            butterflies = (points // 2) * stages
+            g = fft(stages=stages)
+            assert g.num_nodes == butterflies * 10
+
+    def test_depth_grows_with_stages(self):
+        assert diameter(fft(stages=3)) > diameter(fft(stages=1))
+
+    def test_acyclic(self):
+        assert fft(stages=4).is_dag()
+
+    def test_bad_stage_count(self):
+        with pytest.raises(GraphError):
+            fft(stages=0)
+
+
+class TestIir:
+    def test_default_3_sections(self):
+        g = iir_biquad_cascade()
+        hist = g.op_histogram()
+        assert hist[OpKind.MUL] == 15
+        assert hist[OpKind.ADD] == 6
+        assert hist[OpKind.SUB] == 6
+        assert validate_dfg(g) == []
+
+    def test_sections_chain_through_y(self):
+        g = iir_biquad_cascade(sections=2)
+        # Section 2's first subtract consumes section 1's output.
+        assert g.has_edge("s1_y", "s2_sub1")
+
+    def test_depth_scales_with_sections(self):
+        d1 = diameter(iir_biquad_cascade(sections=1))
+        d4 = diameter(iir_biquad_cascade(sections=4))
+        assert d4 > d1 * 2
+
+    def test_bad_section_count(self):
+        with pytest.raises(GraphError):
+            iir_biquad_cascade(sections=0)
+
+    def test_schedulable_under_paper_constraints(self):
+        from repro.core import threaded_schedule
+        from repro.scheduling import ResourceSet, validate_schedule
+
+        schedule = threaded_schedule(
+            iir_biquad_cascade(), ResourceSet.parse("2+/-,1*")
+        )
+        assert validate_schedule(schedule) == []

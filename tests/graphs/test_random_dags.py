@@ -1,0 +1,66 @@
+"""Tests for the seeded random DAG generators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.random_dags import random_expression_dag, random_layered_dag
+from repro.ir.validate import validate_dfg
+
+
+class TestLayered:
+    def test_deterministic_by_seed(self):
+        a = random_layered_dag(50, seed=42)
+        b = random_layered_dag(50, seed=42)
+        assert a.nodes() == b.nodes()
+        assert {(e.src, e.dst) for e in a.edges()} == {
+            (e.src, e.dst) for e in b.edges()
+        }
+
+    def test_different_seeds_differ(self):
+        a = random_layered_dag(50, seed=1)
+        b = random_layered_dag(50, seed=2)
+        assert {(e.src, e.dst) for e in a.edges()} != {
+            (e.src, e.dst) for e in b.edges()
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=120), st.integers(0, 10_000))
+    def test_always_a_valid_dag_of_requested_size(self, size, seed):
+        g = random_layered_dag(size, seed=seed)
+        assert g.num_nodes == size
+        assert g.is_dag()
+
+    def test_connectivity_beyond_first_layer(self):
+        g = random_layered_dag(80, seed=7)
+        # Every non-source node must have at least one predecessor.
+        sources = set(g.sources())
+        for node_id in g.nodes():
+            if node_id not in sources:
+                assert g.in_degree(node_id) >= 1
+
+    def test_mul_fraction_respected_roughly(self):
+        from repro.ir.ops import OpKind
+
+        g = random_layered_dag(300, seed=3, mul_fraction=0.5)
+        muls = g.op_histogram().get(OpKind.MUL, 0)
+        assert 0.3 < muls / 300 < 0.7
+
+
+class TestExpression:
+    def test_deterministic(self):
+        a = random_expression_dag(40, seed=5)
+        b = random_expression_dag(40, seed=5)
+        assert {(e.src, e.dst) for e in a.edges()} == {
+            (e.src, e.dst) for e in b.edges()
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=80), st.integers(0, 10_000))
+    def test_valid_dag(self, size, seed):
+        g = random_expression_dag(size, seed=seed)
+        assert g.num_nodes == size
+        assert g.is_dag()
+        assert validate_dfg(g, raise_on_error=False) == []
+
+    def test_max_two_operands(self):
+        g = random_expression_dag(100, seed=9)
+        assert all(g.in_degree(n) <= 2 for n in g.nodes())

@@ -1,0 +1,160 @@
+"""Tests for the distance analyses of Definition 1 (with networkx
+cross-validation and hypothesis property tests)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.random_dags import random_layered_dag
+from repro.ir.analysis import (
+    alap_times,
+    ancestors,
+    asap_times,
+    critical_path,
+    descendants,
+    diameter,
+    mobility,
+    node_distances,
+    precedes,
+    sink_distances,
+    source_distances,
+    transitive_closure,
+)
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+
+
+def chain3():
+    b = GraphBuilder("chain")
+    m = b.mul("m")          # delay 2
+    a = b.add("a", m)       # delay 1
+    s = b.sub("s", a)       # delay 1
+    return b.graph()
+
+
+class TestDistances:
+    def test_chain_distances(self):
+        g = chain3()
+        assert source_distances(g) == {"m": 2, "a": 3, "s": 4}
+        assert sink_distances(g) == {"m": 4, "a": 2, "s": 1}
+        assert node_distances(g) == {"m": 4, "a": 4, "s": 4}
+        assert diameter(g) == 4
+
+    def test_lemma5_identity(self):
+        """||<-v->|| = D(v) + max_p ||<-p|| + max_q ||q->|| (Lemma 5)."""
+        g = random_layered_dag(60, seed=3)
+        sdist = source_distances(g)
+        tdist = sink_distances(g)
+        dist = node_distances(g)
+        for node_id in g.nodes():
+            best_pred = max(
+                (sdist[e.src] + e.weight for e in g.in_edges(node_id)),
+                default=0,
+            )
+            best_succ = max(
+                (tdist[e.dst] + e.weight for e in g.out_edges(node_id)),
+                default=0,
+            )
+            assert dist[node_id] == (
+                g.delay(node_id) + best_pred + best_succ
+            )
+
+    def test_empty_graph_diameter(self):
+        assert diameter(DataFlowGraph()) == 0
+
+    def test_edge_weights_count_in_distances(self):
+        g = chain3()
+        g.edge("m", "a").weight = 3
+        assert source_distances(g)["a"] == 2 + 3 + 1
+        assert diameter(g) == 7
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=5, max_value=80), st.integers(0, 999))
+    def test_matches_networkx_longest_path(self, size, seed):
+        """Our diameter equals networkx's delay-weighted longest path."""
+        g = random_layered_dag(size, seed=seed)
+        nxg = nx.DiGraph()
+        for node in g.node_objects():
+            nxg.add_node(node.id)
+        for edge in g.edges():
+            # Model vertex delays as edge weights into the target, plus
+            # source delay handled via a super-source construction.
+            nxg.add_edge(
+                edge.src, edge.dst, w=edge.weight + g.delay(edge.dst)
+            )
+        super_source = "__src__"
+        nxg.add_node(super_source)
+        for node_id in g.nodes():
+            if g.in_degree(node_id) == 0:
+                nxg.add_edge(super_source, node_id, w=g.delay(node_id))
+        best = nx.dag_longest_path_length(nxg, weight="w")
+        assert diameter(g) == best
+
+
+class TestCriticalPath:
+    def test_critical_path_is_a_real_path(self):
+        g = random_layered_dag(50, seed=11)
+        path = critical_path(g)
+        for src, dst in zip(path, path[1:]):
+            assert g.has_edge(src, dst)
+
+    def test_critical_path_has_diameter_length(self):
+        g = random_layered_dag(50, seed=11)
+        path = critical_path(g)
+        length = sum(g.delay(n) for n in path) + sum(
+            g.edge(a, b).weight for a, b in zip(path, path[1:])
+        )
+        assert length == diameter(g)
+
+    def test_empty(self):
+        assert critical_path(DataFlowGraph()) == []
+
+
+class TestAsapAlap:
+    def test_asap_is_sdist_minus_delay(self):
+        g = chain3()
+        assert asap_times(g) == {"m": 0, "a": 2, "s": 3}
+
+    def test_alap_at_critical_latency(self):
+        g = chain3()
+        assert alap_times(g) == {"m": 0, "a": 2, "s": 3}
+
+    def test_alap_with_slack(self):
+        g = chain3()
+        alap = alap_times(g, latency=6)
+        assert alap == {"m": 2, "a": 4, "s": 5}
+
+    def test_alap_below_critical_rejected(self):
+        with pytest.raises(GraphError):
+            alap_times(chain3(), latency=3)
+
+    def test_mobility_zero_on_critical_path(self):
+        g = random_layered_dag(40, seed=5)
+        mob = mobility(g)
+        for node_id in critical_path(g):
+            assert mob[node_id] == 0
+
+    def test_mobility_nonnegative(self):
+        g = random_layered_dag(40, seed=6)
+        assert all(m >= 0 for m in mobility(g).values())
+
+
+class TestClosure:
+    def test_ancestors_descendants(self):
+        g = chain3()
+        assert ancestors(g, "s") == {"m", "a"}
+        assert descendants(g, "m") == {"a", "s"}
+
+    def test_transitive_closure_matches_reachability(self):
+        g = random_layered_dag(40, seed=9)
+        closure = transitive_closure(g)
+        for node_id in g.nodes():
+            assert closure[node_id] == frozenset(g.reachable_from(node_id))
+
+    def test_precedes(self):
+        g = chain3()
+        closure = transitive_closure(g)
+        assert precedes(closure, "m", "s")
+        assert not precedes(closure, "s", "m")

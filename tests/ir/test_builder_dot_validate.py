@@ -1,0 +1,100 @@
+"""Tests for the graph builder, DOT export and validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import hal
+from repro.ir.builder import GraphBuilder
+from repro.ir.dot import to_dot
+from repro.ir.ops import OpKind
+from repro.ir.validate import validate_dfg
+
+
+class TestBuilder:
+    def test_ops_wire_ports_in_order(self):
+        b = GraphBuilder()
+        x = b.mul("x")
+        y = b.mul("y")
+        z = b.add("z", x, y)
+        g = b.graph()
+        assert g.edge(x, z).port == 0
+        assert g.edge(y, z).port == 1
+
+    def test_auto_ids(self):
+        b = GraphBuilder()
+        first = b.add()
+        second = b.add()
+        assert first != second
+        assert first in b.graph()
+
+    def test_chain(self):
+        b = GraphBuilder()
+        ids = [b.add(f"n{i}") for i in range(4)]
+        b.chain(ids)
+        g = b.graph()
+        for src, dst in zip(ids, ids[1:]):
+            assert g.has_edge(src, dst)
+
+    def test_edges_bulk(self):
+        b = GraphBuilder()
+        a, c = b.add("a"), b.add("c")
+        b.edges([(a, c)])
+        assert b.graph().has_edge(a, c)
+
+    def test_specialized_helpers(self):
+        b = GraphBuilder()
+        assert b.graph().node(b.load("ld")).op is OpKind.LOAD
+        assert b.graph().node(b.store("st")).op is OpKind.STORE
+        assert b.graph().node(b.wire("w")).op is OpKind.WIRE
+        assert b.graph().node(b.lt("c")).op is OpKind.LT
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self):
+        text = to_dot(hal())
+        assert "digraph" in text
+        assert '"m1"' in text
+        assert '"m1" -> "m3"' in text
+
+    def test_dot_with_schedule_ranks(self):
+        from repro.scheduling import asap_schedule
+
+        g = hal()
+        schedule = asap_schedule(g)
+        text = to_dot(g, start_times=schedule.start_times)
+        assert "rank=same" in text
+
+    def test_dot_with_threads_colors(self):
+        text = to_dot(hal(), threads={"m1": 0, "m2": 1})
+        assert "fillcolor" in text
+
+
+class TestValidate:
+    def test_benchmarks_validate(self):
+        assert validate_dfg(hal()) == []
+
+    def test_cycle_reported(self):
+        b = GraphBuilder()
+        x, y = b.add("x"), b.add("y")
+        b.edge(x, y).edge(y, x)
+        problems = validate_dfg(b.graph(), raise_on_error=False)
+        assert any("cycle" in p for p in problems)
+        with pytest.raises(GraphError):
+            validate_dfg(b.graph())
+
+    def test_port_conflict_reported(self):
+        b = GraphBuilder()
+        x, y, z = b.add("x"), b.add("y"), b.add("z")
+        b.edge(x, z, port=0)
+        b.edge(y, z, port=0)
+        problems = validate_dfg(b.graph(), raise_on_error=False)
+        assert any("port" in p for p in problems)
+
+    def test_arity_violation_reported(self):
+        b = GraphBuilder()
+        x, y = b.add("x"), b.add("y")
+        w = b.wire("w")
+        b.edge(x, w)
+        b.edge(y, w)
+        problems = validate_dfg(b.graph(), raise_on_error=False)
+        assert any("operands" in p for p in problems)

@@ -1,0 +1,98 @@
+"""Tests for AST -> DFG lowering."""
+
+import pytest
+
+from repro.ir.analysis import diameter
+from repro.ir.lowering import lower_program
+from repro.ir.ops import OpKind
+from repro.ir.parser import parse_program
+
+HAL_SOURCE = """
+x1 = x + dx
+u1 = u - ((3 * x) * (u * dx)) - ((3 * y) * dx)
+y1 = y + u * dx
+c  = x1 < a
+"""
+
+
+class TestLowering:
+    def test_hal_has_canonical_op_mix(self):
+        result = lower_program(parse_program(HAL_SOURCE), name="hal")
+        hist = result.dfg.op_histogram()
+        assert hist[OpKind.MUL] == 6
+        assert hist[OpKind.ADD] == 2
+        assert hist[OpKind.SUB] == 2
+        assert hist[OpKind.LT] == 1
+
+    def test_hal_critical_path_matches_paper(self):
+        result = lower_program(parse_program(HAL_SOURCE), name="hal")
+        assert diameter(result.dfg) == 6  # *, *, -, - = 2+2+1+1
+
+    def test_outputs_map_variables_to_nodes(self):
+        result = lower_program(parse_program("x = a + b\ny = x * x"))
+        assert set(result.outputs) == {"x", "y"}
+        x_node = result.outputs["x"]
+        assert result.dfg.node(x_node).op is OpKind.ADD
+
+    def test_variable_reuse_creates_fanout(self):
+        result = lower_program(parse_program("t = a + b\nu = t * t"))
+        t_node = result.outputs["t"]
+        assert len(result.dfg.successors(t_node)) == 1  # single mul node
+        mul = result.dfg.successors(t_node)[0]
+        # The DFG collapses parallel edges (one edge per producer ->
+        # consumer pair), so t*t yields a single edge; the port records
+        # the last operand slot wired.
+        edges = result.dfg.in_edges(mul)
+        assert len(edges) == 1
+        assert edges[0].port == 1
+
+    def test_free_inputs_recorded_with_ports(self):
+        result = lower_program(parse_program("x = a + b"))
+        assert set(result.inputs) == {"a", "b"}
+        (consumer, port) = result.inputs["a"][0]
+        assert port == 0
+        assert result.dfg.node(consumer).op is OpKind.ADD
+
+    def test_constants_not_materialized_by_default(self):
+        result = lower_program(parse_program("x = a * 3"))
+        assert OpKind.CONST not in result.dfg.op_histogram()
+        assert 3 in result.constants
+
+    def test_constants_materialized_on_request(self):
+        result = lower_program(
+            parse_program("x = a * 3\ny = b + 3"), materialize_constants=True
+        )
+        hist = result.dfg.op_histogram()
+        assert hist.get(OpKind.CONST) == 1  # shared node for the two 3s
+        const_node = result.dfg.node("c3")
+        assert const_node.delay == 0
+
+    def test_copy_assignment_aliases_input(self):
+        result = lower_program(parse_program("t = a\nx = t + b"))
+        # t is a plain copy of input a; reads of t are reads of a.
+        assert result.outputs["t"] is None
+        assert "a" in result.inputs
+
+    def test_redefinition_uses_latest(self):
+        result = lower_program(parse_program("x = a + b\nx = x * c\ny = x + d"))
+        final_x = result.outputs["x"]
+        assert result.dfg.node(final_x).op is OpKind.MUL
+        y_node = result.outputs["y"]
+        assert final_x in result.dfg.predecessors(y_node)
+
+    def test_unary_lowering(self):
+        result = lower_program(parse_program("x = -a\ny = ~b"))
+        hist = result.dfg.op_histogram()
+        assert hist[OpKind.NEG] == 1
+        assert hist[OpKind.NOT] == 1
+
+    def test_node_names_carry_variable(self):
+        result = lower_program(parse_program("speed = a + b"))
+        node = result.dfg.node(result.outputs["speed"])
+        assert node.name == "speed"
+
+    def test_graph_is_validated_shape(self):
+        from repro.ir.validate import validate_dfg
+
+        result = lower_program(parse_program(HAL_SOURCE))
+        assert validate_dfg(result.dfg) == []

@@ -1,0 +1,98 @@
+"""Unit tests for operation kinds and delay models."""
+
+import pytest
+
+from repro.ir.ops import DelayModel, OpKind
+
+
+class TestOpKind:
+    def test_symbols_unique_enough_for_display(self):
+        symbols = [kind.symbol for kind in OpKind]
+        assert all(isinstance(s, str) and s for s in symbols)
+
+    def test_arithmetic_classification(self):
+        assert OpKind.ADD.is_arithmetic
+        assert OpKind.MUL.is_arithmetic
+        assert not OpKind.LT.is_arithmetic
+        assert not OpKind.LOAD.is_arithmetic
+
+    def test_comparison_classification(self):
+        for kind in (OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+                     OpKind.EQ, OpKind.NE):
+            assert kind.is_comparison
+        assert not OpKind.ADD.is_comparison
+
+    def test_memory_classification(self):
+        assert OpKind.LOAD.is_memory
+        assert OpKind.STORE.is_memory
+        assert not OpKind.MOVE.is_memory
+
+    def test_structural_kinds_never_need_units(self):
+        assert OpKind.WIRE.is_structural
+        assert OpKind.CONST.is_structural
+        assert OpKind.NOP.is_structural
+        assert not OpKind.ADD.is_structural
+        assert not OpKind.LOAD.is_structural
+
+    def test_commutativity(self):
+        assert OpKind.ADD.is_commutative
+        assert OpKind.MUL.is_commutative
+        assert not OpKind.SUB.is_commutative
+        assert not OpKind.LT.is_commutative
+
+
+class TestDelayModel:
+    def test_standard_model_matches_literature(self):
+        model = DelayModel.standard()
+        assert model[OpKind.MUL] == 2
+        assert model[OpKind.DIV] == 2
+        assert model[OpKind.ADD] == 1
+        assert model[OpKind.SUB] == 1
+        assert model[OpKind.LT] == 1
+        assert model[OpKind.WIRE] == 1
+        assert model[OpKind.CONST] == 0
+
+    def test_unit_model(self):
+        model = DelayModel.unit()
+        assert model[OpKind.MUL] == 1
+        assert model[OpKind.ADD] == 1
+        assert model[OpKind.CONST] == 0
+
+    def test_uniform_model(self):
+        model = DelayModel.uniform(3)
+        assert model[OpKind.MUL] == 3
+        assert model[OpKind.CONST] == 3
+
+    def test_override_returns_new_model(self):
+        base = DelayModel.standard()
+        fast = base.override({OpKind.MUL: 1})
+        assert fast[OpKind.MUL] == 1
+        assert base[OpKind.MUL] == 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel({OpKind.ADD: -1})
+        with pytest.raises(ValueError):
+            DelayModel({}, default=-2)
+
+    def test_non_opkind_key_rejected(self):
+        with pytest.raises(TypeError):
+            DelayModel({"add": 1})
+
+    def test_equality_and_hash(self):
+        assert DelayModel.standard() == DelayModel.standard()
+        assert DelayModel.standard() != DelayModel.unit()
+        assert hash(DelayModel.standard()) == hash(DelayModel.standard())
+
+    def test_get_with_default(self):
+        model = DelayModel({OpKind.MUL: 2})
+        assert model.get(OpKind.MUL) == 2
+        assert model.get(OpKind.ADD, 7) == 7
+
+    def test_delays_for(self):
+        model = DelayModel.standard()
+        got = model.delays_for([OpKind.ADD, OpKind.MUL])
+        assert got == {OpKind.ADD: 1, OpKind.MUL: 2}
+
+    def test_repr_is_stable(self):
+        assert "MUL=2" in repr(DelayModel.standard())

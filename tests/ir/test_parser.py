@@ -1,0 +1,110 @@
+"""Tests for the behavioral frontend parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.expr import Assign, BinOp, Name, Number, UnaryOp, walk
+from repro.ir.parser import parse_program, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("x = a + 3")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["name", "op", "name", "op", "number"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a << b >= c != d")
+        texts = [t.text for t in tokens if t.kind == "op"]
+        assert texts == ["<<", ">=", "!="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x = 1  # a comment\ny = 2")
+        assert [t.text for t in tokens if t.kind == "name"] == ["x", "y"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a = 1\nb = 2")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+    def test_junk_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("x = $")
+
+
+class TestParser:
+    def test_single_assignment(self):
+        program = parse_program("x = a + b")
+        assert len(program.statements) == 1
+        stmt = program.statements[0]
+        assert stmt.target == "x"
+        assert isinstance(stmt.expr, BinOp) and stmt.expr.op == "+"
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_program("x = a + b * c").statements[0].expr
+        assert expr.op == "+"
+        assert isinstance(expr.rhs, BinOp) and expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_program("x = (a + b) * c").statements[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, BinOp) and expr.lhs.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_program("x = a - b - c").statements[0].expr
+        # (a - b) - c
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, BinOp)
+        assert expr.lhs.lhs == Name("a")
+
+    def test_comparison_lowest_precedence(self):
+        expr = parse_program("c = a + b < d * e").statements[0].expr
+        assert expr.op == "<"
+
+    def test_unary_minus(self):
+        expr = parse_program("x = -a * b").statements[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, UnaryOp) and expr.lhs.op == "-"
+
+    def test_consecutive_paren_terms(self):
+        # Regression: the tokenizer must not eat the operator after ')'.
+        expr = parse_program("u1 = u - (3 * x) - (3 * y)").statements[0].expr
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, BinOp) and expr.lhs.op == "-"
+
+    def test_multiple_statements_newline_and_semicolon(self):
+        program = parse_program("a = 1; b = 2\nc = 3")
+        assert [s.target for s in program.statements] == ["a", "b", "c"]
+
+    def test_numbers(self):
+        expr = parse_program("x = 42").statements[0].expr
+        assert expr == Number(42)
+
+    def test_shift_and_bitwise(self):
+        expr = parse_program("x = a << 2 & b").statements[0].expr
+        assert expr.op == "&"
+
+    def test_error_missing_assignment(self):
+        with pytest.raises(ParseError):
+            parse_program("x + y")
+
+    def test_error_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_program("x = (a + b")
+
+    def test_error_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("x = a b")
+
+    def test_empty_program(self):
+        assert parse_program("").statements == ()
+        assert parse_program("\n\n# only comments\n").statements == ()
+
+    def test_walk_visits_all_nodes(self):
+        expr = parse_program("x = a + b * c").statements[0].expr
+        names = [n.ident for n in walk(expr) if isinstance(n, Name)]
+        assert names == ["a", "b", "c"]
+
+    def test_str_roundtrip_readable(self):
+        program = parse_program("x = a + b")
+        assert "x = " in str(program)

@@ -1,0 +1,72 @@
+"""Tests for JSON serialization of graphs and schedules."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import hal, elliptic_wave_filter
+from repro.ir.serialize import (
+    dumps_dfg,
+    dumps_schedule,
+    loads_dfg,
+    loads_schedule,
+)
+from repro.scheduling import ListPriority, ResourceSet, list_schedule
+
+
+class TestDfgRoundtrip:
+    @pytest.mark.parametrize("factory", [hal, elliptic_wave_filter])
+    def test_structure_preserved(self, factory):
+        original = factory()
+        restored = loads_dfg(dumps_dfg(original))
+        assert restored.nodes() == original.nodes()
+        assert {(e.src, e.dst, e.port, e.weight) for e in restored.edges()} == {
+            (e.src, e.dst, e.port, e.weight) for e in original.edges()
+        }
+        for node_id in original.nodes():
+            a, b = original.node(node_id), restored.node(node_id)
+            assert (a.op, a.delay, a.name) == (b.op, b.delay, b.name)
+
+    def test_json_is_valid_and_tagged(self):
+        doc = json.loads(dumps_dfg(hal()))
+        assert doc["format"] == "repro-dfg-v1"
+        assert len(doc["nodes"]) == 11
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            loads_dfg('{"format": "something-else"}')
+
+    def test_weights_roundtrip(self):
+        g = hal()
+        g.edge("m3", "s1").weight = 4
+        restored = loads_dfg(dumps_dfg(g))
+        assert restored.edge("m3", "s1").weight == 4
+
+
+class TestScheduleRoundtrip:
+    def test_full_roundtrip(self):
+        schedule = list_schedule(
+            hal(), ResourceSet.parse("2+/-,2*"), ListPriority.READY_ORDER
+        )
+        restored = loads_schedule(dumps_schedule(schedule))
+        assert restored.start_times == schedule.start_times
+        assert restored.length == schedule.length
+        assert restored.algorithm == schedule.algorithm
+        assert restored.resources == schedule.resources
+        for node_id, (fu_type, index) in schedule.binding.items():
+            r_type, r_index = restored.binding[node_id]
+            assert (r_type.name, r_index) == (fu_type.name, index)
+
+    def test_restored_schedule_validates(self):
+        from repro.scheduling import validate_schedule
+
+        schedule = list_schedule(
+            hal(), ResourceSet.parse("2+/-,1*"), ListPriority.READY_ORDER
+        )
+        restored = loads_schedule(dumps_schedule(schedule))
+        assert validate_schedule(restored) == []
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            loads_schedule('{"format": "nope"}')

@@ -1,0 +1,106 @@
+"""Tests for loop SSA construction and phi resolution."""
+
+import pytest
+
+from repro.core import ThreadedScheduler
+from repro.core.refine import resolve_phi
+from repro.ir.ops import OpKind
+from repro.ir.parser import parse_program
+from repro.ir.ssa import loop_ssa, resolve_all_phis
+from repro.ir.validate import validate_dfg
+from repro.scheduling import ResourceSet
+
+LOOP_BODY = """
+acc = acc + x * k
+i = i + 1
+c = i < n
+"""
+
+
+class TestLoopSSA:
+    def test_loop_carried_variables_found(self):
+        ssa = loop_ssa(parse_program(LOOP_BODY))
+        assert sorted(ssa.phis) == ["acc", "i"]
+        # x, k, n flow in from outside: no phi.
+        assert "x" not in ssa.phis and "n" not in ssa.phis
+
+    def test_phi_nodes_created(self):
+        ssa = loop_ssa(parse_program(LOOP_BODY))
+        for phi_id in ssa.phis.values():
+            assert ssa.dfg.node(phi_id).op is OpKind.PHI
+
+    def test_phi_feeds_the_body_reads(self):
+        ssa = loop_ssa(parse_program(LOOP_BODY))
+        phi_acc = ssa.phis["acc"]
+        consumers = ssa.dfg.successors(phi_acc)
+        assert consumers  # the acc + ... addition reads the phi
+
+    def test_back_edges_point_at_final_defs(self):
+        ssa = loop_ssa(parse_program(LOOP_BODY))
+        for variable, phi_id in ssa.phis.items():
+            target = ssa.back_edges[phi_id]
+            assert ssa.lowering.outputs[variable] == target
+
+    def test_body_dfg_stays_acyclic(self):
+        ssa = loop_ssa(parse_program(LOOP_BODY))
+        assert ssa.dfg.is_dag()
+        assert validate_dfg(ssa.dfg) == []
+
+    def test_no_loop_carried_variables(self):
+        ssa = loop_ssa(parse_program("y = a + b"))
+        assert ssa.phis == {}
+        assert ssa.back_edges == {}
+
+
+class TestPhiResolution:
+    def _scheduled(self):
+        ssa = loop_ssa(parse_program(LOOP_BODY))
+        scheduler = ThreadedScheduler(
+            ssa.dfg, resources=ResourceSet.parse("2+/-,1*")
+        ).run()
+        return ssa, scheduler
+
+    def test_phis_schedule_like_alu_ops(self):
+        ssa, scheduler = self._scheduled()
+        for phi_id in ssa.phis.values():
+            k = scheduler.state.thread_of(phi_id)
+            assert scheduler.state.specs[k].fu_type.name == "alu"
+
+    def test_same_register_coalesces_to_nop(self):
+        ssa, scheduler = self._scheduled()
+        phi_acc = ssa.phis["acc"]
+        source = ssa.back_edges[phi_acc]
+        decisions = resolve_all_phis(
+            ssa, {phi_acc: 0, source: 0}
+        )
+        assert decisions[phi_acc] == "nop"
+
+    def test_different_register_becomes_move(self):
+        ssa, scheduler = self._scheduled()
+        phi_acc = ssa.phis["acc"]
+        source = ssa.back_edges[phi_acc]
+        decisions = resolve_all_phis(ssa, {phi_acc: 0, source: 1})
+        assert decisions[phi_acc] == "move"
+
+    def test_resolution_applies_to_live_schedule(self):
+        ssa, scheduler = self._scheduled()
+        before = scheduler.diameter
+        for phi_id in ssa.phis.values():
+            resolve_phi(scheduler.state, phi_id, into="nop")
+        after = scheduler.diameter
+        assert after <= before
+        # Every resolved phi now costs zero steps.
+        for phi_id in ssa.phis.values():
+            assert ssa.dfg.node(phi_id).delay == 0
+
+    def test_end_to_end_with_allocation(self):
+        from repro.allocation import left_edge_allocate
+
+        ssa, scheduler = self._scheduled()
+        schedule = scheduler.harden()
+        allocation = left_edge_allocate(schedule)
+        decisions = resolve_all_phis(ssa, allocation.register_of)
+        for phi_id, decision in decisions.items():
+            resolve_phi(scheduler.state, phi_id, into=decision)
+        final = scheduler.harden()
+        assert final.length <= schedule.length

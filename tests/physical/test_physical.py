@@ -1,0 +1,122 @@
+"""Tests for floorplanning, the wire model and back-annotation."""
+
+import pytest
+
+from repro.core import ThreadedScheduler
+from repro.errors import PhysicalError
+from repro.graphs import hal
+from repro.physical import (
+    WireModel,
+    annotate_schedule,
+    grid_floorplan,
+    wire_delays_for_state,
+)
+from repro.scheduling import (
+    ListPriority,
+    ResourceSet,
+    list_schedule,
+    validate_schedule,
+)
+
+
+class TestFloorplan:
+    def test_places_every_unit(self):
+        plan = grid_floorplan(["alu0", "alu1", "mul0", "mul1"])
+        assert len(plan.placements) == 4
+
+    def test_deterministic(self):
+        a = grid_floorplan(["alu0", "mul0", "mem0"])
+        b = grid_floorplan(["alu0", "mul0", "mem0"])
+        assert a.placements == b.placements
+
+    def test_distance_symmetric_and_zero_to_self(self):
+        plan = grid_floorplan(["alu0", "mul0"])
+        assert plan.distance("alu0", "mul0") == plan.distance("mul0", "alu0")
+        assert plan.distance("alu0", "alu0") == 0
+
+    def test_unplaced_unit_rejected(self):
+        plan = grid_floorplan(["alu0"])
+        with pytest.raises(PhysicalError):
+            plan.position("mul7")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PhysicalError):
+            grid_floorplan([])
+
+    def test_units_do_not_stack(self):
+        plan = grid_floorplan(["alu0", "alu1", "mul0", "mul1", "mem0"])
+        spots = [
+            (p.x, p.y) for p in plan.placements.values()
+        ]
+        assert len(set(spots)) == len(spots)
+
+
+class TestWireModel:
+    def test_short_wires_free(self):
+        model = WireModel(free_length=2.0, cells_per_cycle=4.0)
+        assert model.delay_for_distance(0) == 0
+        assert model.delay_for_distance(2.0) == 0
+
+    def test_long_wires_cost_cycles(self):
+        model = WireModel(free_length=2.0, cells_per_cycle=4.0)
+        assert model.delay_for_distance(3.0) == 1
+        assert model.delay_for_distance(6.0) == 1
+        assert model.delay_for_distance(6.1) == 2
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(PhysicalError):
+            WireModel().delay_for_distance(-1)
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(PhysicalError):
+            WireModel(cells_per_cycle=0).delay_for_distance(5)
+
+
+class TestStateAnnotation:
+    def test_cross_thread_edges_annotated(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        plan = grid_floorplan([spec.label for spec in scheduler.state.specs])
+        aggressive = WireModel(free_length=0.0, cells_per_cycle=1.0)
+        delays = wire_delays_for_state(scheduler.state, plan, aggressive)
+        assert delays  # something is far apart under this model
+        state = scheduler.state
+        for (src, dst), delay in delays.items():
+            assert delay > 0
+            assert state.thread_of(src) != state.thread_of(dst)
+
+    def test_same_thread_edges_never_annotated(self, two_two):
+        scheduler = ThreadedScheduler(hal(), resources=two_two).run()
+        plan = grid_floorplan([spec.label for spec in scheduler.state.specs])
+        delays = wire_delays_for_state(
+            scheduler.state, plan, WireModel(0.0, 1.0)
+        )
+        state = scheduler.state
+        for src, dst in delays:
+            assert state.thread_of(src) != state.thread_of(dst)
+
+
+class TestHardRepair:
+    def test_repair_preserves_validity(self, two_two):
+        schedule = list_schedule(hal(), two_two, ListPriority.READY_ORDER)
+        repaired = annotate_schedule(schedule, {("m3", "s1"): 2})
+        # Precedence including the extra delay must hold.
+        assert repaired.start("s1") >= repaired.finish("m3") + 2
+        assert validate_schedule(
+            repaired, resources=None, check_binding=False
+        ) == []
+
+    def test_repair_never_moves_ops_earlier(self, two_two):
+        schedule = list_schedule(hal(), two_two, ListPriority.READY_ORDER)
+        repaired = annotate_schedule(schedule, {("m3", "s1"): 3})
+        for node_id in schedule.start_times:
+            assert repaired.start(node_id) >= schedule.start(node_id)
+
+    def test_empty_annotation_is_identity(self, two_two):
+        schedule = list_schedule(hal(), two_two, ListPriority.READY_ORDER)
+        repaired = annotate_schedule(schedule, {})
+        assert repaired.start_times == schedule.start_times
+
+    def test_binding_stays_conflict_free(self, two_two):
+        schedule = list_schedule(hal(), two_two, ListPriority.READY_ORDER)
+        repaired = annotate_schedule(schedule, {("m1", "m3"): 2, ("m4", "m5"): 1})
+        assert validate_schedule(repaired, check_binding=True) == []

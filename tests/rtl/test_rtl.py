@@ -1,0 +1,116 @@
+"""Tests for controller, datapath and Verilog generation."""
+
+import pytest
+
+from repro.allocation import left_edge_allocate
+from repro.errors import RTLError
+from repro.graphs import hal
+from repro.rtl import (
+    build_controller,
+    build_datapath,
+    emit_verilog,
+)
+from repro.scheduling import ListPriority, ResourceSet, list_schedule
+from repro.scheduling.base import Schedule
+
+
+def hal_schedule():
+    return list_schedule(
+        hal(), ResourceSet.parse("2+/-,2*"), ListPriority.READY_ORDER
+    )
+
+
+class TestController:
+    def test_one_state_per_step(self):
+        schedule = hal_schedule()
+        controller = build_controller(schedule)
+        assert controller.num_states == schedule.length
+
+    def test_every_op_starts_exactly_once(self):
+        schedule = hal_schedule()
+        controller = build_controller(schedule)
+        starts = [
+            s.op
+            for state in range(controller.num_states)
+            for s in controller.state_signals(state)
+            if s.kind == "start"
+        ]
+        assert sorted(starts) == sorted(schedule.start_times)
+
+    def test_multicycle_ops_hold(self):
+        schedule = hal_schedule()
+        controller = build_controller(schedule)
+        m1_start = schedule.start("m1")
+        holds = [
+            s.op
+            for s in controller.state_signals(m1_start + 1)
+            if s.kind == "hold"
+        ]
+        assert "m1" in holds
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(RTLError):
+            build_controller(Schedule(dfg=hal(), start_times={}))
+
+
+class TestDatapath:
+    def test_units_match_binding(self):
+        schedule = hal_schedule()
+        datapath = build_datapath(schedule)
+        assert "mul0" in datapath.units and "alu0" in datapath.units
+
+    def test_registers_from_allocation(self):
+        schedule = hal_schedule()
+        allocation = left_edge_allocate(schedule)
+        datapath = build_datapath(schedule, allocation)
+        assert len(datapath.registers) == allocation.count
+
+    def test_dedicated_registers_without_allocation(self):
+        schedule = hal_schedule()
+        datapath = build_datapath(schedule)
+        assert len(datapath.registers) == len(schedule.start_times)
+
+    def test_muxes_have_multiple_sources(self):
+        schedule = hal_schedule()
+        datapath = build_datapath(schedule, left_edge_allocate(schedule))
+        for mux in datapath.muxes:
+            assert mux.ways >= 2
+
+    def test_unbound_schedule_rejected(self):
+        from repro.scheduling import asap_schedule
+
+        with pytest.raises(RTLError):
+            build_datapath(asap_schedule(hal()))
+
+    def test_summary_renders(self):
+        schedule = hal_schedule()
+        assert "units" in build_datapath(schedule).summary()
+
+
+class TestVerilog:
+    def test_module_structure(self):
+        schedule = hal_schedule()
+        text = emit_verilog(schedule, left_edge_allocate(schedule))
+        assert text.startswith("//")
+        assert "module hls_block (" in text
+        assert "endmodule" in text
+        assert "case (state)" in text
+
+    def test_state_count_in_fsm(self):
+        schedule = hal_schedule()
+        text = emit_verilog(schedule)
+        assert f"{schedule.length} states" in text
+
+    def test_identifiers_sanitized(self):
+        schedule = hal_schedule()
+        text = emit_verilog(schedule)
+        for line in text.splitlines():
+            if line.strip().startswith("reg") and "[" in line:
+                name = line.split("]")[-1].strip().rstrip(";")
+                assert all(c.isalnum() or c == "_" for c in name), name
+
+    def test_custom_module_name_and_width(self):
+        schedule = hal_schedule()
+        text = emit_verilog(schedule, module_name="diffeq", width=32)
+        assert "module diffeq (" in text
+        assert "[31:0]" in text

@@ -1,0 +1,49 @@
+"""Tests for ASAP/ALAP schedules."""
+
+from repro.graphs import hal, paper_fig1
+from repro.ir.analysis import diameter
+from repro.scheduling import alap_schedule, asap_schedule, validate_schedule
+
+
+class TestAsap:
+    def test_length_equals_critical_path(self):
+        g = hal()
+        assert asap_schedule(g).length == diameter(g)
+
+    def test_sources_start_at_zero(self):
+        g = hal()
+        schedule = asap_schedule(g)
+        for node_id in g.sources():
+            assert schedule.start(node_id) == 0
+
+    def test_precedence_valid(self):
+        schedule = asap_schedule(hal())
+        assert validate_schedule(schedule, check_binding=False) == []
+
+
+class TestAlap:
+    def test_length_equals_critical_path(self):
+        g = hal()
+        assert alap_schedule(g).length == diameter(g)
+
+    def test_sinks_finish_at_latency(self):
+        g = hal()
+        schedule = alap_schedule(g)
+        for node_id in g.sinks():
+            assert schedule.finish(node_id) == schedule.length
+
+    def test_precedence_valid_with_slack(self):
+        schedule = alap_schedule(hal(), latency=10)
+        assert schedule.length == 10
+        assert validate_schedule(schedule, check_binding=False) == []
+
+    def test_fig1b_alap_is_5_states(self):
+        """The paper's Figure 1(b) hard schedule."""
+        assert alap_schedule(paper_fig1()).length == 5
+
+    def test_asap_lower_bounds_alap(self):
+        g = hal()
+        asap = asap_schedule(g)
+        alap = alap_schedule(g)
+        for node_id in g.nodes():
+            assert asap.start(node_id) <= alap.start(node_id)

@@ -1,0 +1,128 @@
+"""Tests for the Schedule container and its validator."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs import hal
+from repro.scheduling import (
+    ListPriority,
+    ResourceSet,
+    Schedule,
+    list_schedule,
+    validate_schedule,
+)
+from repro.scheduling.resources import ALU, MUL
+
+
+@pytest.fixture
+def bound_schedule(two_two):
+    return list_schedule(hal(), two_two, ListPriority.READY_ORDER)
+
+
+class TestScheduleProperties:
+    def test_length_is_makespan(self, bound_schedule):
+        assert bound_schedule.length == max(
+            bound_schedule.finish(n) for n in bound_schedule.start_times
+        )
+
+    def test_finish_adds_delay(self, bound_schedule):
+        assert bound_schedule.finish("m1") == bound_schedule.start("m1") + 2
+
+    def test_ops_at(self, bound_schedule):
+        starters = bound_schedule.ops_at(0)
+        assert "m1" in starters and "m2" in starters
+
+    def test_ops_running_at_covers_multicycle(self, bound_schedule):
+        start = bound_schedule.start("m1")
+        assert "m1" in bound_schedule.ops_running_at(start)
+        assert "m1" in bound_schedule.ops_running_at(start + 1)
+
+    def test_usage_profile_respects_constraint(self, bound_schedule, two_two):
+        profile = bound_schedule.usage_profile()
+        for usage in profile.values():
+            assert usage.get(MUL, 0) <= 2
+            assert usage.get(ALU, 0) <= 2
+
+    def test_usage_profile_without_resources_raises(self):
+        schedule = Schedule(dfg=hal(), start_times={})
+        with pytest.raises(SchedulingError):
+            schedule.usage_profile()
+
+    def test_table_renders_each_step(self, bound_schedule):
+        text = bound_schedule.table()
+        assert text.count("step") == bound_schedule.length
+
+    def test_empty_schedule_length_zero(self):
+        assert Schedule(dfg=hal(), start_times={}).length == 0
+
+
+class TestValidator:
+    def test_valid_schedule_passes(self, bound_schedule):
+        assert validate_schedule(bound_schedule) == []
+
+    def test_missing_op_detected(self, bound_schedule):
+        broken = Schedule(
+            dfg=bound_schedule.dfg,
+            start_times={
+                k: v
+                for k, v in bound_schedule.start_times.items()
+                if k != "m1"
+            },
+            resources=bound_schedule.resources,
+        )
+        problems = validate_schedule(broken, raise_on_error=False)
+        assert any("m1" in p for p in problems)
+
+    def test_precedence_violation_detected(self, bound_schedule):
+        times = dict(bound_schedule.start_times)
+        times["m3"] = 0  # m3 needs m1, m2 (finish at 2)
+        broken = Schedule(dfg=bound_schedule.dfg, start_times=times)
+        problems = validate_schedule(broken, raise_on_error=False)
+        assert any("dependence" in p for p in problems)
+        with pytest.raises(SchedulingError):
+            validate_schedule(broken)
+
+    def test_resource_overflow_detected(self, two_two):
+        from repro.scheduling import asap_schedule
+
+        g = hal()
+        eager = asap_schedule(g)  # 4 muls at step 0
+        eager.resources = two_two
+        problems = validate_schedule(eager, raise_on_error=False)
+        assert any("units" in p for p in problems)
+
+    def test_double_booked_unit_detected(self, bound_schedule):
+        binding = dict(bound_schedule.binding)
+        # Force every mul onto mul[0].
+        for node_id, (fu_type, _) in binding.items():
+            if fu_type is MUL:
+                binding[node_id] = (fu_type, 0)
+        broken = Schedule(
+            dfg=bound_schedule.dfg,
+            start_times=dict(bound_schedule.start_times),
+            binding=binding,
+            resources=bound_schedule.resources,
+        )
+        problems = validate_schedule(broken, raise_on_error=False)
+        assert any("double-booked" in p for p in problems)
+
+    def test_incompatible_binding_detected(self, bound_schedule):
+        binding = dict(bound_schedule.binding)
+        binding["m1"] = (ALU, 0)  # a multiply on an ALU
+        broken = Schedule(
+            dfg=bound_schedule.dfg,
+            start_times=dict(bound_schedule.start_times),
+            binding=binding,
+            resources=bound_schedule.resources,
+        )
+        problems = validate_schedule(broken, raise_on_error=False)
+        assert any("incompatible" in p for p in problems)
+
+    def test_negative_start_detected(self):
+        g = hal()
+        times = {n: 0 for n in g.nodes()}
+        times["m1"] = -1
+        problems = validate_schedule(
+            Schedule(dfg=g, start_times=times), raise_on_error=False
+        )
+        assert any("negative" in p for p in problems)

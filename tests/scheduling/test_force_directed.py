@@ -1,0 +1,60 @@
+"""Tests for force-directed scheduling (time-constrained baseline)."""
+
+import pytest
+
+from repro.errors import GraphError, SchedulingError
+from repro.graphs import hal, fir
+from repro.ir.analysis import diameter
+from repro.scheduling import (
+    ResourceSet,
+    force_directed_schedule,
+    validate_schedule,
+)
+from repro.scheduling.resources import ALU, MUL
+
+
+class TestForceDirected:
+    def test_respects_latency(self, two_two):
+        g = hal()
+        schedule = force_directed_schedule(g, two_two, latency=8)
+        assert schedule.length <= 8
+
+    def test_default_latency_is_critical_path(self, two_two):
+        g = hal()
+        schedule = force_directed_schedule(g, two_two)
+        assert schedule.length == diameter(g)
+
+    def test_precedence_valid(self, two_two):
+        schedule = force_directed_schedule(hal(), two_two, latency=9)
+        assert validate_schedule(
+            schedule, resources=None, check_binding=False
+        ) == []
+
+    def test_latency_below_cp_rejected(self, two_two):
+        with pytest.raises(GraphError):
+            force_directed_schedule(hal(), two_two, latency=3)
+
+    def test_balances_against_eager(self, two_two):
+        """FDS with slack needs fewer peak multipliers than ASAP."""
+        from repro.scheduling import asap_schedule
+
+        g = fir()
+        slack = diameter(g) + 4
+        fds = force_directed_schedule(g, two_two, latency=slack)
+        asap = asap_schedule(g)
+
+        def peak_muls(schedule):
+            profile = schedule.usage_profile(two_two)
+            return max(
+                (use.get(MUL, 0) for use in profile.values()), default=0
+            )
+
+        assert peak_muls(fds) <= peak_muls(asap)
+
+    def test_hal_with_slack_fits_two_two(self, two_two):
+        """The classic FDS result: HAL fits 2 ALU + 2 MUL given slack."""
+        schedule = force_directed_schedule(hal(), two_two, latency=8)
+        profile = schedule.usage_profile(two_two)
+        for usage in profile.values():
+            assert usage.get(MUL, 0) <= 2
+            assert usage.get(ALU, 0) <= 2

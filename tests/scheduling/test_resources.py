@@ -1,0 +1,96 @@
+"""Tests for the resource model and the paper's constraint notation."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.graphs import hal
+from repro.ir.ops import OpKind
+from repro.scheduling.resources import ALU, MEM, MUL, FU_TYPES, ResourceSet
+
+
+class TestNotationParsing:
+    def test_paper_columns(self):
+        rs = ResourceSet.parse("2+/-,2*")
+        assert rs.count(ALU) == 2 and rs.count(MUL) == 2
+
+    def test_abbreviated_alu(self):
+        rs = ResourceSet.parse("2+/,1*")
+        assert rs.count(ALU) == 2 and rs.count(MUL) == 1
+
+    def test_named_types(self):
+        rs = ResourceSet.parse("1alu,2mul,1mem")
+        assert rs.count(ALU) == 1
+        assert rs.count(MUL) == 2
+        assert rs.count(MEM) == 1
+
+    def test_whitespace_tolerated(self):
+        rs = ResourceSet.parse(" 2 +/- , 1 * ")
+        assert rs.count(ALU) == 2 and rs.count(MUL) == 1
+
+    def test_repeated_tokens_accumulate(self):
+        rs = ResourceSet.parse("1*,1*")
+        assert rs.count(MUL) == 2
+
+    def test_missing_count_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSet.parse("+/-")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSet.parse("2fpu")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSet.parse("")
+
+    def test_notation_roundtrip(self):
+        rs = ResourceSet.parse("2+/-,1*")
+        assert ResourceSet.parse(rs.notation()) == rs
+
+
+class TestSemantics:
+    def test_fu_for_op(self):
+        rs = ResourceSet.of(alu=1, mul=1, mem=1)
+        assert rs.fu_for_op(OpKind.ADD) is ALU
+        assert rs.fu_for_op(OpKind.LT) is ALU
+        assert rs.fu_for_op(OpKind.MUL) is MUL
+        assert rs.fu_for_op(OpKind.LOAD) is MEM
+
+    def test_structural_ops_need_no_unit(self):
+        rs = ResourceSet.of(alu=1)
+        assert rs.fu_for_op(OpKind.WIRE) is None
+        assert rs.fu_for_op(OpKind.CONST) is None
+
+    def test_missing_unit_type_detected(self):
+        rs = ResourceSet.of(alu=2)  # no multiplier
+        missing = rs.check_schedulable(hal())
+        assert "m1" in missing
+
+    def test_full_set_schedulable(self):
+        rs = ResourceSet.parse("1+/-,1*")
+        assert rs.check_schedulable(hal()) == []
+
+    def test_instances_deterministic(self):
+        rs = ResourceSet.of(alu=2, mul=1)
+        labels = [(t.name, i) for t, i in rs.instances()]
+        assert labels == [("alu", 0), ("alu", 1), ("mul", 0)]
+
+    def test_with_added(self):
+        rs = ResourceSet.of(alu=1)
+        bigger = rs.with_added(MEM)
+        assert bigger.count(MEM) == 1
+        assert rs.count(MEM) == 0  # original untouched
+
+    def test_total_units(self):
+        assert ResourceSet.parse("2+/-,2*").total_units == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSet({ALU: -1})
+
+    def test_equality_and_hash(self):
+        assert ResourceSet.parse("2+/-") == ResourceSet.of(alu=2)
+        assert hash(ResourceSet.parse("1*")) == hash(ResourceSet.of(mul=1))
+
+    def test_standard_types_registry(self):
+        assert set(FU_TYPES) == {"alu", "mul", "mem"}

@@ -1,0 +1,107 @@
+"""Tests for the cycle-level schedule simulator.
+
+The simulator is the semantic referee of the whole library: whatever a
+scheduler (or a refinement) does to the timing, executing the schedule
+must compute the same values as evaluating the original graph.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.graphs import dct8, fir, get_graph, hal
+from repro.graphs.random_dags import random_expression_dag
+from repro.scheduling import (
+    ListPriority,
+    ResourceSet,
+    asap_schedule,
+    evaluate_dfg,
+    list_schedule,
+    simulate_schedule,
+)
+from repro.scheduling.base import Schedule
+
+
+class TestReferenceEvaluation:
+    def test_hal_values(self):
+        g = hal()
+        # With every input = 1: m1 = 1, m2 = 1, m3 = 1, s1 = 0, ...
+        values = evaluate_dfg(g, default_input=1)
+        assert values["m3"] == values["m1"] * values["m2"]
+        assert values["s1"] == 1 - values["m3"]
+        assert values["s2"] == values["s1"] - values["m5"]
+        assert values["c1"] in (0, 1)
+
+    def test_named_inputs(self):
+        g = fir(taps=2)
+        values = evaluate_dfg(
+            g, inputs={"m1.in0": 2, "m1.in1": 3, "m2.in0": 4, "m2.in1": 5}
+        )
+        assert values["m1"] == 6
+        assert values["m2"] == 20
+        assert values["a1"] == 26
+
+
+class TestSimulationMatchesReference:
+    @pytest.mark.parametrize("factory", [hal, fir, dct8])
+    def test_list_schedules_compute_reference_values(self, factory):
+        g = factory()
+        reference = evaluate_dfg(g, default_input=2)
+        schedule = list_schedule(
+            g, ResourceSet.parse("2+/-,2*"), ListPriority.READY_ORDER
+        )
+        assert simulate_schedule(schedule, default_input=2) == reference
+
+    def test_threaded_schedules_compute_reference_values(self):
+        from repro.core import threaded_schedule
+
+        g = hal()
+        reference = evaluate_dfg(g, default_input=3)
+        schedule = threaded_schedule(g, ResourceSet.parse("2+/-,1*"))
+        assert simulate_schedule(schedule, default_input=3) == reference
+
+    def test_spilled_schedule_still_computes_reference(self):
+        """Semantics survive the spill refinement: store/load round-trip."""
+        from repro.core import ThreadedScheduler, insert_spill
+        from repro.scheduling.resources import MEM
+
+        g = hal()
+        reference = evaluate_dfg(g, default_input=2)
+        resources = ResourceSet.parse("2+/-,2*").with_added(MEM, 1)
+        scheduler = ThreadedScheduler(g, resources=resources).run()
+        insert_spill(scheduler.state, "m2")
+        schedule = scheduler.harden()
+        simulated = simulate_schedule(schedule, default_input=2)
+        for node_id, value in reference.items():
+            assert simulated[node_id] == value
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 5_000))
+    def test_random_graphs_roundtrip(self, size, seed):
+        g = random_expression_dag(size, seed=seed)
+        reference = evaluate_dfg(g, default_input=2)
+        schedule = list_schedule(
+            g, ResourceSet.of(alu=2, mul=1), ListPriority.SINK_DISTANCE
+        )
+        assert simulate_schedule(schedule, default_input=2) == reference
+
+
+class TestDynamicValidation:
+    def test_broken_schedule_detected(self):
+        g = hal()
+        times = {n: 0 for n in g.nodes()}  # everything at step 0
+        broken = Schedule(dfg=g, start_times=times)
+        with pytest.raises(SchedulingError):
+            simulate_schedule(broken)
+
+    def test_wire_weight_violation_detected(self, two_two):
+        schedule = list_schedule(hal(), two_two, ListPriority.READY_ORDER)
+        # Back-annotate a wire delay the schedule does not honour.
+        schedule.dfg.edge("m3", "s1").weight = 5
+        with pytest.raises(SchedulingError):
+            simulate_schedule(schedule)
+
+    def test_asap_simulates_fine(self):
+        g = hal()
+        reference = evaluate_dfg(g)
+        assert simulate_schedule(asap_schedule(g)) == reference

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.ir.ops
+import repro.ir.builder
+import repro.scheduling.resources
+import repro.core.scheduler
+
+MODULES = [
+    repro.ir.ops,
+    repro.ir.builder,
+    repro.scheduling.resources,
+    repro.core.scheduler,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} failed"
+    assert result.attempted > 0, f"{module.__name__} has no doctests"

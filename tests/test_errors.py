@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_cycle_error_message_includes_cycle(self):
+        err = errors.CycleError(cycle=["a", "b", "a"])
+        assert "a -> b -> a" in str(err)
+        assert err.cycle == ["a", "b", "a"]
+
+    def test_cycle_error_without_cycle(self):
+        assert "cycle" in str(errors.CycleError())
+
+    def test_unknown_node_error_carries_id(self):
+        err = errors.UnknownNodeError("x42")
+        assert err.node_id == "x42"
+        assert "x42" in str(err)
+
+    def test_parse_error_prefixes_line(self):
+        err = errors.ParseError("bad token", line=7)
+        assert str(err).startswith("line 7:")
+        assert err.line == 7
+
+    def test_scheduling_family(self):
+        assert issubclass(errors.InfeasibleError, errors.SchedulingError)
+        assert issubclass(
+            errors.NoValidPositionError, errors.ThreadedGraphError
+        )
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.AllocationError("boom")

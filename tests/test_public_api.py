@@ -1,0 +1,65 @@
+"""Smoke tests for the top-level public API and the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_docstring_quickstart_works(self):
+        schedule = repro.threaded_schedule(
+            repro.hal(), repro.ResourceSet.parse("2+/-,2*")
+        )
+        assert schedule.length == 8
+
+    def test_registry_names_importable_top_level(self):
+        assert repro.get_graph("FIR").num_nodes == 15
+        assert len(repro.list_graphs()) >= 8
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_help(self):
+        result = self._run("--help")
+        assert result.returncode == 0
+        assert "figure3" in result.stdout
+
+    def test_benchmarks_listing(self):
+        result = self._run("benchmarks")
+        assert result.returncode == 0
+        assert "HAL" in result.stdout and "FIR" in result.stdout
+
+    def test_schedule_command(self):
+        result = self._run("schedule", "HAL", "2+/-,2*", "meta2")
+        assert result.returncode == 0
+        assert "8 control steps" in result.stdout
+
+    def test_schedule_usage_error(self):
+        result = self._run("schedule")
+        assert result.returncode == 2
+
+    def test_unknown_command(self):
+        result = self._run("frobnicate")
+        assert result.returncode == 2
+
+    def test_figure1_command(self):
+        result = self._run("figure1")
+        assert result.returncode == 0
+        assert "5 states" in result.stdout
