@@ -1,0 +1,49 @@
+"""Bench: the batch engine itself (dispatch, cache, parallel overhead).
+
+Times the unified suite through :class:`~repro.engine.batch.BatchEngine`
+in its three interesting regimes — cold serial, warm (all cache hits),
+and parallel — and asserts the invariants the engine guarantees: hit
+runs return identical lengths, and parallel equals serial.
+"""
+
+import pytest
+
+from repro.engine.batch import BatchEngine
+from repro.engine.bench import suite_jobs
+
+
+def _lengths(results):
+    return [r.length for r in results]
+
+
+def test_cold_suite_serial(benchmark):
+    jobs = suite_jobs()
+
+    def run():
+        return BatchEngine(workers=1).run(jobs)
+
+    results = benchmark(run)
+    assert len(results) == len(jobs)
+    assert not any(r.cached for r in results)
+
+
+def test_warm_suite_all_hits(benchmark):
+    jobs = suite_jobs()
+    engine = BatchEngine(workers=1)
+    cold = engine.run(jobs)
+
+    results = benchmark(engine.run, jobs)
+    assert all(r.cached for r in results)
+    assert _lengths(results) == _lengths(cold)
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_parallel_matches_serial(benchmark, workers):
+    jobs = suite_jobs()
+    serial = BatchEngine(workers=1).run(jobs)
+
+    def run():
+        return BatchEngine(workers=workers).run(jobs)
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _lengths(parallel) == _lengths(serial)

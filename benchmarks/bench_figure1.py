@@ -5,8 +5,6 @@ soft schedule 5 states, 6 after spilling vertex 3, 5 after the wire
 delay.  ``python -m repro.experiments.figure1`` prints the narrative.
 """
 
-import pytest
-
 from repro.core.refine import insert_spill, insert_wire_delay
 from repro.experiments.figure1 import _fresh_scheduler
 from repro.graphs.paper_fig1 import FIG1_SPILLED, FIG1_WIRE_EDGE

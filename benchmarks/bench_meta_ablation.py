@@ -10,11 +10,12 @@ import pytest
 
 from repro.core.meta import META_SCHEDULES, meta_random
 from repro.core.scheduler import threaded_schedule
+from repro.engine.bench import SUITE_CONSTRAINT
 from repro.graphs.random_dags import random_layered_dag
 from repro.scheduling.list_scheduler import ListPriority, list_schedule
 from repro.scheduling.resources import ResourceSet
 
-RESOURCES = ResourceSet.parse("2+/-,2*")
+RESOURCES = ResourceSet.parse(SUITE_CONSTRAINT)
 POPULATION = [
     random_layered_dag(50, seed=3000 + index, mul_fraction=0.35)
     for index in range(6)

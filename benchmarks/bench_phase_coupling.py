@@ -9,6 +9,7 @@ comparison table.
 
 import pytest
 
+from repro.engine.bench import SUITE_BENCHES
 from repro.flows.hard_flow import run_hard_flow
 from repro.flows.soft_flow import run_soft_flow
 from repro.graphs.registry import get_graph
@@ -19,7 +20,7 @@ CONSTRAINT = ResourceSet.parse("2+/-,1*")
 WIRES = WireModel(free_length=1.0, cells_per_cycle=3.0)
 REGISTERS = 4
 
-BENCHES = ("HAL", "AR", "EF", "FIR", "DCT8")
+BENCHES = SUITE_BENCHES
 
 
 @pytest.mark.parametrize("bench_name", BENCHES)

@@ -3,12 +3,14 @@
 Not a paper artifact per se — this is the design-choice ablation
 DESIGN.md calls for: list (both priorities), force-directed, threaded
 (best meta) and, on HAL, the exact branch-and-bound optimum as the
-yardstick.
+yardstick.  The graph/constraint line-up is the unified suite from
+:mod:`repro.engine.bench` (also behind ``python -m repro bench``).
 """
 
 import pytest
 
 from repro.core.scheduler import threaded_schedule
+from repro.engine.bench import SUITE_BENCHES, SUITE_CONSTRAINT
 from repro.graphs.registry import get_graph
 from repro.ir.analysis import diameter
 from repro.scheduling.exact import exact_schedule
@@ -16,8 +18,8 @@ from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import ListPriority, list_schedule
 from repro.scheduling.resources import ResourceSet
 
-RESOURCES = ResourceSet.parse("2+/-,2*")
-BENCHES = ("HAL", "AR", "EF", "FIR", "DCT8")
+RESOURCES = ResourceSet.parse(SUITE_CONSTRAINT)
+BENCHES = SUITE_BENCHES
 
 
 @pytest.mark.parametrize("bench_name", BENCHES)

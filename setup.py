@@ -1,0 +1,11 @@
+"""Legacy-path shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517 --no-build-isolation`` works
+on minimal environments whose setuptools lacks PEP 660 editable-wheel
+support (no ``wheel`` package, no network).  Normal environments can
+just ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

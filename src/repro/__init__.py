@@ -67,7 +67,7 @@ from repro.core import (
     threaded_schedule,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DataFlowGraph",

@@ -1,7 +1,8 @@
-"""Command-line entry point: ``python -m repro <command>``.
+"""Command-line entry point: ``python -m repro <command>`` (or the
+``repro`` console script once the package is installed).
 
-Commands map one-to-one onto the experiment harnesses plus a couple of
-utilities:
+Commands map one-to-one onto the experiment harnesses plus the batch
+engine and a couple of utilities:
 
 =============  ====================================================
 figure3        the paper's Figure 3 results table
@@ -11,15 +12,20 @@ coupling       phase-coupling comparison (hard patch vs soft refine)
 ablation       meta-schedule sensitivity on random DAGs
 benchmarks     list the shipped benchmark graphs
 schedule       schedule one benchmark: ``schedule HAL "2+/-,2*" meta2``
+batch          sweep jobs through the parallel batch engine
+bench          run the unified benchmark suite (``--check`` gates CI)
 =============  ====================================================
+
+Exit codes: 0 success, 1 benchmark regression (``bench --check``),
+2 usage or input error (unknown command, unknown benchmark, malformed
+resource specification, ...).
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments import complexity, figure1, figure3, meta_ablation
-from repro.experiments import phase_coupling
+from repro.errors import ReproError
 
 
 def _cmd_benchmarks(_args) -> int:
@@ -57,27 +63,85 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_figure3(_args) -> int:
+    from repro.experiments import figure3
+
+    figure3.main()
+    return 0
+
+
+def _cmd_figure1(_args) -> int:
+    from repro.experiments import figure1
+
+    figure1.main()
+    return 0
+
+
+def _cmd_complexity(_args) -> int:
+    from repro.experiments import complexity
+
+    complexity.main()
+    return 0
+
+
+def _cmd_coupling(_args) -> int:
+    from repro.experiments import phase_coupling
+
+    phase_coupling.main()
+    return 0
+
+
+def _cmd_ablation(_args) -> int:
+    from repro.experiments import meta_ablation
+
+    meta_ablation.main()
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.engine.cli import cmd_batch
+
+    return cmd_batch(args)
+
+
+def _cmd_bench(args) -> int:
+    from repro.engine.cli import cmd_bench
+
+    return cmd_bench(args)
+
+
 _COMMANDS = {
-    "figure3": lambda args: (figure3.main(), 0)[1],
-    "figure1": lambda args: (figure1.main(), 0)[1],
-    "complexity": lambda args: (complexity.main(), 0)[1],
-    "coupling": lambda args: (phase_coupling.main(), 0)[1],
-    "ablation": lambda args: (meta_ablation.main(), 0)[1],
+    "figure3": _cmd_figure3,
+    "figure1": _cmd_figure1,
+    "complexity": _cmd_complexity,
+    "coupling": _cmd_coupling,
+    "ablation": _cmd_ablation,
     "benchmarks": _cmd_benchmarks,
     "schedule": _cmd_schedule,
+    "batch": _cmd_batch,
+    "bench": _cmd_bench,
 }
+
+
+def _usage(stream) -> None:
+    print(__doc__, file=stream)
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help", "help"):
-        print(__doc__)
+        _usage(sys.stdout)
         return 0
     command = _COMMANDS.get(argv[0])
     if command is None:
-        print(f"unknown command {argv[0]!r}; try --help", file=sys.stderr)
+        print(f"error: unknown command {argv[0]!r}", file=sys.stderr)
+        _usage(sys.stderr)
         return 2
-    return command(argv[1:])
+    try:
+        return command(argv[1:])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

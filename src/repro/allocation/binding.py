@@ -9,7 +9,7 @@ opcode (a cheap interconnect heuristic: reuse favours fewer mux inputs).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import AllocationError
 from repro.scheduling.base import Schedule

@@ -15,7 +15,6 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.allocation.left_edge import RegisterAllocation
 from repro.scheduling.base import Schedule
-from repro.scheduling.resources import FuType
 
 
 @dataclass

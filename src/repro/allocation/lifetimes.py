@@ -9,7 +9,7 @@ outputs; they stay live to the end of the schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.scheduling.base import Schedule
 

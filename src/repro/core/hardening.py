@@ -17,7 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import ThreadedGraphError
 from repro.core.threaded_graph import ThreadedGraph
-from repro.scheduling.base import Schedule, validate_schedule
+from repro.scheduling.base import Schedule
 from repro.scheduling.resources import FuType, ResourceSet
 
 

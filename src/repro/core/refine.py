@@ -14,7 +14,7 @@ All functions mutate the underlying :class:`DataFlowGraph` and the
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Iterable, Mapping, Optional, Tuple
 
 from repro.errors import GraphError, ThreadedGraphError
 from repro.ir.ops import OpKind

@@ -16,7 +16,7 @@ one-call convenience used by the experiments:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.errors import SchedulingError
 from repro.ir.dfg import DataFlowGraph

@@ -1,0 +1,213 @@
+"""The batch engine: many scheduling jobs, one call.
+
+:class:`BatchEngine` takes an iterable of :class:`JobSpec` and returns
+one :class:`JobResult` per job, in submission order.  Under the hood it
+
+1. builds each job's graph once to obtain its content hash (specs that
+   repeat a graph share the build via a per-engine memo),
+2. resolves jobs against a :class:`~repro.engine.cache.ResultCache`
+   (memory + optional on-disk JSON layer) and deduplicates identical
+   jobs within the batch,
+3. executes the remaining unique jobs either serially or across a
+   ``ProcessPoolExecutor``, and
+4. stores fresh results back into the cache.
+
+The pool uses the ``fork`` start method where the platform offers it:
+``spawn``/``forkserver`` re-import the parent's ``__main__``, which
+breaks engine use from a REPL, a ``python - <<EOF`` heredoc, or any
+other unimportable main module.  Pass ``mp_context="spawn"`` to force
+a specific start method.
+
+Determinism: a job's entire randomness budget lives in its spec (random
+DAG seeds, seeded meta schedules), so serial and parallel execution
+produce identical schedule lengths — only wall-times differ.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.job import ALGORITHMS, GraphSpec, JobResult, JobSpec
+from repro.ir.serialize import dfg_fingerprint
+
+#: Graphs at or below this many ops get an exact-optimum comparison
+#: when the engine is constructed with ``compute_gaps=True``.
+DEFAULT_GAP_OPS_LIMIT = 12
+
+
+def _pool_context(name: Optional[str]):
+    """The requested start method, defaulting to fork-else-spawn."""
+    if name is not None:
+        return get_context(name)
+    try:
+        return get_context("fork")
+    except ValueError:
+        return get_context("spawn")
+
+
+def execute_job(
+    spec: JobSpec,
+    key: str,
+    graph_hash: str,
+    compute_gap: bool = False,
+    gap_ops_limit: int = DEFAULT_GAP_OPS_LIMIT,
+) -> JobResult:
+    """Run one job to completion in the current process.
+
+    Top-level (not a closure) so a spawn-context worker can unpickle it.
+    The graph is rebuilt from the spec here, in the executing process.
+    """
+    dfg = spec.graph.build()
+    resources = spec.resource_set()
+    runner = ALGORITHMS[spec.algorithm]
+    started = time.perf_counter()
+    schedule = runner(dfg, resources)
+    runtime_s = time.perf_counter() - started
+
+    gap: Optional[int] = None
+    if (
+        compute_gap
+        and spec.algorithm != "exact"
+        and dfg.num_nodes <= gap_ops_limit
+    ):
+        # Fresh build: threaded scheduling keeps the graph by reference,
+        # so the comparator must not share state with the measured run.
+        exact = ALGORITHMS["exact"](spec.graph.build(), resources)
+        gap = schedule.length - exact.length
+
+    return JobResult(
+        key=key,
+        graph=spec.graph.describe(),
+        graph_hash=graph_hash,
+        num_ops=dfg.num_nodes,
+        resources=spec.resources,
+        algorithm=spec.algorithm,
+        length=schedule.length,
+        runtime_s=runtime_s,
+        gap=gap,
+    )
+
+
+class BatchEngine:
+    """Parallel, cache-backed executor for scheduling jobs.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (the default) runs everything in-process;
+        higher values fan unique jobs out over a spawn-context pool.
+    cache / cache_dir:
+        Pass a ready :class:`ResultCache`, or a directory for the
+        on-disk layer, or neither for a fresh in-memory cache.
+    compute_gaps:
+        When true, jobs on graphs of at most ``gap_ops_limit`` ops also
+        run the exact branch-and-bound comparator and record the
+        optimality gap in :attr:`JobResult.gap`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Union[str, Path, None] = None,
+        compute_gaps: bool = False,
+        gap_ops_limit: int = DEFAULT_GAP_OPS_LIMIT,
+        mp_context: Optional[str] = None,
+    ):
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either `cache` or `cache_dir`, not both")
+        self.workers = max(1, int(workers))
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.compute_gaps = compute_gaps
+        self.gap_ops_limit = gap_ops_limit
+        self.mp_context = mp_context
+        self._fingerprints: Dict[GraphSpec, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def _graph_hash(self, spec: GraphSpec) -> str:
+        """Content hash of the spec's graph (memoized per engine)."""
+        graph_hash = self._fingerprints.get(spec)
+        if graph_hash is None:
+            graph_hash = dfg_fingerprint(spec.build())
+            self._fingerprints[spec] = graph_hash
+        return graph_hash
+
+    def run(self, jobs: Iterable[JobSpec]) -> List[JobResult]:
+        """Execute ``jobs``; one result per job, in submission order."""
+        specs = list(jobs)
+        for spec in specs:
+            if not isinstance(spec, JobSpec):
+                raise TypeError(
+                    f"BatchEngine.run expects JobSpec items, got {spec!r}"
+                )
+
+        resolved: Dict[int, JobResult] = {}
+        pending: Dict[str, List[int]] = {}
+        keyed: List[Tuple[str, JobSpec, str]] = []
+        for index, spec in enumerate(specs):
+            graph_hash = self._graph_hash(spec.graph)
+            key = spec.cache_key(graph_hash)
+            hit = self.cache.get(key)
+            if hit is not None:
+                resolved[index] = hit
+                continue
+            if key not in pending:
+                keyed.append((key, spec, graph_hash))
+            pending.setdefault(key, []).append(index)
+
+        for key, result in self._compute(keyed):
+            self.cache.put(result)
+            first, *dupes = pending[key]
+            resolved[first] = result
+            for index in dupes:
+                resolved[index] = replace(result, cached=True)
+
+        return [resolved[index] for index in range(len(specs))]
+
+    def _compute(
+        self, keyed: List[Tuple[str, JobSpec, str]]
+    ) -> List[Tuple[str, JobResult]]:
+        if not keyed:
+            return []
+        if self.workers == 1 or len(keyed) == 1:
+            return [
+                (
+                    key,
+                    execute_job(
+                        spec,
+                        key,
+                        graph_hash,
+                        self.compute_gaps,
+                        self.gap_ops_limit,
+                    ),
+                )
+                for key, spec, graph_hash in keyed
+            ]
+
+        results: List[Tuple[str, JobResult]] = []
+        max_workers = min(self.workers, len(keyed))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=_pool_context(self.mp_context),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    execute_job,
+                    spec,
+                    key,
+                    graph_hash,
+                    self.compute_gaps,
+                    self.gap_ops_limit,
+                ): key
+                for key, spec, graph_hash in keyed
+            }
+            for future in as_completed(futures):
+                results.append((futures[future], future.result()))
+        return results

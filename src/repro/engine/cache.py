@@ -1,0 +1,122 @@
+"""Content-addressed result cache for the batch engine.
+
+Keys are sha256 hexdigests produced by :meth:`JobSpec.cache_key`
+(graph content hash × resource notation × algorithm id), so a hit is
+valid regardless of which spec, process, or run produced the entry.
+
+Two layers:
+
+* an in-memory dict (always on) — serves repeats within one engine
+  lifetime and within-batch duplicates;
+* an optional on-disk JSON layer (one ``<key>.json`` per result under
+  ``cache_dir``) — survives across processes and runs, written
+  atomically (tmp file + rename) so concurrent writers can never leave
+  a torn entry.  Unreadable or corrupt entries degrade to a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.engine.job import JobResult
+from repro.errors import ReproError
+
+
+class ResultCache:
+    """Two-layer (memory + optional disk) store of :class:`JobResult`.
+
+    >>> cache = ResultCache()
+    >>> cache.get("0" * 64) is None
+    True
+    >>> cache.stats()
+    {'hits': 0, 'misses': 1, 'stored': 0}
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None):
+        self._memory: Dict[str, JobResult] = {}
+        self._dir: Optional[Path] = None
+        if cache_dir is not None:
+            self._dir = Path(cache_dir)
+            try:
+                self._dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ReproError(
+                    f"cannot create cache directory {self._dir}: {exc}"
+                )
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """The cached result for ``key``, marked ``cached=True``; or None."""
+        result = self._memory.get(key)
+        if result is None and self._dir is not None:
+            try:
+                text = self._path(key).read_text(encoding="utf-8")
+                result = JobResult.from_dict(json.loads(text))
+            except (OSError, ValueError, KeyError, TypeError):
+                result = None
+            if result is not None:
+                self._memory[key] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dataclasses.replace(result, cached=True)
+
+    def put(self, result: JobResult) -> None:
+        """Store a freshly computed result under its key."""
+        stored = dataclasses.replace(result, cached=False)
+        self._memory[result.key] = stored
+        self.stored += 1
+        if self._dir is None:
+            return
+        payload = json.dumps(stored.to_dict(), indent=2, sort_keys=True)
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self._dir),
+                prefix=f".{result.key[:12]}-",
+                suffix=".tmp",
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write cache entry under {self._dir}: {exc}"
+            )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(result.key))
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise ReproError(
+                f"cannot write cache entry {result.key[:12]}...: {exc}"
+            )
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self._dir is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+        }

@@ -1,0 +1,264 @@
+"""``python -m repro batch`` and ``python -m repro bench`` commands.
+
+Kept separate from :mod:`repro.__main__` so the argparse plumbing for
+the engine lives next to the engine.  Both entry points return process
+exit codes (0 ok, 1 regression, 2 usage/library error) and never leak
+tracebacks for anticipated failures — ``__main__`` converts
+:class:`~repro.errors.ReproError` into exit code 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.engine import bench as bench_mod
+from repro.engine.batch import BatchEngine
+from repro.engine.job import GraphSpec, algorithm_ids, canonical_algorithm
+from repro.engine.sweeps import cross, random_dag_sweep
+from repro.graphs.registry import graph_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = in-process, default)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="directory for the on-disk result cache (off by default)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable results to PATH",
+    )
+
+
+def _parse_random(text: str) -> tuple:
+    """Parse a ``SIZExCOUNT`` family spec (e.g. ``50x6``)."""
+    size_text, sep, count_text = text.partition("x")
+    try:
+        size = int(size_text)
+        count = int(count_text) if sep else 1
+        if size <= 0 or count <= 0:
+            raise ValueError
+    except ValueError:
+        raise ReproError(
+            f"malformed --random spec {text!r}; expected SIZE or SIZExCOUNT"
+            " with positive integers (e.g. 50x6)"
+        )
+    return size, count
+
+
+def cmd_batch(args: Sequence[str]) -> int:
+    """Run an ad-hoc sweep through the batch engine."""
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description=(
+            "Schedule many (graph, resources, algorithm) jobs through "
+            "the parallel batch engine."
+        ),
+    )
+    parser.add_argument(
+        "graphs",
+        nargs="*",
+        metavar="BENCH",
+        help=(
+            "registry benchmark names (default: every registered "
+            "benchmark, unless --random is given)"
+        ),
+    )
+    parser.add_argument(
+        "--resources",
+        "-r",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help='resource constraint, repeatable (default: "2+/-,2*")',
+    )
+    parser.add_argument(
+        "--algorithms",
+        "-a",
+        action="append",
+        metavar="ALGO",
+        default=None,
+        help=(
+            "algorithm id or alias, repeatable (default: "
+            "threaded(meta2)); known: " + ", ".join(algorithm_ids())
+        ),
+    )
+    parser.add_argument(
+        "--random",
+        action="append",
+        metavar="SIZExCOUNT",
+        default=None,
+        help="add a seeded random-DAG family, e.g. --random 50x6",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="base seed for --random families (default 0)",
+    )
+    parser.add_argument(
+        "--paper-only",
+        action="store_true",
+        help="with no BENCH arguments, sweep only the paper benchmarks",
+    )
+    parser.add_argument(
+        "--gaps",
+        action="store_true",
+        help="record optimality gap vs the exact scheduler on small graphs",
+    )
+    _add_common(parser)
+    opts = parser.parse_args(list(args))
+
+    constraints = opts.resources or ["2+/-,2*"]
+    algorithms = [
+        canonical_algorithm(algo)
+        for algo in (opts.algorithms or ["threaded(meta2)"])
+    ]
+
+    jobs = []
+    if opts.graphs or not opts.random:
+        names = [name.upper() for name in opts.graphs] or graph_names(
+            paper_only=opts.paper_only
+        )
+        jobs.extend(
+            cross(
+                [GraphSpec.registry(name) for name in names],
+                constraints,
+                algorithms,
+            )
+        )
+    for spec_text in opts.random or []:
+        size, count = _parse_random(spec_text)
+        jobs.extend(
+            random_dag_sweep(
+                sizes=(size,),
+                count=count,
+                base_seed=opts.seed,
+                constraints=constraints,
+                algorithms=algorithms,
+            )
+        )
+
+    engine = BatchEngine(
+        workers=opts.workers,
+        cache_dir=opts.cache,
+        compute_gaps=opts.gaps,
+    )
+    results = engine.run(jobs)
+
+    rows = [
+        (
+            result.graph,
+            result.algorithm,
+            result.resources,
+            result.length,
+            "" if result.gap is None else result.gap,
+            f"{result.runtime_s * 1000:.2f}",
+            "hit" if result.cached else "",
+        )
+        for result in results
+    ]
+    from repro.experiments.tables import render_table
+
+    print(
+        render_table(
+            ("graph", "algorithm", "resources", "length", "gap", "ms",
+             "cache"),
+            rows,
+            title=f"batch: {len(results)} jobs",
+        )
+    )
+    stats = engine.cache.stats()
+    print(
+        f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['stored']} stored"
+    )
+    if opts.json:
+        payload = {
+            "format": "repro-batch-v1",
+            "results": [result.to_dict() for result in results],
+        }
+        try:
+            Path(opts.json).write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            raise ReproError(f"cannot write results {opts.json}: {exc}")
+        print(f"wrote {opts.json}")
+    return 0
+
+
+def cmd_bench(args: Sequence[str]) -> int:
+    """Run the unified benchmark suite; optionally gate on a baseline."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Run the benchmark suite (five graphs x four schedulers) "
+            "through the batch engine."
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "compare against a baseline BENCH_results.json; exit 1 on "
+            "schedule-length regression or >2x runtime blowup"
+        ),
+    )
+    _add_common(parser)
+    opts = parser.parse_args(list(args))
+
+    report = bench_mod.run_suite(
+        workers=opts.workers, cache_dir=opts.cache
+    )
+    print(report.table())
+    print(f"suite wall time: {report.wall_time_s:.2f}s")
+
+    if opts.json:
+        bench_mod.write_report(report, opts.json)
+        print(f"wrote {opts.json}")
+
+    if opts.check:
+        baseline = bench_mod.load_report(opts.check)
+        problems = bench_mod.check_report(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"check against {opts.check}: ok")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Direct entry point (``python -m repro.engine.cli bench ...``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("batch", "bench"):
+        print("usage: repro.engine.cli {batch,bench} ...", file=sys.stderr)
+        return 2
+    handler = cmd_batch if argv[0] == "batch" else cmd_bench
+    try:
+        return handler(argv[1:])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

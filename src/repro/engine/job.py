@@ -1,0 +1,292 @@
+"""Job and result records for the batch-scheduling engine.
+
+A scheduling *job* is ``(graph, resources, algorithm)``.  To make jobs
+cheap to ship across a process pool and safe to cache, a job never holds
+a live :class:`~repro.ir.dfg.DataFlowGraph`; it holds a
+:class:`GraphSpec` — a small, picklable, deterministic recipe (registry
+name, seeded random-DAG parameters, or inline JSON) that any process can
+rebuild into the identical graph.
+
+The cache key of a job is content-addressed: sha256 over the *built*
+graph's fingerprint (see :func:`repro.ir.serialize.dfg_fingerprint`),
+the canonical resource notation, and the canonical algorithm id.  Two
+different specs that build the same graph therefore share cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.scheduler import threaded_schedule
+from repro.errors import SchedulingError
+from repro.graphs.random_dags import random_expression_dag, random_layered_dag
+from repro.graphs.registry import get_graph
+from repro.ir.analysis import diameter
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.serialize import dumps_dfg, loads_dfg
+from repro.scheduling.base import Schedule
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import ListPriority, list_schedule
+from repro.scheduling.resources import ResourceSet
+
+# ----------------------------------------------------------------------
+# Graph specs: picklable recipes for graphs.
+# ----------------------------------------------------------------------
+
+_RANDOM_FAMILIES = {
+    "layered": random_layered_dag,
+    "expression": random_expression_dag,
+}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A deterministic, picklable recipe for building a graph.
+
+    ``source`` selects the recipe kind:
+
+    ``registry``
+        ``name`` is a benchmark name for :func:`repro.graphs.get_graph`.
+    ``random``
+        ``name`` is a generator family (``layered`` or ``expression``)
+        and ``params`` its keyword arguments (always including ``seed``),
+        stored as a sorted tuple of pairs so the spec stays hashable.
+    ``inline``
+        ``payload`` is ``dumps_dfg`` JSON of an arbitrary graph.
+    """
+
+    source: str
+    name: str = ""
+    params: Tuple[Tuple[str, Any], ...] = ()
+    payload: Optional[str] = None
+
+    @classmethod
+    def registry(cls, name: str) -> "GraphSpec":
+        return cls(source="registry", name=name.upper())
+
+    @classmethod
+    def random(cls, family: str = "layered", **params: Any) -> "GraphSpec":
+        if family not in _RANDOM_FAMILIES:
+            known = ", ".join(sorted(_RANDOM_FAMILIES))
+            raise SchedulingError(
+                f"unknown random-DAG family {family!r}; known: {known}"
+            )
+        if "seed" not in params:
+            raise SchedulingError(
+                "random GraphSpec requires an explicit seed for determinism"
+            )
+        return cls(
+            source="random",
+            name=family,
+            params=tuple(sorted(params.items())),
+        )
+
+    @classmethod
+    def inline(cls, dfg: DataFlowGraph) -> "GraphSpec":
+        return cls(
+            source="inline",
+            name=dfg.name or "inline",
+            payload=dumps_dfg(dfg, indent=None),
+        )
+
+    def build(self) -> DataFlowGraph:
+        """Rebuild the graph; identical output in any process."""
+        if self.source == "registry":
+            return get_graph(self.name)
+        if self.source == "random":
+            factory = _RANDOM_FAMILIES[self.name]
+            return factory(**dict(self.params))
+        if self.source == "inline":
+            return loads_dfg(self.payload)
+        raise SchedulingError(f"unknown GraphSpec source {self.source!r}")
+
+    def describe(self) -> str:
+        """Short human-readable label (``HAL``, ``layered(n=50,s=3)``)."""
+        if self.source == "registry":
+            return self.name
+        if self.source == "random":
+            params = dict(self.params)
+            inner = ",".join(
+                f"{key}={params[key]}" for key in sorted(params)
+            )
+            return f"{self.name}({inner})"
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# Algorithm registry.
+# ----------------------------------------------------------------------
+
+#: Extra latency slack granted to (time-constrained) force-directed
+#: scheduling over the critical path, matching the ablation benches.
+FDS_SLACK = 3
+
+
+def _run_list_ready(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
+    return list_schedule(dfg, resources, ListPriority.READY_ORDER)
+
+
+def _run_list_cp(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
+    return list_schedule(dfg, resources, ListPriority.SINK_DISTANCE)
+
+
+def _run_fds(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
+    return force_directed_schedule(
+        dfg, resources, latency=diameter(dfg) + FDS_SLACK
+    )
+
+
+def _run_exact(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
+    return exact_schedule(dfg, resources)
+
+
+def _make_threaded(meta: str):
+    def run(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
+        return threaded_schedule(dfg, resources, meta=meta)
+
+    return run
+
+
+#: Canonical algorithm id -> runner ``(dfg, resources) -> Schedule``.
+ALGORITHMS: Dict[str, Callable[[DataFlowGraph, ResourceSet], Schedule]] = {
+    "list(ready)": _run_list_ready,
+    "list(critical-path)": _run_list_cp,
+    "force-directed": _run_fds,
+    "threaded(meta1)": _make_threaded("meta1-dfs"),
+    "threaded(meta2)": _make_threaded("meta2-topological"),
+    "threaded(meta3)": _make_threaded("meta3-paths"),
+    "threaded(meta4)": _make_threaded("meta4-list-order"),
+    "exact": _run_exact,
+}
+
+_ALGORITHM_ALIASES = {
+    "list": "list(ready)",
+    "list-ready": "list(ready)",
+    "ready": "list(ready)",
+    "list-cp": "list(critical-path)",
+    "critical-path": "list(critical-path)",
+    "fds": "force-directed",
+    "meta1": "threaded(meta1)",
+    "meta2": "threaded(meta2)",
+    "meta3": "threaded(meta3)",
+    "meta4": "threaded(meta4)",
+    "threaded": "threaded(meta2)",
+    "threaded-meta1": "threaded(meta1)",
+    "threaded-meta2": "threaded(meta2)",
+    "threaded-meta3": "threaded(meta3)",
+    "threaded-meta4": "threaded(meta4)",
+    "bnb": "exact",
+}
+
+
+def canonical_algorithm(name: str) -> str:
+    """Resolve an algorithm name or alias to its canonical id."""
+    key = name.strip().lower()
+    key = _ALGORITHM_ALIASES.get(key, key)
+    if key not in ALGORITHMS:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise SchedulingError(f"unknown algorithm {name!r}; known: {known}")
+    return key
+
+
+# ----------------------------------------------------------------------
+# Jobs and results.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of batch work: schedule ``graph`` on ``resources``.
+
+    ``resources`` is kept in the paper's canonical notation (a string)
+    so the spec pickles and hashes trivially; use :meth:`make` to accept
+    either a string or a :class:`ResourceSet` and normalize both.
+    """
+
+    graph: GraphSpec
+    resources: str
+    algorithm: str
+
+    @classmethod
+    def make(cls, graph, resources, algorithm: str) -> "JobSpec":
+        if isinstance(graph, DataFlowGraph):
+            graph = GraphSpec.inline(graph)
+        if not isinstance(graph, GraphSpec):
+            graph = GraphSpec.registry(str(graph))
+        if isinstance(resources, ResourceSet):
+            notation = resources.notation()
+        else:
+            notation = ResourceSet.parse(resources).notation()
+        return cls(
+            graph=graph,
+            resources=notation,
+            algorithm=canonical_algorithm(algorithm),
+        )
+
+    def resource_set(self) -> ResourceSet:
+        return ResourceSet.parse(self.resources)
+
+    def cache_key(self, graph_hash: str) -> str:
+        """Content-addressed key: graph hash × resources × algorithm."""
+        text = f"{graph_hash}|{self.resources}|{self.algorithm}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Structured outcome of one job (JSON-round-trippable).
+
+    ``gap`` is the optimality gap (``length - exact_length``) when the
+    engine was asked to compute gaps and the graph is small enough for
+    :func:`repro.scheduling.exact.exact_schedule`; otherwise ``None``.
+    ``cached`` marks results served from the result cache (including
+    within-batch deduplication) rather than computed fresh.
+    """
+
+    key: str
+    graph: str
+    graph_hash: str
+    num_ops: int
+    resources: str
+    algorithm: str
+    length: int
+    runtime_s: float
+    gap: Optional[int] = None
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "graph": self.graph,
+            "graph_hash": self.graph_hash,
+            "num_ops": self.num_ops,
+            "resources": self.resources,
+            "algorithm": self.algorithm,
+            "length": self.length,
+            "runtime_s": self.runtime_s,
+            "gap": self.gap,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        return cls(
+            key=data["key"],
+            graph=data["graph"],
+            graph_hash=data["graph_hash"],
+            num_ops=int(data["num_ops"]),
+            resources=data["resources"],
+            algorithm=data["algorithm"],
+            length=int(data["length"]),
+            runtime_s=float(data["runtime_s"]),
+            gap=data.get("gap"),
+            cached=bool(data.get("cached", False)),
+        )
+
+
+def algorithm_ids() -> List[str]:
+    """Canonical algorithm ids, stable order."""
+    return list(ALGORITHMS)

@@ -11,7 +11,7 @@ cell-by-cell comparison; :func:`figure3_table` computes ours.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.scheduler import threaded_schedule
 from repro.experiments.tables import render_table

@@ -12,7 +12,7 @@ scheduler's on the same graph/resources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List
 
 from repro.core.meta import META_SCHEDULES, meta_random
 from repro.core.scheduler import threaded_schedule

@@ -11,7 +11,7 @@ largely absorbed by the soft schedule's slack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.experiments.tables import render_table
 from repro.flows.report import compare_flows

@@ -18,7 +18,7 @@ Run: ``python -m repro.experiments.tiebreak_ablation``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.core.threaded_graph import ThreadedGraph
 from repro.experiments.tables import render_table

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.allocation.lifetimes import max_live
 from repro.flows.hard_flow import HardFlowResult, run_hard_flow
 from repro.flows.soft_flow import SoftFlowResult, run_soft_flow
 from repro.ir.dfg import DataFlowGraph

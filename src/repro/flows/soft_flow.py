@@ -15,12 +15,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.allocation.left_edge import RegisterAllocation, left_edge_allocate
 from repro.allocation.spill import choose_spill_candidates
-from repro.core.hardening import harden
 from repro.core.meta import MetaSchedule
 from repro.core.refine import annotate_wire_weights, insert_spill
 from repro.core.scheduler import ThreadedScheduler
 from repro.ir.dfg import DataFlowGraph
-from repro.ir.ops import OpKind
 from repro.physical.annotate import wire_delays_for_state
 from repro.physical.floorplan import Floorplan, grid_floorplan
 from repro.physical.wire_model import WireModel

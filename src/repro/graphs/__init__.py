@@ -16,7 +16,13 @@ from repro.graphs.fft import fft
 from repro.graphs.iir import iir_biquad_cascade
 from repro.graphs.paper_fig1 import paper_fig1
 from repro.graphs.random_dags import random_layered_dag, random_expression_dag
-from repro.graphs.registry import get_graph, list_graphs, GraphInfo, REGISTRY
+from repro.graphs.registry import (
+    get_graph,
+    graph_names,
+    list_graphs,
+    GraphInfo,
+    REGISTRY,
+)
 
 __all__ = [
     "hal",
@@ -30,6 +36,7 @@ __all__ = [
     "random_layered_dag",
     "random_expression_dag",
     "get_graph",
+    "graph_names",
     "list_graphs",
     "GraphInfo",
     "REGISTRY",

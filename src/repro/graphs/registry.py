@@ -134,6 +134,15 @@ def get_graph(
     return graph
 
 
+def graph_names(paper_only: bool = False) -> List[str]:
+    """Canonical registered names, paper benchmarks first.
+
+    The enumerable job source for batch sweeps: every name is accepted
+    by :func:`get_graph` and by ``GraphSpec.registry``.
+    """
+    return [info.name for info in list_graphs(paper_only=paper_only)]
+
+
 def list_graphs(paper_only: bool = False) -> List[GraphInfo]:
     """All registered benchmarks, paper benchmarks first."""
     infos = sorted(

@@ -18,7 +18,7 @@ and tests cross-validate the analyses against networkx separately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import (

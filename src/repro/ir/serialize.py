@@ -6,6 +6,7 @@ library; plain-dict JSON keeps that dependency-free and diffable.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional
 
@@ -65,6 +66,41 @@ def dfg_from_dict(data: Dict[str, Any]) -> DataFlowGraph:
             weight=edge.get("weight", 0),
         )
     return dfg
+
+
+def dfg_canonical_dict(dfg: DataFlowGraph) -> Dict[str, Any]:
+    """Insertion-order-independent dict form, for content hashing.
+
+    Unlike :func:`dfg_to_dict` (which preserves insertion order for
+    readable round trips), nodes are sorted by id and edges by
+    ``(src, dst, port)`` so two graphs with the same structure hash the
+    same regardless of construction order.  The graph *name* is
+    deliberately excluded: it is provenance, not structure.
+    """
+    data = dfg_to_dict(dfg)
+    return {
+        "format": data["format"],
+        "nodes": sorted(data["nodes"], key=lambda n: n["id"]),
+        "edges": sorted(
+            data["edges"],
+            key=lambda e: (e["src"], e["dst"], e.get("port", -1)),
+        ),
+    }
+
+
+def dfg_fingerprint(dfg: DataFlowGraph) -> str:
+    """Stable content hash of a graph (hex sha256).
+
+    The fingerprint is a pure function of the graph's structure (node
+    ids, op kinds, delays, names; edge endpoints, ports, weights) — it
+    does not depend on node/edge insertion order, the graph's name, or
+    the process.  Used by the batch engine as the graph component of
+    content-addressed result-cache keys.
+    """
+    canonical = json.dumps(
+        dfg_canonical_dict(dfg), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def dumps_dfg(dfg: DataFlowGraph, indent: Optional[int] = 2) -> str:

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ParseError
 from repro.ir.dfg import DataFlowGraph
-from repro.ir.expr import Assign, Name, Program, walk
+from repro.ir.expr import Name, Program, walk
 from repro.ir.lowering import LoweringResult, lower_program
 from repro.ir.ops import DelayModel, OpKind
 

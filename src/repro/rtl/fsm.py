@@ -10,7 +10,7 @@ steps so the datapath holds their operand registers stable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import RTLError
 from repro.scheduling.base import Schedule

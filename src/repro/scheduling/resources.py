@@ -23,7 +23,7 @@ Structural kinds (wire/const/nop) never occupy a functional unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.errors import ResourceError
 from repro.ir.dfg import DataFlowGraph

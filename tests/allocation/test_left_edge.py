@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.allocation import left_edge_allocate, max_live, value_lifetimes
-from repro.allocation.lifetimes import Lifetime
 from repro.errors import AllocationError
 from repro.graphs import hal
 from repro.graphs.random_dags import random_layered_dag

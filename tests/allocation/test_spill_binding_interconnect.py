@@ -10,9 +10,8 @@ from repro.allocation import (
     max_live,
     value_lifetimes,
 )
-from repro.allocation.lifetimes import Lifetime
 from repro.errors import AllocationError
-from repro.graphs import hal, fir
+from repro.graphs import hal
 from repro.scheduling import (
     ListPriority,
     ResourceSet,

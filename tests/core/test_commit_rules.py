@@ -19,7 +19,6 @@ case   situation                    expected action
 from repro.core import check_against_graph, check_state
 from repro.core.threaded_graph import ThreadedGraph
 from repro.ir.builder import GraphBuilder
-from repro.ir.ops import OpKind
 from repro.scheduling.resources import ResourceSet
 
 ALU_T = 0  # thread index of the single ALU

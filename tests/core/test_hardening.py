@@ -3,8 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import ThreadedScheduler, harden, threaded_schedule
-from repro.core.threaded_graph import ThreadedGraph
+from repro.core import ThreadedScheduler, threaded_schedule
 from repro.errors import SchedulingError
 from repro.graphs import hal
 from repro.graphs.random_dags import random_layered_dag

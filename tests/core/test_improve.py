@@ -1,6 +1,5 @@
 """Tests for the remove-and-reinsert improvement kernel."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

@@ -5,7 +5,6 @@ import pytest
 from repro.core.naive import NaiveSoftScheduler
 from repro.errors import NoValidPositionError, SchedulingError
 from repro.graphs import hal, paper_fig1
-from repro.ir.builder import GraphBuilder
 from repro.ir.ops import OpKind
 from repro.scheduling.resources import ResourceSet
 

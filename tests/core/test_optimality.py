@@ -8,11 +8,10 @@ says the O(1)-cost position evaluation loses nothing).
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.naive import NaiveSoftScheduler
-from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
+from repro.core.threaded_graph import ThreadedGraph
 from repro.graphs import hal, paper_fig1
 from repro.graphs.random_dags import random_expression_dag, random_layered_dag
 from repro.scheduling.resources import ResourceSet

@@ -10,7 +10,7 @@ from repro.core import (
     insert_wire_delay,
 )
 from repro.core.refine import annotate_wire_weights, resolve_phi, unschedule
-from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
+from repro.core.threaded_graph import ThreadSpec
 from repro.errors import GraphError, ThreadedGraphError
 from repro.graphs import hal, paper_fig1
 from repro.graphs.paper_fig1 import FIG1_SPILLED, FIG1_WIRE_EDGE

@@ -10,9 +10,8 @@ from repro.errors import (
 from repro.core import check_against_graph, check_state
 from repro.core.threaded_graph import ThreadedGraph, ThreadSpec
 from repro.graphs import hal, paper_fig1
-from repro.ir.builder import GraphBuilder
 from repro.ir.ops import OpKind
-from repro.scheduling.resources import ALU, MUL, ResourceSet
+from repro.scheduling.resources import ALU
 
 
 class TestConstruction:

@@ -1,0 +1,132 @@
+"""Tests for the batch engine: dedup, cache reuse, parallel equality,
+deterministic seeding, and optimality gaps."""
+
+from repro.core.scheduler import threaded_schedule
+from repro.engine.batch import BatchEngine
+from repro.engine.cache import ResultCache
+from repro.engine.job import JobSpec
+from repro.engine.sweeps import random_dag_sweep, registry_sweep
+from repro.graphs import get_graph
+from repro.scheduling.resources import ResourceSet
+
+
+def test_results_match_direct_scheduler_calls():
+    jobs = registry_sweep(
+        names=("HAL", "FIR"),
+        constraints=("2+/-,2*", "2+/-,1*"),
+        algorithms=("threaded(meta2)",),
+    )
+    results = BatchEngine().run(jobs)
+    assert len(results) == 4
+    for job, result in zip(jobs, results):
+        direct = threaded_schedule(
+            get_graph(job.graph.name),
+            ResourceSet.parse(job.resources),
+            meta="meta2",
+        )
+        assert result.length == direct.length
+        assert result.graph == job.graph.name
+        assert result.cached is False
+
+
+def test_within_batch_dedup():
+    job = JobSpec.make("hal", "2+/-,2*", "list")
+    engine = BatchEngine()
+    first, second = engine.run([job, job])
+    assert first.length == second.length
+    assert first.cached is False
+    assert second.cached is True
+    assert engine.cache.stats()["stored"] == 1
+
+
+def test_cache_reuse_across_runs_and_engines(tmp_path):
+    jobs = registry_sweep(names=("HAL",), algorithms=("list(ready)",))
+    first_engine = BatchEngine(cache_dir=tmp_path / "c")
+    cold = first_engine.run(jobs)
+    assert [r.cached for r in cold] == [False]
+
+    # Same engine, warm memory layer.
+    warm = first_engine.run(jobs)
+    assert [r.cached for r in warm] == [True]
+
+    # Fresh engine, warm disk layer.
+    second_engine = BatchEngine(cache_dir=tmp_path / "c")
+    disk = second_engine.run(jobs)
+    assert [r.cached for r in disk] == [True]
+    assert disk[0].length == cold[0].length
+
+
+def test_equivalent_specs_share_cache_entries():
+    engine = BatchEngine()
+    spelled_one = JobSpec.make("hal", "2+/,2*", "meta2")
+    spelled_two = JobSpec.make("HAL", "2+/-,2*", "threaded-meta2")
+    a, b = engine.run([spelled_one, spelled_two])
+    assert a.key == b.key
+    assert b.cached is True
+
+
+def test_inline_graph_same_cache_key_as_registry():
+    engine = BatchEngine()
+    by_name = JobSpec.make("hal", "2+/-,2*", "list")
+    by_value = JobSpec.make(get_graph("HAL"), "2+/-,2*", "list")
+    a, b = engine.run([by_name, by_value])
+    assert a.key == b.key
+
+
+def test_parallel_equals_serial():
+    jobs = registry_sweep(
+        names=("HAL", "FIR", "FIG1"),
+        constraints=("2+/-,2*",),
+        algorithms=("list(ready)", "threaded(meta2)"),
+    )
+    serial = BatchEngine(workers=1).run(jobs)
+    parallel = BatchEngine(workers=2).run(jobs)
+    assert [r.length for r in parallel] == [r.length for r in serial]
+    assert [r.key for r in parallel] == [r.key for r in serial]
+
+
+def test_random_sweep_deterministic_across_engines():
+    sweep = dict(
+        sizes=(20, 30), count=2, base_seed=42, algorithms=("meta1",)
+    )
+    first = BatchEngine().run(random_dag_sweep(**sweep))
+    second = BatchEngine().run(random_dag_sweep(**sweep))
+    assert [r.length for r in first] == [r.length for r in second]
+    assert [r.graph_hash for r in first] == [r.graph_hash for r in second]
+    # Different base seed -> different graphs (and cache keys).
+    other = BatchEngine().run(
+        random_dag_sweep(**{**sweep, "base_seed": 43})
+    )
+    assert [r.key for r in other] != [r.key for r in first]
+
+
+def test_optimality_gap_on_small_graphs():
+    engine = BatchEngine(compute_gaps=True)
+    results = engine.run(
+        registry_sweep(
+            names=("HAL", "EF"),
+            algorithms=("list(critical-path)",),
+        )
+    )
+    hal_result, ef_result = results
+    # HAL (11 ops) gets a gap; list(critical-path) hits the optimum 7.
+    assert hal_result.gap == 0
+    # EF (34 ops) is over the exact-comparator limit.
+    assert ef_result.gap is None
+
+
+def test_rejects_non_jobspec():
+    try:
+        BatchEngine().run(["HAL"])
+    except TypeError:
+        pass
+    else:
+        raise AssertionError("expected TypeError")
+
+
+def test_shared_cache_object():
+    cache = ResultCache()
+    jobs = registry_sweep(names=("FIR",), algorithms=("list(ready)",))
+    BatchEngine(cache=cache).run(jobs)
+    results = BatchEngine(cache=cache).run(jobs)
+    assert results[0].cached is True

@@ -1,0 +1,82 @@
+"""Tests for the two-layer result cache: hit/miss semantics, disk."""
+
+from repro.engine.cache import ResultCache
+from repro.engine.job import JobResult
+
+
+def _result(key="a" * 64, length=8):
+    return JobResult(
+        key=key,
+        graph="HAL",
+        graph_hash="h" * 64,
+        num_ops=11,
+        resources="2+/-,2*",
+        algorithm="list(ready)",
+        length=length,
+        runtime_s=0.001,
+    )
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("a" * 64) is None
+        cache.put(_result())
+        hit = cache.get("a" * 64)
+        assert hit is not None
+        assert hit.length == 8
+        assert hit.cached is True
+        assert cache.stats() == {"hits": 1, "misses": 1, "stored": 1}
+
+    def test_contains(self):
+        cache = ResultCache()
+        cache.put(_result())
+        assert ("a" * 64) in cache
+        assert ("b" * 64) not in cache
+
+    def test_put_normalizes_cached_flag(self, tmp_path):
+        import dataclasses
+        import json
+
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        cache.put(dataclasses.replace(_result(), cached=True))
+        on_disk = json.loads(
+            (cache_dir / ("a" * 64 + ".json")).read_text("utf-8")
+        )
+        # Stored entries are canonical (not marked cached); the flag is
+        # applied on the way out.
+        assert on_disk["cached"] is False
+        assert cache.get("a" * 64).cached is True
+
+
+class TestDiskLayer:
+    def test_persists_across_instances(self, tmp_path):
+        first = ResultCache(tmp_path / "cache")
+        first.put(_result(length=13))
+
+        second = ResultCache(tmp_path / "cache")
+        hit = second.get("a" * 64)
+        assert hit is not None
+        assert hit.length == 13
+        assert hit.cached is True
+        assert second.stats()["hits"] == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        cache.put(_result())
+        (cache_dir / ("a" * 64 + ".json")).write_text("{not json", "utf-8")
+
+        fresh = ResultCache(cache_dir)
+        assert fresh.get("a" * 64) is None
+        assert fresh.stats()["misses"] == 1
+
+    def test_no_tmp_litter(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        for index in range(5):
+            cache.put(_result(key=f"{index:064d}"))
+        leftovers = [p for p in cache_dir.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert len(list(cache_dir.glob("*.json"))) == 5

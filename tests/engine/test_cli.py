@@ -1,0 +1,90 @@
+"""CLI tests: exit codes, usage messages, bench/batch plumbing."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_no_args_prints_usage(capsys):
+    assert main([]) == 0
+    assert "batch" in capsys.readouterr().out
+
+
+def test_unknown_command_exits_2(capsys):
+    assert main(["frobnicate"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command" in err
+    assert "bench" in err  # usage is printed, not a traceback
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["schedule", "HAL", "2+bogus"],
+        ["schedule", "NOSUCH"],
+        ["schedule", "HAL", "2+/-,2*", "meta99"],
+        ["batch", "--resources", "garbage"],
+        ["batch", "-a", "simulated-annealing"],
+        ["batch", "--random", "0x3"],
+        ["bench", "--check", "/nonexistent/baseline.json"],
+    ],
+)
+def test_bad_input_exits_2_without_traceback(argv, capsys):
+    assert main(argv) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_schedule_happy_path(capsys):
+    assert main(["schedule", "HAL", "2+/-,2*", "meta2"]) == 0
+    assert "8 control steps" in capsys.readouterr().out
+
+
+def test_bench_json_check_cycle(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_baseline.json"
+    assert main(["bench", "--json", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # Re-checking against the fresh baseline passes.
+    assert main(["bench", "--check", str(baseline)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    # A regressed baseline (lengths lowered) makes the check fail.
+    data = json.loads(baseline.read_text())
+    for entry in data["results"]:
+        entry["length"] -= 1
+    rigged = tmp_path / "rigged.json"
+    rigged.write_text(json.dumps(data))
+    assert main(["bench", "--check", str(rigged)]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_batch_json_output(tmp_path, capsys):
+    out = tmp_path / "batch.json"
+    code = main(
+        [
+            "batch", "HAL", "FIR",
+            "-a", "list", "-a", "meta2",
+            "--json", str(out),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["format"] == "repro-batch-v1"
+    assert len(data["results"]) == 4
+    table = capsys.readouterr().out
+    assert "HAL" in table and "FIR" in table
+
+
+def test_batch_random_deterministic(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    argv = ["batch", "--random", "25x2", "--seed", "9", "-a", "meta1"]
+    assert main(argv + ["--json", str(first)]) == 0
+    assert main(argv + ["--json", str(second)]) == 0
+    lengths = [
+        [(r["graph"], r["length"]) for r in json.loads(p.read_text())["results"]]
+        for p in (first, second)
+    ]
+    assert lengths[0] == lengths[1]

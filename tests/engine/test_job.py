@@ -1,0 +1,113 @@
+"""Tests for job specs, algorithm resolution, and result records."""
+
+import pickle
+
+import pytest
+
+from repro.engine.job import (
+    GraphSpec,
+    JobResult,
+    JobSpec,
+    canonical_algorithm,
+)
+from repro.errors import SchedulingError
+from repro.graphs import hal
+from repro.ir.serialize import dfg_fingerprint
+from repro.scheduling.resources import ResourceSet
+
+
+class TestGraphSpec:
+    def test_registry_build_matches_factory(self):
+        spec = GraphSpec.registry("hal")
+        built = spec.build()
+        assert dfg_fingerprint(built) == dfg_fingerprint(hal())
+        assert spec.describe() == "HAL"
+
+    def test_random_requires_seed(self):
+        with pytest.raises(SchedulingError):
+            GraphSpec.random("layered", num_nodes=10)
+
+    def test_random_unknown_family(self):
+        with pytest.raises(SchedulingError):
+            GraphSpec.random("bogus", num_nodes=10, seed=1)
+
+    def test_random_is_deterministic(self):
+        spec = GraphSpec.random("layered", num_nodes=30, seed=7)
+        assert dfg_fingerprint(spec.build()) == dfg_fingerprint(spec.build())
+
+    def test_inline_round_trip(self):
+        spec = GraphSpec.inline(hal())
+        assert dfg_fingerprint(spec.build()) == dfg_fingerprint(hal())
+
+    def test_specs_pickle(self):
+        for spec in (
+            GraphSpec.registry("FIR"),
+            GraphSpec.random("expression", num_nodes=12, seed=3),
+            GraphSpec.inline(hal()),
+        ):
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert dfg_fingerprint(clone.build()) == dfg_fingerprint(
+                spec.build()
+            )
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("list", "list(ready)"),
+            ("LIST-CP", "list(critical-path)"),
+            ("fds", "force-directed"),
+            ("meta4", "threaded(meta4)"),
+            ("threaded(meta2)", "threaded(meta2)"),
+            ("exact", "exact"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert canonical_algorithm(alias) == canonical
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SchedulingError):
+            canonical_algorithm("simulated-annealing")
+
+
+class TestJobSpec:
+    def test_make_normalizes(self):
+        spec = JobSpec.make("hal", ResourceSet.parse("2+/,2*"), "meta2")
+        assert spec.graph == GraphSpec.registry("HAL")
+        assert spec.resources == "2+/-,2*"
+        assert spec.algorithm == "threaded(meta2)"
+
+    def test_make_accepts_live_graph(self):
+        spec = JobSpec.make(hal(), "1+/-,1*", "list")
+        assert spec.graph.source == "inline"
+
+    def test_cache_key_varies_per_component(self):
+        base = JobSpec.make("hal", "2+/-,2*", "meta2")
+        graph_hash = dfg_fingerprint(hal())
+        key = base.cache_key(graph_hash)
+        assert key != base.cache_key("0" * 64)
+        other_res = JobSpec.make("hal", "2+/-,1*", "meta2")
+        assert other_res.cache_key(graph_hash) != key
+        other_algo = JobSpec.make("hal", "2+/-,2*", "meta3")
+        assert other_algo.cache_key(graph_hash) != key
+        # Same job spelled differently -> same key.
+        same = JobSpec.make("HAL", "2+/,2*", "threaded-meta2")
+        assert same.cache_key(graph_hash) == key
+
+
+class TestJobResult:
+    def test_dict_round_trip(self):
+        result = JobResult(
+            key="k" * 64,
+            graph="HAL",
+            graph_hash="h" * 64,
+            num_ops=11,
+            resources="2+/-,2*",
+            algorithm="threaded(meta2)",
+            length=8,
+            runtime_s=0.0015,
+            gap=1,
+        )
+        assert JobResult.from_dict(result.to_dict()) == result

@@ -10,7 +10,6 @@ from repro.experiments.figure1 import Figure1Numbers, figure1_walkthrough
 from repro.experiments.figure3 import (
     BENCHMARKS,
     CONSTRAINTS,
-    FIGURE3_PAPER,
     SCHEDULERS,
     figure3_table,
     render,

@@ -1,7 +1,6 @@
 """Tests for the flow comparison report."""
 
 from repro.flows import compare_flows
-from repro.flows.report import FlowComparison
 from repro.graphs import hal
 from repro.physical import WireModel
 from repro.scheduling import ResourceSet

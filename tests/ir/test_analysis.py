@@ -23,7 +23,6 @@ from repro.ir.analysis import (
 )
 from repro.ir.builder import GraphBuilder
 from repro.ir.dfg import DataFlowGraph
-from repro.ir.ops import OpKind
 
 
 def chain3():

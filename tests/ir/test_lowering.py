@@ -1,7 +1,5 @@
 """Tests for AST -> DFG lowering."""
 
-import pytest
-
 from repro.ir.analysis import diameter
 from repro.ir.lowering import lower_program
 from repro.ir.ops import OpKind

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.ir.expr import Assign, BinOp, Name, Number, UnaryOp, walk
+from repro.ir.expr import BinOp, Name, Number, UnaryOp, walk
 from repro.ir.parser import parse_program, tokenize
 
 

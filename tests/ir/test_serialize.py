@@ -7,6 +7,7 @@ import pytest
 from repro.errors import GraphError
 from repro.graphs import hal, elliptic_wave_filter
 from repro.ir.serialize import (
+    dfg_fingerprint,
     dumps_dfg,
     dumps_schedule,
     loads_dfg,
@@ -70,3 +71,44 @@ class TestScheduleRoundtrip:
     def test_wrong_format_rejected(self):
         with pytest.raises(GraphError):
             loads_schedule('{"format": "nope"}')
+
+
+class TestFingerprint:
+    def test_stable_across_builds(self):
+        assert dfg_fingerprint(hal()) == dfg_fingerprint(hal())
+
+    def test_different_graphs_differ(self):
+        assert dfg_fingerprint(hal()) != dfg_fingerprint(
+            elliptic_wave_filter()
+        )
+
+    def test_insertion_order_independent(self):
+        from repro.ir.dfg import DataFlowGraph
+        from repro.ir.ops import OpKind
+
+        forward = DataFlowGraph(name="fwd")
+        forward.add_node("a", OpKind.ADD)
+        forward.add_node("b", OpKind.MUL)
+        forward.add_edge("a", "b", port=0)
+
+        backward = DataFlowGraph(name="bwd")
+        backward.add_node("b", OpKind.MUL)
+        backward.add_node("a", OpKind.ADD)
+        backward.add_edge("a", "b", port=0)
+
+        # Same structure, different insertion order and name.
+        assert dfg_fingerprint(forward) == dfg_fingerprint(backward)
+
+    def test_survives_json_round_trip(self):
+        graph = hal()
+        assert dfg_fingerprint(loads_dfg(dumps_dfg(graph))) == (
+            dfg_fingerprint(graph)
+        )
+
+    def test_sensitive_to_structure(self):
+        from repro.ir.ops import OpKind
+
+        base = loads_dfg(dumps_dfg(hal()))
+        tweaked = loads_dfg(dumps_dfg(hal()))
+        tweaked.add_node("extra", OpKind.ADD)
+        assert dfg_fingerprint(base) != dfg_fingerprint(tweaked)

@@ -1,7 +1,5 @@
 """Tests for loop SSA construction and phi resolution."""
 
-import pytest
-
 from repro.core import ThreadedScheduler
 from repro.core.refine import resolve_phi
 from repro.ir.ops import OpKind

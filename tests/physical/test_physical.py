@@ -13,7 +13,6 @@ from repro.physical import (
 )
 from repro.scheduling import (
     ListPriority,
-    ResourceSet,
     list_schedule,
     validate_schedule,
 )

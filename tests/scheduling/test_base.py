@@ -6,7 +6,6 @@ from repro.errors import SchedulingError
 from repro.graphs import hal
 from repro.scheduling import (
     ListPriority,
-    ResourceSet,
     Schedule,
     list_schedule,
     validate_schedule,

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.errors import GraphError, SchedulingError
+from repro.errors import GraphError
 from repro.graphs import hal, fir
 from repro.ir.analysis import diameter
 from repro.scheduling import (
-    ResourceSet,
     force_directed_schedule,
     validate_schedule,
 )

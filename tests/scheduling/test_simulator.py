@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SchedulingError
-from repro.graphs import dct8, fir, get_graph, hal
+from repro.graphs import dct8, fir, hal
 from repro.graphs.random_dags import random_expression_dag
 from repro.scheduling import (
     ListPriority,

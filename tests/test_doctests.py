@@ -8,12 +8,14 @@ import repro.ir.ops
 import repro.ir.builder
 import repro.scheduling.resources
 import repro.core.scheduler
+import repro.engine.cache
 
 MODULES = [
     repro.ir.ops,
     repro.ir.builder,
     repro.scheduling.resources,
     repro.core.scheduler,
+    repro.engine.cache,
 ]
 
 
