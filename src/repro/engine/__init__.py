@@ -21,7 +21,8 @@ Quickstart::
         print(r.graph, r.algorithm, r.length, r.cached)
 
 Modules: :mod:`~repro.engine.job` (specs, results, algorithm registry),
-:mod:`~repro.engine.cache` (memory + on-disk JSON result cache),
+:mod:`~repro.engine.cache` (memory + sharded, capacity-bounded on-disk
+result store),
 :mod:`~repro.engine.batch` (the engine), :mod:`~repro.engine.sweeps`
 (job sources), :mod:`~repro.engine.bench` (the unified benchmark
 harness behind ``python -m repro bench``), :mod:`~repro.engine.cli`

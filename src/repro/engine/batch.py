@@ -6,8 +6,8 @@ one :class:`JobResult` per job, in submission order.  Under the hood it
 1. builds each job's graph once to obtain its content hash (specs that
    repeat a graph share the build via a per-engine memo),
 2. resolves jobs against a :class:`~repro.engine.cache.ResultCache`
-   (memory + optional on-disk JSON layer) and deduplicates identical
-   jobs within the batch,
+   (memory + optional sharded on-disk JSON store) — one lookup per
+   unique key — and deduplicates identical jobs within the batch,
 3. executes the remaining unique jobs either serially or across a
    ``ProcessPoolExecutor``, and
 4. stores fresh results back into the cache.
@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from copy import deepcopy
 from dataclasses import replace
 from multiprocessing import get_context
 from pathlib import Path
@@ -35,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.engine.cache import ResultCache
 from repro.engine.job import ALGORITHMS, GraphSpec, JobResult, JobSpec
 from repro.ir.serialize import dfg_fingerprint
+from repro.scheduling.base import schedule_artifact
 
 #: Graphs at or below this many ops get an exact-optimum comparison
 #: when the engine is constructed with ``compute_gaps=True``.
@@ -57,6 +59,7 @@ def execute_job(
     graph_hash: str,
     compute_gap: bool = False,
     gap_ops_limit: int = DEFAULT_GAP_OPS_LIMIT,
+    capture_schedule: bool = False,
 ) -> JobResult:
     """Run one job to completion in the current process.
 
@@ -66,6 +69,14 @@ def execute_job(
     dfg = spec.graph.build()
     resources = spec.resource_set()
     runner = ALGORITHMS[spec.algorithm]
+    # Threaded scheduling keeps the graph by reference, and refinement
+    # passes over its state (spill/wire insertion in repro.core.refine)
+    # grow it in place.  No registry runner applies those passes today,
+    # but input-graph facts — the op count reported on the result and
+    # the exact-comparator eligibility — are sampled before the runner
+    # regardless, so a refinement-enabled runner can never skew them.
+    num_input_ops = dfg.num_nodes
+    input_ops = dfg.nodes() if capture_schedule else None
     started = time.perf_counter()
     schedule = runner(dfg, resources)
     runtime_s = time.perf_counter() - started
@@ -74,23 +85,28 @@ def execute_job(
     if (
         compute_gap
         and spec.algorithm != "exact"
-        and dfg.num_nodes <= gap_ops_limit
+        and num_input_ops <= gap_ops_limit
     ):
         # Fresh build: threaded scheduling keeps the graph by reference,
         # so the comparator must not share state with the measured run.
         exact = ALGORITHMS["exact"](spec.graph.build(), resources)
         gap = schedule.length - exact.length
 
+    artifact = None
+    if capture_schedule:
+        artifact = schedule_artifact(schedule, input_ops=input_ops)
+
     return JobResult(
         key=key,
         graph=spec.graph.describe(),
         graph_hash=graph_hash,
-        num_ops=dfg.num_nodes,
+        num_ops=num_input_ops,
         resources=spec.resources,
         algorithm=spec.algorithm,
         length=schedule.length,
         runtime_s=runtime_s,
         gap=gap,
+        artifact=artifact,
     )
 
 
@@ -101,14 +117,23 @@ class BatchEngine:
     ----------
     workers:
         Process count.  ``1`` (the default) runs everything in-process;
-        higher values fan unique jobs out over a spawn-context pool.
+        higher values fan unique jobs out over a process pool using the
+        ``fork`` start method where the platform offers it, else
+        ``spawn`` (see :func:`_pool_context`; override with
+        ``mp_context``).
     cache / cache_dir:
         Pass a ready :class:`ResultCache`, or a directory for the
         on-disk layer, or neither for a fresh in-memory cache.
+        ``max_cache_entries`` bounds a cache the engine constructs
+        itself (LRU eviction; see :class:`ResultCache`).
     compute_gaps:
         When true, jobs on graphs of at most ``gap_ops_limit`` ops also
         run the exact branch-and-bound comparator and record the
         optimality gap in :attr:`JobResult.gap`.
+    capture_schedules:
+        When true, every computed result carries the full schedule
+        (op -> step/unit plus soft-scheduling insertions) in
+        :attr:`JobResult.artifact`.
     """
 
     def __init__(
@@ -119,14 +144,24 @@ class BatchEngine:
         compute_gaps: bool = False,
         gap_ops_limit: int = DEFAULT_GAP_OPS_LIMIT,
         mp_context: Optional[str] = None,
+        capture_schedules: bool = False,
+        max_cache_entries: Optional[int] = None,
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either `cache` or `cache_dir`, not both")
+        if cache is not None and max_cache_entries is not None:
+            raise ValueError(
+                "max_cache_entries applies to an engine-built cache; "
+                "bound the ResultCache you pass in instead"
+            )
         self.workers = max(1, int(workers))
-        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        if cache is None:
+            cache = ResultCache(cache_dir, max_entries=max_cache_entries)
+        self.cache = cache
         self.compute_gaps = compute_gaps
         self.gap_ops_limit = gap_ops_limit
         self.mp_context = mp_context
+        self.capture_schedules = capture_schedules
         self._fingerprints: Dict[GraphSpec, str] = {}
 
     # ------------------------------------------------------------------
@@ -139,6 +174,55 @@ class BatchEngine:
             self._fingerprints[spec] = graph_hash
         return graph_hash
 
+    def _gap_eligible(self, result: JobResult) -> bool:
+        """Would *this* engine compute a gap for this job?"""
+        return (
+            self.compute_gaps
+            and result.algorithm != "exact"
+            and result.num_ops <= self.gap_ops_limit
+        )
+
+    def _servable(self, result: JobResult) -> bool:
+        """Can a cached entry satisfy this engine's configuration?
+
+        Entries recorded by a leaner engine may lack a payload this one
+        was asked for — the full-schedule artifact, or the optimality
+        gap on a gap-eligible graph.  Those count as misses so the job
+        recomputes and overwrites the entry with a richer one.
+        """
+        if self.capture_schedules and result.artifact is None:
+            return False
+        if self._gap_eligible(result) and result.gap is None:
+            return False
+        return True
+
+    def _merge_payloads(
+        self, result: JobResult, old: Optional[JobResult]
+    ) -> JobResult:
+        """Graft rich payloads this run didn't produce from the old
+        entry, so upgrading one payload never destroys the other
+        (alternating --gaps / --artifacts runs converge, not thrash)."""
+        if old is None:
+            return result
+        if result.artifact is None and old.artifact is not None:
+            result = replace(result, artifact=old.artifact)
+        if result.gap is None and old.gap is not None:
+            result = replace(result, gap=old.gap)
+        return result
+
+    def _shape(self, result: JobResult) -> JobResult:
+        """Trim a result to what this engine was asked to produce.
+
+        A store warmed by a richer run must not change this run's
+        output shape: payloads not requested here — including a gap
+        computed under a looser ``gap_ops_limit`` — are stripped from
+        the returned results (the stored entry keeps them)."""
+        if not self.capture_schedules and result.artifact is not None:
+            result = replace(result, artifact=None)
+        if result.gap is not None and not self._gap_eligible(result):
+            result = replace(result, gap=None)
+        return result
+
     def run(self, jobs: Iterable[JobSpec]) -> List[JobResult]:
         """Execute ``jobs``; one result per job, in submission order."""
         specs = list(jobs)
@@ -148,26 +232,56 @@ class BatchEngine:
                     f"BatchEngine.run expects JobSpec items, got {spec!r}"
                 )
 
-        resolved: Dict[int, JobResult] = {}
-        pending: Dict[str, List[int]] = {}
-        keyed: List[Tuple[str, JobSpec, str]] = []
+        # Group indices by cache key first, so the cache sees exactly
+        # one lookup per *unique* key: within-batch duplicates resolve
+        # through dedup (counted as hits) and one unique miss is one
+        # miss, however many jobs share it.
+        occurrences: Dict[str, List[int]] = {}
+        unique: List[Tuple[str, JobSpec, str]] = []
         for index, spec in enumerate(specs):
             graph_hash = self._graph_hash(spec.graph)
             key = spec.cache_key(graph_hash)
-            hit = self.cache.get(key)
-            if hit is not None:
-                resolved[index] = hit
-                continue
-            if key not in pending:
+            if key not in occurrences:
+                occurrences[key] = []
+                unique.append((key, spec, graph_hash))
+            occurrences[key].append(index)
+
+        resolved: Dict[int, JobResult] = {}
+
+        def resolve(key: str, shaped: JobResult) -> None:
+            """Fan one shaped result out to every index sharing its key.
+
+            Each duplicate gets its own artifact dict: consumers that
+            rework one schedule must not see siblings change.
+            """
+            first, *dupes = occurrences[key]
+            resolved[first] = shaped
+            for index in dupes:
+                resolved[index] = replace(
+                    shaped,
+                    cached=True,
+                    artifact=deepcopy(shaped.artifact),
+                )
+            self.cache.record_dedup_hits(len(dupes))
+
+        keyed: List[Tuple[str, JobSpec, str]] = []
+        for key, spec, graph_hash in unique:
+            hit = self.cache.get(
+                key,
+                require=self._servable,
+                strip_artifact=not self.capture_schedules,
+            )
+            if hit is None:
                 keyed.append((key, spec, graph_hash))
-            pending.setdefault(key, []).append(index)
+                continue
+            resolve(key, self._shape(hit))
 
         for key, result in self._compute(keyed):
+            # A rejected leaner entry may survive in the memory layer:
+            # carry its other payload over before overwriting it.
+            result = self._merge_payloads(result, self.cache.peek(key))
             self.cache.put(result)
-            first, *dupes = pending[key]
-            resolved[first] = result
-            for index in dupes:
-                resolved[index] = replace(result, cached=True)
+            resolve(key, self._shape(result))
 
         return [resolved[index] for index in range(len(specs))]
 
@@ -186,6 +300,7 @@ class BatchEngine:
                         graph_hash,
                         self.compute_gaps,
                         self.gap_ops_limit,
+                        self.capture_schedules,
                     ),
                 )
                 for key, spec, graph_hash in keyed
@@ -205,6 +320,7 @@ class BatchEngine:
                     graph_hash,
                     self.compute_gaps,
                     self.gap_ops_limit,
+                    self.capture_schedules,
                 ): key
                 for key, spec, graph_hash in keyed
             }

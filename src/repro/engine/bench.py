@@ -145,10 +145,28 @@ def run_suite(
     algorithms: Sequence[str] = SUITE_ALGORITHMS,
     constraint: str = SUITE_CONSTRAINT,
     engine: Optional[BatchEngine] = None,
+    capture_schedules: bool = False,
+    max_cache_entries: Optional[int] = None,
 ) -> BenchReport:
     """Run the suite through the batch engine and collect a report."""
+    if engine is not None and (
+        workers != 1
+        or cache_dir is not None
+        or capture_schedules
+        or max_cache_entries is not None
+    ):
+        raise ValueError(
+            "workers/cache_dir/capture_schedules/max_cache_entries "
+            "configure an engine built here; set them on the "
+            "BatchEngine you pass in instead"
+        )
     if engine is None:
-        engine = BatchEngine(workers=workers, cache_dir=cache_dir)
+        engine = BatchEngine(
+            workers=workers,
+            cache_dir=cache_dir,
+            capture_schedules=capture_schedules,
+            max_cache_entries=max_cache_entries,
+        )
     jobs = suite_jobs(benches, algorithms, constraint)
     started = time.perf_counter()
     results = engine.run(jobs)

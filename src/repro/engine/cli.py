@@ -35,7 +35,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache",
         metavar="DIR",
         default=None,
-        help="directory for the on-disk result cache (off by default)",
+        help=(
+            "directory for the on-disk result store, sharded by key "
+            "prefix (off by default)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound the result store to N entries with LRU eviction "
+            "(default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--artifacts",
+        action="store_true",
+        help=(
+            "capture the full schedule (op -> step/unit plus soft-"
+            "scheduling insertions) in each result's artifact payload"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -43,6 +64,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write machine-readable results to PATH",
     )
+
+
+def _check_cache_opts(opts) -> None:
+    """Reject a capacity bound with no store to bound."""
+    if opts.cache_entries is not None and not opts.cache:
+        raise ReproError(
+            "--cache-entries bounds the on-disk result store; "
+            "pass --cache DIR along with it"
+        )
 
 
 def _parse_random(text: str) -> tuple:
@@ -124,6 +154,7 @@ def cmd_batch(args: Sequence[str]) -> int:
     )
     _add_common(parser)
     opts = parser.parse_args(list(args))
+    _check_cache_opts(opts)
 
     constraints = opts.resources or ["2+/-,2*"]
     algorithms = [
@@ -159,6 +190,8 @@ def cmd_batch(args: Sequence[str]) -> int:
         workers=opts.workers,
         cache_dir=opts.cache,
         compute_gaps=opts.gaps,
+        capture_schedules=opts.artifacts,
+        max_cache_entries=opts.cache_entries,
     )
     results = engine.run(jobs)
 
@@ -187,8 +220,18 @@ def cmd_batch(args: Sequence[str]) -> int:
     stats = engine.cache.stats()
     print(
         f"cache: {stats['hits']} hits, {stats['misses']} misses, "
-        f"{stats['stored']} stored"
+        f"{stats['stored']} stored, {stats['evictions']} evicted"
     )
+    # Only report the store view when the index is already paid for
+    # (bounded runs scan at open); an unbounded run on a huge store
+    # should not stat every entry just to print one line.
+    if opts.cache and engine.cache.scanned:
+        shards = engine.cache.index()
+        entries = sum(s["entries"] for s in shards.values())
+        print(
+            f"store: {entries} entries in {len(shards)} shards, "
+            f"{engine.cache.total_bytes()} bytes"
+        )
     if opts.json:
         payload = {
             "format": "repro-batch-v1",
@@ -224,9 +267,13 @@ def cmd_bench(args: Sequence[str]) -> int:
     )
     _add_common(parser)
     opts = parser.parse_args(list(args))
+    _check_cache_opts(opts)
 
     report = bench_mod.run_suite(
-        workers=opts.workers, cache_dir=opts.cache
+        workers=opts.workers,
+        cache_dir=opts.cache,
+        capture_schedules=opts.artifacts,
+        max_cache_entries=opts.cache_entries,
     )
     print(report.table())
     print(f"suite wall time: {report.wall_time_s:.2f}s")

@@ -239,11 +239,22 @@ class JobSpec:
 class JobResult:
     """Structured outcome of one job (JSON-round-trippable).
 
+    ``num_ops`` counts the *input* graph's operations, captured before
+    the scheduler runs — soft scheduling may grow the graph in place
+    (spill/wire insertions), so sampling afterwards would disagree
+    across algorithms for the same graph.
+
     ``gap`` is the optimality gap (``length - exact_length``) when the
     engine was asked to compute gaps and the graph is small enough for
     :func:`repro.scheduling.exact.exact_schedule`; otherwise ``None``.
     ``cached`` marks results served from the result cache (including
     within-batch deduplication) rather than computed fresh.
+
+    ``artifact`` is the full-schedule payload (see
+    :func:`repro.scheduling.base.schedule_artifact`) when the job ran
+    with ``capture_schedule=True``; otherwise ``None``.  It is a plain
+    JSON-safe dict so the record round-trips through :meth:`to_dict` /
+    :meth:`from_dict` and the disk cache unchanged.
     """
 
     key: str
@@ -256,6 +267,7 @@ class JobResult:
     runtime_s: float
     gap: Optional[int] = None
     cached: bool = False
+    artifact: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -269,6 +281,7 @@ class JobResult:
             "runtime_s": self.runtime_s,
             "gap": self.gap,
             "cached": self.cached,
+            "artifact": self.artifact,
         }
 
     @classmethod
@@ -284,6 +297,7 @@ class JobResult:
             runtime_s=float(data["runtime_s"]),
             gap=data.get("gap"),
             cached=bool(data.get("cached", False)),
+            artifact=data.get("artifact"),
         )
 
 

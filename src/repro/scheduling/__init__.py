@@ -9,7 +9,12 @@ scheduling, and an exact branch-and-bound scheduler for small graphs.
 """
 
 from repro.scheduling.resources import FuType, ResourceSet, FU_TYPES
-from repro.scheduling.base import Schedule, validate_schedule
+from repro.scheduling.base import (
+    Schedule,
+    artifact_start_times,
+    schedule_artifact,
+    validate_schedule,
+)
 from repro.scheduling.asap_alap import asap_schedule, alap_schedule
 from repro.scheduling.list_scheduler import (
     ListPriority,
@@ -24,6 +29,8 @@ __all__ = [
     "ResourceSet",
     "FU_TYPES",
     "Schedule",
+    "artifact_start_times",
+    "schedule_artifact",
     "validate_schedule",
     "asap_schedule",
     "alap_schedule",

@@ -10,11 +10,15 @@ the unit — the paper's "each thread corresponds to one functional unit").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.ir.dfg import DataFlowGraph
 from repro.scheduling.resources import FuType, ResourceSet
+
+#: Format tag of the JSON-safe schedule artifact (see
+#: :func:`schedule_artifact`).
+SCHEDULE_ARTIFACT_FORMAT = "repro-schedule-v1"
 
 
 @dataclass
@@ -105,6 +109,53 @@ class Schedule:
     def __repr__(self):
         tag = f", algorithm={self.algorithm!r}" if self.algorithm else ""
         return f"Schedule(length={self.length}, ops={len(self.start_times)}{tag})"
+
+
+def schedule_artifact(
+    schedule: Schedule,
+    input_ops: Optional[Iterable[str]] = None,
+) -> Dict[str, Any]:
+    """Serialize a hard schedule to a JSON-safe artifact dict.
+
+    The artifact carries the full scheduling decision — every op's
+    start step and (when bound) its functional unit, written
+    ``"alu[0]"`` — so downstream consumers (feedback-guided rescheduling,
+    binding, RTL generation) can rebuild the schedule without re-running
+    the scheduler.  Pass ``input_ops`` (the node ids of the *input*
+    graph, captured before scheduling) to also record soft-scheduling
+    insertions: ops the scheduler grew into the graph (spill
+    stores/loads, wire-delay hops) that were not part of the input.
+    """
+    ops: Dict[str, Dict[str, Any]] = {}
+    for node_id, step in schedule.start_times.items():
+        bound = schedule.binding.get(node_id)
+        ops[node_id] = {
+            "step": step,
+            "unit": None if bound is None else f"{bound[0].name}[{bound[1]}]",
+        }
+    inserted: List[str] = []
+    if input_ops is not None:
+        known = set(input_ops)
+        inserted = sorted(op for op in schedule.start_times if op not in known)
+    return {
+        "format": SCHEDULE_ARTIFACT_FORMAT,
+        "algorithm": schedule.algorithm,
+        "length": schedule.length,
+        "ops": ops,
+        "inserted": inserted,
+    }
+
+
+def artifact_start_times(artifact: Dict[str, Any]) -> Dict[str, int]:
+    """Extract ``op id -> start step`` from a schedule artifact."""
+    if artifact.get("format") != SCHEDULE_ARTIFACT_FORMAT:
+        raise SchedulingError(
+            f"not a {SCHEDULE_ARTIFACT_FORMAT} artifact "
+            f"(format={artifact.get('format')!r})"
+        )
+    return {
+        op: int(entry["step"]) for op, entry in artifact["ops"].items()
+    }
 
 
 def validate_schedule(

@@ -121,3 +121,16 @@ def test_suite_jobs_cover_acceptance_grid():
             "threaded(meta4)",
         )
     }
+
+
+def test_run_suite_rejects_engine_with_engine_kwargs():
+    from repro.engine.batch import BatchEngine
+
+    with pytest.raises(ValueError):
+        bench.run_suite(engine=BatchEngine(), capture_schedules=True)
+    with pytest.raises(ValueError):
+        bench.run_suite(engine=BatchEngine(), max_cache_entries=5)
+    with pytest.raises(ValueError):
+        bench.run_suite(engine=BatchEngine(), workers=4)
+    with pytest.raises(ValueError):
+        bench.run_suite(engine=BatchEngine(), cache_dir="/tmp/x")

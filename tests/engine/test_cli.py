@@ -29,6 +29,8 @@ def test_unknown_command_exits_2(capsys):
         ["batch", "-a", "simulated-annealing"],
         ["batch", "--random", "0x3"],
         ["bench", "--check", "/nonexistent/baseline.json"],
+        ["batch", "HAL", "--cache-entries", "5"],
+        ["bench", "--cache-entries", "5"],
     ],
 )
 def test_bad_input_exits_2_without_traceback(argv, capsys):
@@ -88,3 +90,54 @@ def test_batch_random_deterministic(tmp_path):
         for p in (first, second)
     ]
     assert lengths[0] == lengths[1]
+
+
+def test_batch_artifacts_flag(tmp_path, capsys):
+    out = tmp_path / "batch.json"
+    cache = tmp_path / "cache"
+    argv = [
+        "batch", "HAL",
+        "-a", "meta2",
+        "--artifacts", "--cache", str(cache), "--cache-entries", "8",
+        "--json", str(out),
+    ]
+    assert main(argv) == 0
+    (entry,) = json.loads(out.read_text())["results"]
+    assert entry["artifact"]["format"] == "repro-schedule-v1"
+    assert len(entry["artifact"]["ops"]) == entry["num_ops"]
+    stdout = capsys.readouterr().out
+    # Bounded runs have the index materialized -> store summary line.
+    assert "store:" in stdout
+
+    # Second invocation round-trips the artifact from the disk store.
+    rerun = tmp_path / "rerun.json"
+    assert main(argv[:-1] + [str(rerun)]) == 0
+    (reloaded,) = json.loads(rerun.read_text())["results"]
+    assert reloaded["cached"] is True
+    assert reloaded["artifact"] == entry["artifact"]
+
+
+def test_batch_cache_entries_bound(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    argv = [
+        "batch", "--random", "10x8", "-a", "list",
+        "--cache", str(cache), "--cache-entries", "5",
+    ]
+    assert main(argv) == 0
+    assert len(list(cache.rglob("*.json"))) == 5
+    assert "evicted" in capsys.readouterr().out
+
+
+def test_bench_artifacts_flag(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--artifacts", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert all(r["artifact"] is not None for r in data["results"])
+
+
+def test_batch_unbounded_cache_skips_store_walk(tmp_path, capsys):
+    argv = ["batch", "HAL", "-a", "list", "--cache", str(tmp_path / "c")]
+    assert main(argv) == 0
+    # No capacity bound -> the O(store) index walk is not forced just
+    # to print a summary line.
+    assert "store:" not in capsys.readouterr().out

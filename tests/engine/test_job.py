@@ -111,3 +111,31 @@ class TestJobResult:
             gap=1,
         )
         assert JobResult.from_dict(result.to_dict()) == result
+
+    def test_artifact_round_trip(self):
+        artifact = {
+            "format": "repro-schedule-v1",
+            "algorithm": "threaded/meta2",
+            "length": 8,
+            "ops": {"m1": {"step": 0, "unit": "mul[0]"}},
+            "inserted": ["spill1"],
+        }
+        result = JobResult(
+            key="k" * 64,
+            graph="HAL",
+            graph_hash="h" * 64,
+            num_ops=11,
+            resources="2+/-,2*",
+            algorithm="threaded(meta2)",
+            length=8,
+            runtime_s=0.0015,
+            artifact=artifact,
+        )
+        clone = JobResult.from_dict(result.to_dict())
+        assert clone == result
+        assert clone.artifact == artifact
+        # And nothing is lost through a JSON wire format.
+        import json
+
+        wired = JobResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert wired == result
