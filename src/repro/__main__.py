@@ -14,6 +14,7 @@ benchmarks     list the shipped benchmark graphs
 schedule       schedule one benchmark: ``schedule HAL "2+/-,2*" meta2``
 batch          sweep jobs through the parallel batch engine
 bench          run the unified benchmark suite (``--check`` gates CI)
+serve          run the async scheduling service (JSON over HTTP)
 =============  ====================================================
 
 Exit codes: 0 success, 1 benchmark regression (``bench --check``),
@@ -110,6 +111,12 @@ def _cmd_bench(args) -> int:
     return cmd_bench(args)
 
 
+def _cmd_serve(args) -> int:
+    from repro.engine.cli import cmd_serve
+
+    return cmd_serve(args)
+
+
 _COMMANDS = {
     "figure3": _cmd_figure3,
     "figure1": _cmd_figure1,
@@ -120,6 +127,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "batch": _cmd_batch,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

@@ -21,10 +21,18 @@ a specific start method.
 Determinism: a job's entire randomness budget lives in its spec (random
 DAG seeds, seeded meta schedules), so serial and parallel execution
 produce identical schedule lengths — only wall-times differ.
+
+Long-lived callers (the async serving front end in :mod:`repro.serve`)
+use the submission API instead of one-shot :meth:`BatchEngine.run`:
+:meth:`BatchEngine.start` keeps one worker pool alive across calls, and
+:meth:`BatchEngine.submit` is safe to invoke from concurrent threads —
+cache resolution serializes on an internal lock while the compute phase
+overlaps across batches.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from copy import deepcopy
@@ -41,6 +49,14 @@ from repro.scheduling.base import schedule_artifact
 #: Graphs at or below this many ops get an exact-optimum comparison
 #: when the engine is constructed with ``compute_gaps=True``.
 DEFAULT_GAP_OPS_LIMIT = 12
+
+#: Bound on the per-engine graph-fingerprint memo.  Inline GraphSpecs
+#: carry their full serialized payload as the memo key, so a long-lived
+#: engine (the serving front end) fed a stream of distinct inline
+#: graphs would otherwise grow the memo — and its retained payloads —
+#: without limit.  On overflow the memo is simply cleared: re-hashing a
+#: graph is cheap next to scheduling it.
+FINGERPRINT_MEMO_LIMIT = 4096
 
 
 def _pool_context(name: Optional[str]):
@@ -163,14 +179,22 @@ class BatchEngine:
         self.mp_context = mp_context
         self.capture_schedules = capture_schedules
         self._fingerprints: Dict[GraphSpec, str] = {}
+        # Submission-path state: the lock guards every structure that
+        # concurrent `submit` callers share (the cache, the fingerprint
+        # memo); `_pool` is the persistent executor `start` creates so a
+        # long-lived front end does not pay pool spin-up per batch.
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
 
     def _graph_hash(self, spec: GraphSpec) -> str:
-        """Content hash of the spec's graph (memoized per engine)."""
+        """Content hash of the spec's graph (memoized, bounded)."""
         graph_hash = self._fingerprints.get(spec)
         if graph_hash is None:
             graph_hash = dfg_fingerprint(spec.build())
+            if len(self._fingerprints) >= FINGERPRINT_MEMO_LIMIT:
+                self._fingerprints.clear()
             self._fingerprints[spec] = graph_hash
         return graph_hash
 
@@ -223,8 +247,57 @@ class BatchEngine:
             result = replace(result, gap=None)
         return result
 
+    # ------------------------------------------------------------------
+    # Lifecycle: a persistent pool for long-lived submitters.
+
+    def start(self) -> "BatchEngine":
+        """Create the persistent worker pool (idempotent).
+
+        A started engine keeps one ``ProcessPoolExecutor`` alive across
+        :meth:`submit` calls, so a long-lived caller — the serving front
+        end flushing micro-batches every few milliseconds — does not pay
+        pool spin-up per batch.  With ``workers == 1`` there is nothing
+        to start and jobs keep running in the submitting thread.
+        """
+        if self.workers > 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_pool_context(self.mp_context),
+            )
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear down the persistent pool (no-op when never started)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BatchEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Submission.
+
     def run(self, jobs: Iterable[JobSpec]) -> List[JobResult]:
         """Execute ``jobs``; one result per job, in submission order."""
+        return self.submit(jobs)
+
+    def submit(self, jobs: Iterable[JobSpec]) -> List[JobResult]:
+        """Execute one batch; safe to call from concurrent threads.
+
+        The cache-resolution and store-back phases serialize on an
+        internal lock (the cache's bookkeeping is not thread-safe); the
+        compute phase runs outside it, so overlapping batches from
+        different threads share the worker pool instead of queueing
+        behind each other.  Two concurrent batches that miss the same
+        key may both compute it — the second store-back simply
+        overwrites the first with an identical result; callers that
+        must never duplicate work coalesce upstream (see
+        :mod:`repro.serve.coalescer`).
+        """
         specs = list(jobs)
         for spec in specs:
             if not isinstance(spec, JobSpec):
@@ -232,56 +305,62 @@ class BatchEngine:
                     f"BatchEngine.run expects JobSpec items, got {spec!r}"
                 )
 
-        # Group indices by cache key first, so the cache sees exactly
-        # one lookup per *unique* key: within-batch duplicates resolve
-        # through dedup (counted as hits) and one unique miss is one
-        # miss, however many jobs share it.
-        occurrences: Dict[str, List[int]] = {}
-        unique: List[Tuple[str, JobSpec, str]] = []
-        for index, spec in enumerate(specs):
-            graph_hash = self._graph_hash(spec.graph)
-            key = spec.cache_key(graph_hash)
-            if key not in occurrences:
-                occurrences[key] = []
-                unique.append((key, spec, graph_hash))
-            occurrences[key].append(index)
-
         resolved: Dict[int, JobResult] = {}
 
-        def resolve(key: str, shaped: JobResult) -> None:
-            """Fan one shaped result out to every index sharing its key.
+        with self._lock:
+            # Group indices by cache key first, so the cache sees
+            # exactly one lookup per *unique* key: within-batch
+            # duplicates resolve through dedup (counted as hits) and
+            # one unique miss is one miss, however many jobs share it.
+            occurrences: Dict[str, List[int]] = {}
+            unique: List[Tuple[str, JobSpec, str]] = []
+            for index, spec in enumerate(specs):
+                graph_hash = self._graph_hash(spec.graph)
+                key = spec.cache_key(graph_hash)
+                if key not in occurrences:
+                    occurrences[key] = []
+                    unique.append((key, spec, graph_hash))
+                occurrences[key].append(index)
 
-            Each duplicate gets its own artifact dict: consumers that
-            rework one schedule must not see siblings change.
-            """
-            first, *dupes = occurrences[key]
-            resolved[first] = shaped
-            for index in dupes:
-                resolved[index] = replace(
-                    shaped,
-                    cached=True,
-                    artifact=deepcopy(shaped.artifact),
+            def resolve(key: str, shaped: JobResult) -> None:
+                """Fan one shaped result out to every index sharing its
+                key.
+
+                Each duplicate gets its own artifact dict: consumers
+                that rework one schedule must not see siblings change.
+                """
+                first, *dupes = occurrences[key]
+                resolved[first] = shaped
+                for index in dupes:
+                    resolved[index] = replace(
+                        shaped,
+                        cached=True,
+                        artifact=deepcopy(shaped.artifact),
+                    )
+                self.cache.record_dedup_hits(len(dupes))
+
+            keyed: List[Tuple[str, JobSpec, str]] = []
+            for key, spec, graph_hash in unique:
+                hit = self.cache.get(
+                    key,
+                    require=self._servable,
+                    strip_artifact=not self.capture_schedules,
                 )
-            self.cache.record_dedup_hits(len(dupes))
+                if hit is None:
+                    keyed.append((key, spec, graph_hash))
+                    continue
+                resolve(key, self._shape(hit))
 
-        keyed: List[Tuple[str, JobSpec, str]] = []
-        for key, spec, graph_hash in unique:
-            hit = self.cache.get(
-                key,
-                require=self._servable,
-                strip_artifact=not self.capture_schedules,
-            )
-            if hit is None:
-                keyed.append((key, spec, graph_hash))
-                continue
-            resolve(key, self._shape(hit))
+        computed = self._compute(keyed)
 
-        for key, result in self._compute(keyed):
-            # A rejected leaner entry may survive in the memory layer:
-            # carry its other payload over before overwriting it.
-            result = self._merge_payloads(result, self.cache.peek(key))
-            self.cache.put(result)
-            resolve(key, self._shape(result))
+        with self._lock:
+            for key, result in computed:
+                # A rejected leaner entry may survive in the memory
+                # layer: carry its other payload over before
+                # overwriting it.
+                result = self._merge_payloads(result, self.cache.peek(key))
+                self.cache.put(result)
+                resolve(key, self._shape(result))
 
         return [resolved[index] for index in range(len(specs))]
 
@@ -290,7 +369,7 @@ class BatchEngine:
     ) -> List[Tuple[str, JobResult]]:
         if not keyed:
             return []
-        if self.workers == 1 or len(keyed) == 1:
+        if self.workers == 1 or (len(keyed) == 1 and self._pool is None):
             return [
                 (
                     key,
@@ -305,25 +384,33 @@ class BatchEngine:
                 )
                 for key, spec, graph_hash in keyed
             ]
-
-        results: List[Tuple[str, JobResult]] = []
+        if self._pool is not None:
+            return self._collect(self._pool, keyed)
         max_workers = min(self.workers, len(keyed))
         with ProcessPoolExecutor(
             max_workers=max_workers,
             mp_context=_pool_context(self.mp_context),
         ) as pool:
-            futures = {
-                pool.submit(
-                    execute_job,
-                    spec,
-                    key,
-                    graph_hash,
-                    self.compute_gaps,
-                    self.gap_ops_limit,
-                    self.capture_schedules,
-                ): key
-                for key, spec, graph_hash in keyed
-            }
-            for future in as_completed(futures):
-                results.append((futures[future], future.result()))
-        return results
+            return self._collect(pool, keyed)
+
+    def _collect(
+        self,
+        pool: ProcessPoolExecutor,
+        keyed: List[Tuple[str, JobSpec, str]],
+    ) -> List[Tuple[str, JobResult]]:
+        futures = {
+            pool.submit(
+                execute_job,
+                spec,
+                key,
+                graph_hash,
+                self.compute_gaps,
+                self.gap_ops_limit,
+                self.capture_schedules,
+            ): key
+            for key, spec, graph_hash in keyed
+        }
+        return [
+            (futures[future], future.result())
+            for future in as_completed(futures)
+        ]

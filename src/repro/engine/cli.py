@@ -1,17 +1,19 @@
-"""``python -m repro batch`` and ``python -m repro bench`` commands.
+"""``python -m repro {batch,bench,serve}`` commands.
 
 Kept separate from :mod:`repro.__main__` so the argparse plumbing for
-the engine lives next to the engine.  Both entry points return process
-exit codes (0 ok, 1 regression, 2 usage/library error) and never leak
-tracebacks for anticipated failures — ``__main__`` converts
-:class:`~repro.errors.ReproError` into exit code 2.
+the engine lives next to the engine.  Every entry point returns a
+process exit code (0 ok, 1 regression, 2 usage/library error) and
+never leaks tracebacks for anticipated failures — ``__main__``
+converts :class:`~repro.errors.ReproError` into exit code 2.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -66,13 +68,42 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _probe_cache_dir(cache_dir: str) -> None:
+    """Fail fast — before any job computes — on an unwritable store.
+
+    The library-level store tolerates read-only media for *reads*
+    (legacy flat entries stay servable), but a batch/bench/serve run
+    must write fresh results; discovering that mid-sweep wastes the
+    whole compute.  One created-and-unlinked probe file settles it up
+    front, and failure is a :class:`ReproError` (clean exit code 2),
+    never a traceback.
+    """
+    path = Path(cache_dir)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ReproError(f"cannot create cache directory {path}: {exc}")
+    try:
+        fd, probe = tempfile.mkstemp(
+            dir=str(path), prefix=".writable-", suffix=".probe"
+        )
+        os.close(fd)
+        os.unlink(probe)
+    except OSError as exc:
+        raise ReproError(
+            f"cache directory {path} is not writable: {exc}"
+        )
+
+
 def _check_cache_opts(opts) -> None:
-    """Reject a capacity bound with no store to bound."""
+    """Validate the store options before any scheduling work starts."""
     if opts.cache_entries is not None and not opts.cache:
         raise ReproError(
             "--cache-entries bounds the on-disk result store; "
             "pass --cache DIR along with it"
         )
+    if opts.cache:
+        _probe_cache_dir(opts.cache)
 
 
 def _parse_random(text: str) -> tuple:
@@ -293,15 +324,131 @@ def cmd_bench(args: Sequence[str]) -> int:
     return 0
 
 
+def cmd_serve(args: Sequence[str]) -> int:
+    """Run the async scheduling service over the batch engine."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve POST /schedule, GET /healthz, and GET /metrics over "
+            "a shared batch engine, with request coalescing, "
+            "micro-batching, and a bounded queue (429 on overload)."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help="listen port; 0 picks a free one (default 8080)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine worker processes (1 = in-process, default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for the on-disk result store (off by default)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the result store to N entries with LRU eviction",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "schedule requests in flight before 429s start "
+            "(default 256)"
+        ),
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="flush a micro-batch at this many unique jobs (default 32)",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help=(
+            "flush a non-full micro-batch after this wait (default 5)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="graceful-shutdown wait for in-flight jobs (default 10s)",
+    )
+    opts = parser.parse_args(list(args))
+    if opts.cache_entries is not None and not opts.cache_dir:
+        raise ReproError(
+            "--cache-entries bounds the on-disk result store; "
+            "pass --cache-dir DIR along with it"
+        )
+    if opts.cache_dir:
+        _probe_cache_dir(opts.cache_dir)
+    if opts.max_queue < 1:
+        raise ReproError(
+            f"--max-queue must be at least 1, got {opts.max_queue}"
+        )
+    if opts.max_batch < 1:
+        raise ReproError(
+            f"--max-batch must be at least 1, got {opts.max_batch}"
+        )
+
+    from repro.serve.server import run_server
+
+    return run_server(
+        host=opts.host,
+        port=opts.port,
+        workers=opts.workers,
+        cache_dir=opts.cache_dir,
+        max_cache_entries=opts.cache_entries,
+        max_queue=opts.max_queue,
+        max_batch=opts.max_batch,
+        batch_window_ms=opts.batch_window_ms,
+        drain_timeout_s=opts.drain_timeout,
+    )
+
+
+_HANDLERS = {
+    "batch": cmd_batch,
+    "bench": cmd_bench,
+    "serve": cmd_serve,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Direct entry point (``python -m repro.engine.cli bench ...``)."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("batch", "bench"):
-        print("usage: repro.engine.cli {batch,bench} ...", file=sys.stderr)
+    if not argv or argv[0] not in _HANDLERS:
+        print(
+            "usage: repro.engine.cli {batch,bench,serve} ...",
+            file=sys.stderr,
+        )
         return 2
-    handler = cmd_batch if argv[0] == "batch" else cmd_bench
     try:
-        return handler(argv[1:])
+        return _HANDLERS[argv[0]](argv[1:])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -284,6 +284,21 @@ class JobResult:
             "artifact": self.artifact,
         }
 
+    def public_dict(self) -> Dict[str, Any]:
+        """The deterministic subset of :meth:`to_dict`, for serving.
+
+        Excludes ``runtime_s`` and ``cached`` — both vary run to run —
+        so the serialized form of a result is a pure function of the
+        job.  The serving front end builds response bodies from this so
+        freshly computed, coalesced, and cache-served responses for the
+        same request are byte-identical; the volatile fields travel in
+        response headers instead.
+        """
+        data = self.to_dict()
+        del data["runtime_s"]
+        del data["cached"]
+        return data
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
         return cls(

@@ -45,26 +45,67 @@ def dfg_to_dict(dfg: DataFlowGraph) -> Dict[str, Any]:
 
 
 def dfg_from_dict(data: Dict[str, Any]) -> DataFlowGraph:
-    """Rebuild a graph from :func:`dfg_to_dict` output."""
+    """Rebuild a graph from :func:`dfg_to_dict` output.
+
+    Every malformed record — a non-dict document, a node or edge entry
+    missing a required field, an unknown op kind — raises
+    :class:`~repro.errors.GraphError` naming the offending record, so
+    callers handling untrusted documents (the serving front end turning
+    inline request graphs into 400 responses) never see a raw
+    ``KeyError``/``ValueError`` traceback.
+    """
+    if not isinstance(data, dict):
+        raise GraphError(
+            f"not a {_FORMAT} document (expected an object, "
+            f"got {type(data).__name__})"
+        )
     if data.get("format") != _FORMAT:
         raise GraphError(
             f"not a {_FORMAT} document (format={data.get('format')!r})"
         )
     dfg = DataFlowGraph(name=data.get("name", ""))
-    for node in data.get("nodes", []):
-        dfg.add_node(
-            node["id"],
-            OpKind(node["op"]),
-            delay=node["delay"],
-            name=node.get("name"),
-        )
-    for edge in data.get("edges", []):
-        dfg.add_edge(
-            edge["src"],
-            edge["dst"],
-            port=edge.get("port"),
-            weight=edge.get("weight", 0),
-        )
+    for position, node in enumerate(data.get("nodes", [])):
+        if not isinstance(node, dict):
+            raise GraphError(f"malformed node record #{position}: {node!r}")
+        try:
+            dfg.add_node(
+                node["id"],
+                OpKind(node["op"]),
+                delay=node["delay"],
+                name=node.get("name"),
+            )
+        except KeyError as exc:
+            raise GraphError(
+                f"node record #{position} is missing field {exc}"
+            )
+        except ValueError:
+            raise GraphError(
+                f"node record #{position} has unknown op kind "
+                f"{node.get('op')!r}"
+            )
+        except TypeError as exc:
+            # e.g. a non-numeric delay failing the `delay < 0` check.
+            raise GraphError(
+                f"node record #{position} has a bad field value: {exc}"
+            )
+    for position, edge in enumerate(data.get("edges", [])):
+        if not isinstance(edge, dict):
+            raise GraphError(f"malformed edge record #{position}: {edge!r}")
+        try:
+            dfg.add_edge(
+                edge["src"],
+                edge["dst"],
+                port=edge.get("port"),
+                weight=edge.get("weight", 0),
+            )
+        except KeyError as exc:
+            raise GraphError(
+                f"edge record #{position} is missing field {exc}"
+            )
+        except TypeError as exc:
+            raise GraphError(
+                f"edge record #{position} has a bad field value: {exc}"
+            )
     return dfg
 
 

@@ -1,0 +1,53 @@
+"""Async scheduling service over the batch engine.
+
+``repro serve`` turns the :class:`~repro.engine.batch.BatchEngine`
+into a long-lived JSON-over-HTTP service for online scheduling
+traffic: requests are validated into
+:class:`~repro.engine.job.JobSpec`s, duplicate in-flight requests
+coalesce onto one computation, unique ones micro-batch into the
+engine, and a bounded queue sheds overload with 429s instead of
+queueing without bound.
+
+Quickstart (server)::
+
+    repro serve --port 8080 --workers 4 --cache-dir .serve-cache
+
+Quickstart (client)::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8080)
+    client.wait_ready()
+    result = client.schedule("HAL", resources="2+/-,2*",
+                             algorithm="meta2", artifacts=True)
+
+Modules: :mod:`~repro.serve.protocol` (request/response schema),
+:mod:`~repro.serve.coalescer` (in-flight coalescing + micro-batching),
+:mod:`~repro.serve.metrics` (the ``/metrics`` counters),
+:mod:`~repro.serve.server` (the asyncio HTTP front end),
+:mod:`~repro.serve.client` (the blocking helper used by tests and CI).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    ProtocolError,
+    ScheduleRequest,
+    parse_request,
+    response_payload,
+)
+from repro.serve.server import ScheduleServer, run_server
+
+__all__ = [
+    "ProtocolError",
+    "RequestCoalescer",
+    "ScheduleRequest",
+    "ScheduleServer",
+    "ServeClient",
+    "ServeError",
+    "ServiceMetrics",
+    "parse_request",
+    "response_payload",
+    "run_server",
+]

@@ -1,0 +1,158 @@
+"""A small blocking client for the scheduling service.
+
+Used by the test suite and the CI serving smoke job; also a reasonable
+starting point for library users.  Pure stdlib (``http.client``), one
+connection per call — the service's keep-alive path is exercised by
+the protocol tests instead.
+
+>>> client = ServeClient(port=8080)          # doctest: +SKIP
+>>> client.wait_ready()                      # doctest: +SKIP
+>>> client.schedule("HAL", algorithm="meta2")  # doctest: +SKIP
+{'format': 'repro-serve-v1', 'graph': 'HAL', ...}
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ReproError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.serialize import dfg_to_dict
+
+
+class ServeError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+@dataclass
+class RawResponse:
+    """Status, headers, and unparsed body of one exchange."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def source(self) -> Optional[str]:
+        """``computed`` / ``coalesced`` / ``cache`` for /schedule."""
+        return self.headers.get("x-repro-source")
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one ``repro serve`` process."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> RawResponse:
+        """One HTTP exchange; transport failures raise ``OSError``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return RawResponse(
+                status=response.status,
+                headers={
+                    name.lower(): value
+                    for name, value in response.getheaders()
+                },
+                body=payload,
+            )
+        finally:
+            conn.close()
+
+    def _checked(self, raw: RawResponse) -> Dict[str, Any]:
+        if raw.status != 200:
+            try:
+                message = raw.json().get("error", raw.body.decode())
+            except (ValueError, UnicodeDecodeError):
+                message = raw.body.decode("latin-1")
+            raise ServeError(raw.status, message)
+        return raw.json()
+
+    # ------------------------------------------------------------------
+
+    def schedule_raw(
+        self,
+        graph: Union[str, Dict[str, Any], DataFlowGraph],
+        resources: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        artifacts: bool = False,
+        gaps: bool = False,
+    ) -> RawResponse:
+        """``POST /schedule``; returns the raw exchange (any status)."""
+        if isinstance(graph, DataFlowGraph):
+            graph = dfg_to_dict(graph)
+        body: Dict[str, Any] = {"graph": graph}
+        if resources is not None:
+            body["resources"] = resources
+        if algorithm is not None:
+            body["algorithm"] = algorithm
+        if artifacts:
+            body["artifacts"] = True
+        if gaps:
+            body["gaps"] = True
+        return self.request(
+            "POST",
+            "/schedule",
+            json.dumps(body, sort_keys=True).encode("utf-8"),
+        )
+
+    def schedule(self, graph, **kwargs) -> Dict[str, Any]:
+        """``POST /schedule``; parsed body, :class:`ServeError` on !200."""
+        return self._checked(self.schedule_raw(graph, **kwargs))
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked(self.request("GET", "/healthz"))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._checked(self.request("GET", "/metrics"))
+
+    # ------------------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 15.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, socket.timeout, ServeError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise ReproError(
+            f"server at {self.host}:{self.port} not ready after "
+            f"{timeout:.1f}s (last error: {last_error})"
+        )

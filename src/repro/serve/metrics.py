@@ -1,0 +1,89 @@
+"""Service counters and latency percentiles for ``/metrics``.
+
+Everything here is mutated from the server's event loop (request
+handlers and flush callbacks all run on the loop thread), so plain
+attributes suffice — no locks.  The snapshot served by ``/metrics`` is
+a flat JSON object: counters since process start, two gauges sampled at
+snapshot time, and p50/p95 over a sliding window of recent request
+latencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List
+
+#: How many recent request latencies feed the percentile estimates.
+LATENCY_WINDOW = 1024
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Counters, gauges, and a latency window for one server process.
+
+    Counter semantics:
+
+    ``requests``
+        Every HTTP request the server parsed, any endpoint or status.
+    ``schedule_requests``
+        ``POST /schedule`` requests admitted past validation and the
+        overload check.
+    ``computed``
+        Results the engine actually computed (``cached=False``) — the
+        number the CI smoke gate pins: a burst of duplicates must
+        leave exactly one ``computed`` per unique job.
+    ``cache_hits``
+        Responses served from the engine's result cache.
+    ``coalesced``
+        Requests that attached to an identical in-flight computation
+        instead of submitting their own.
+    ``rejected``
+        Requests turned away with 429 by the bounded queue.
+    ``errors``
+        Non-2xx responses other than 429 (bad request, not found, ...).
+    ``batches``
+        Micro-batch flushes into the engine.
+    """
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.schedule_requests = 0
+        self.computed = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.errors = 0
+        self.batches = 0
+        self.in_flight = 0
+        self.queued_jobs = 0
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` payload (plain JSON-safe dict)."""
+        window = list(self._latencies)
+        return {
+            "requests": self.requests,
+            "schedule_requests": self.schedule_requests,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "batches": self.batches,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queued_jobs,
+            "latency_p50_ms": percentile(window, 0.50) * 1000.0,
+            "latency_p95_ms": percentile(window, 0.95) * 1000.0,
+            "latency_samples": len(window),
+        }

@@ -1,0 +1,193 @@
+"""Request/response schema for the scheduling service.
+
+One endpoint does work — ``POST /schedule`` — and its body is a JSON
+object::
+
+    {
+      "graph": "HAL",                  # registry name, or an inline
+                                       # repro-dfg-v1 document (dict)
+      "resources": "2+/-,2*",          # optional, paper notation
+      "algorithm": "meta2",            # optional, id or alias
+      "artifacts": false,              # optional: include the full
+                                       # schedule artifact in the body
+      "gaps": false                    # optional: include the
+                                       # optimality gap (small graphs)
+    }
+
+Validation is strict: unknown top-level keys, wrong field types,
+unknown benchmark/algorithm names, and malformed inline graphs all
+raise :class:`ProtocolError`, which the server turns into a 400 with
+the message in the body — never a 500.
+
+Response bodies are canonical JSON (sorted keys, tight separators)
+built from :meth:`~repro.engine.job.JobResult.public_dict`, which
+excludes the volatile fields (``runtime_s``, ``cached``).  The same
+request body therefore always yields a byte-identical response,
+whether the result was computed fresh, coalesced onto an in-flight
+computation, or served from the cache — those distinctions travel in
+the ``X-Repro-Source`` response header.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.engine.job import JobResult, JobSpec
+from repro.errors import ReproError
+from repro.graphs.registry import graph_names
+from repro.ir.serialize import dfg_from_dict
+
+RESPONSE_FORMAT = "repro-serve-v1"
+
+DEFAULT_RESOURCES = "2+/-,2*"
+DEFAULT_ALGORITHM = "threaded(meta2)"
+
+_REQUEST_FIELDS = frozenset(
+    {"graph", "resources", "algorithm", "artifacts", "gaps"}
+)
+
+
+class ProtocolError(ReproError):
+    """A request the service must refuse, with its HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """A validated ``POST /schedule`` body: the job plus shaping flags.
+
+    ``spec`` is hashable, so the coalescer keys in-flight computations
+    on it directly; two requests that differ only in ``artifacts`` /
+    ``gaps`` coalesce onto the same computation and are shaped apart at
+    response time.
+    """
+
+    spec: JobSpec
+    artifacts: bool = False
+    gaps: bool = False
+
+
+def _parse_graph(value: Any):
+    if isinstance(value, str):
+        name = value.upper()
+        known = graph_names()
+        if name not in known:
+            raise ProtocolError(
+                f"unknown benchmark {value!r}; known: {', '.join(known)}"
+            )
+        return name
+    if isinstance(value, dict):
+        try:
+            return dfg_from_dict(value)
+        except ReproError as exc:
+            raise ProtocolError(f"bad inline graph: {exc}")
+    raise ProtocolError(
+        "field 'graph' must be a registry benchmark name or an inline "
+        f"repro-dfg-v1 object, got {type(value).__name__}"
+    )
+
+
+def _parse_flag(data: Dict[str, Any], field: str) -> bool:
+    value = data.get(field, False)
+    if not isinstance(value, bool):
+        raise ProtocolError(
+            f"field {field!r} must be a boolean, got {value!r}"
+        )
+    return value
+
+
+def parse_request(body: bytes) -> ScheduleRequest:
+    """Validate a ``POST /schedule`` body into a :class:`ScheduleRequest`.
+
+    Raises :class:`ProtocolError` (status 400) on any malformed input.
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    unknown = sorted(set(data) - _REQUEST_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown request field(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(_REQUEST_FIELDS))}"
+        )
+    if "graph" not in data:
+        raise ProtocolError("field 'graph' is required")
+
+    graph = _parse_graph(data["graph"])
+
+    resources = data.get("resources", DEFAULT_RESOURCES)
+    if not isinstance(resources, str):
+        raise ProtocolError(
+            f"field 'resources' must be a string in the paper's "
+            f"notation, got {type(resources).__name__}"
+        )
+    algorithm = data.get("algorithm", DEFAULT_ALGORITHM)
+    if not isinstance(algorithm, str):
+        raise ProtocolError(
+            f"field 'algorithm' must be a string, got "
+            f"{type(algorithm).__name__}"
+        )
+    artifacts = _parse_flag(data, "artifacts")
+    gaps = _parse_flag(data, "gaps")
+    try:
+        # JobSpec.make runs the resource and algorithm validation
+        # itself (ResourceSet.parse / canonical_algorithm); one pass,
+        # one place for the rules to live.
+        spec = JobSpec.make(graph, resources, algorithm)
+    except ReproError as exc:
+        raise ProtocolError(str(exc))
+
+    return ScheduleRequest(spec=spec, artifacts=artifacts, gaps=gaps)
+
+
+def response_payload(
+    result: JobResult, request: ScheduleRequest
+) -> Dict[str, Any]:
+    """Shape an engine result to the request's flags.
+
+    The engine behind the service always computes rich results (full
+    artifact, gap where eligible) so any flag combination coalesces and
+    caches together; here the payloads the request did not ask for are
+    dropped.  ``gap`` stays ``null`` when requested on a graph too
+    large for the exact comparator.
+    """
+    data = result.public_dict()
+    if not request.artifacts:
+        del data["artifact"]
+    if not request.gaps:
+        del data["gap"]
+    return {"format": RESPONSE_FORMAT, **data}
+
+
+def encode_json(payload: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes: sorted keys, tight separators, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def error_payload(message: str) -> Dict[str, Any]:
+    return {"error": message}
+
+
+def source_of(result: JobResult, coalesced: bool) -> str:
+    """The ``X-Repro-Source`` header value for a served result."""
+    if coalesced:
+        return "coalesced"
+    return "cache" if result.cached else "computed"
+
+
+def decode_response(body: bytes) -> Dict[str, Any]:
+    """Parse a response body (client-side helper)."""
+    return json.loads(body.decode("utf-8"))

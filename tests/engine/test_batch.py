@@ -424,3 +424,103 @@ def test_gap_limit_shapes_warm_hits(tmp_path):
     (result,) = strict.run(jobs)
     assert result.cached is True  # HAL (11 ops) is not gap-eligible at 5
     assert result.gap is None
+
+
+class TestSubmissionApi:
+    """The serving-oriented submission path: persistent pool plus
+    thread-safe concurrent batches."""
+
+    def test_run_and_submit_agree(self):
+        jobs = registry_sweep(
+            names=("HAL", "FIR"), algorithms=("list(ready)",)
+        )
+        via_run = BatchEngine().run(jobs)
+        via_submit = BatchEngine().submit(jobs)
+        assert [r.length for r in via_run] == [
+            r.length for r in via_submit
+        ]
+
+    def test_concurrent_submitters_share_one_cache(self):
+        """Many threads hammering overlapping batches stay correct:
+        every response matches the serial answer and the cache ends up
+        with exactly one entry per unique key."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = BatchEngine()
+        jobs = registry_sweep(
+            names=("HAL", "AR", "FIR"),
+            constraints=("2+/-,2*", "2+/-,1*"),
+            algorithms=("list(ready)", "threaded(meta2)"),
+        )
+        serial = {
+            (r.graph, r.algorithm, r.resources): r.length
+            for r in BatchEngine().run(jobs)
+        }
+
+        def submit_slice(offset):
+            rotated = jobs[offset:] + jobs[:offset]
+            return engine.submit(rotated)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            batches = list(pool.map(submit_slice, range(6)))
+        for batch in batches:
+            for result in batch:
+                cell = (result.graph, result.algorithm, result.resources)
+                assert serial[cell] == result.length
+        assert engine.cache.stats()["stored"] >= len(jobs)
+        assert len(engine.cache) == len(jobs)
+
+    def test_persistent_pool_reused_across_submits(self):
+        with BatchEngine(workers=2) as engine:
+            assert engine._pool is not None
+            pool = engine._pool
+            first = engine.submit(
+                registry_sweep(names=("HAL",), algorithms=("list(ready)",))
+            )
+            second = engine.submit(
+                registry_sweep(names=("FIR",), algorithms=("list(ready)",))
+            )
+            assert engine._pool is pool  # no per-batch pool churn
+            assert first[0].length > 0 and second[0].length > 0
+        assert engine._pool is None  # context exit tears it down
+
+    def test_start_is_idempotent_and_serial_engine_poolless(self):
+        serial = BatchEngine(workers=1).start()
+        assert serial._pool is None
+        serial.shutdown()
+
+        parallel = BatchEngine(workers=2)
+        parallel.start()
+        pool = parallel._pool
+        parallel.start()
+        assert parallel._pool is pool
+        parallel.shutdown()
+        parallel.shutdown()  # double shutdown is a no-op
+
+    def test_persistent_pool_matches_serial_lengths(self):
+        jobs = registry_sweep(
+            names=("HAL", "AR", "FIR", "EF"),
+            algorithms=("threaded(meta2)",),
+        )
+        serial = BatchEngine().run(jobs)
+        with BatchEngine(workers=2) as engine:
+            pooled = engine.submit(jobs)
+        assert [r.length for r in serial] == [r.length for r in pooled]
+
+
+def test_fingerprint_memo_stays_bounded(monkeypatch):
+    """A long-lived engine fed distinct inline graphs must not retain
+    every payload in the fingerprint memo."""
+    import repro.engine.batch as batch_mod
+    from repro.engine.sweeps import random_dag_sweep
+
+    monkeypatch.setattr(batch_mod, "FINGERPRINT_MEMO_LIMIT", 4)
+    engine = BatchEngine()
+    for seed in range(7):
+        engine.run(
+            random_dag_sweep(
+                sizes=(6,), count=1, base_seed=seed,
+                algorithms=("list(ready)",),
+            )
+        )
+    assert len(engine._fingerprints) <= 4

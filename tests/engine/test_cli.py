@@ -141,3 +141,80 @@ def test_batch_unbounded_cache_skips_store_walk(tmp_path, capsys):
     # No capacity bound -> the O(store) index walk is not forced just
     # to print a summary line.
     assert "store:" not in capsys.readouterr().out
+
+
+class TestUnwritableCacheDir:
+    """--cache/--cache-dir pointing at an unwritable path fails fast,
+    with a clear message and exit code 2 — before any job computes."""
+
+    def test_cache_at_existing_file_exits_2(self, tmp_path, capsys):
+        plain_file = tmp_path / "not-a-dir"
+        plain_file.write_text("occupied")
+        assert main(["batch", "HAL", "--cache", str(plain_file)]) == 2
+        captured = capsys.readouterr()
+        assert "error: cannot create cache directory" in captured.err
+        assert "batch:" not in captured.out  # nothing was computed
+
+    def test_unwritable_cache_dir_exits_2_before_compute(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Simulate EACCES from the writability probe (chmod is not
+        # reliable under root, where the suite often runs).
+        import repro.engine.cli as cli_mod
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(cli_mod.tempfile, "mkstemp", denied)
+        target = tmp_path / "ro-cache"
+        assert main(["batch", "HAL", "--cache", str(target)]) == 2
+        captured = capsys.readouterr()
+        assert "is not writable" in captured.err
+        assert "Traceback" not in captured.err
+        assert "batch:" not in captured.out
+
+    def test_bench_shares_the_probe(self, tmp_path, monkeypatch, capsys):
+        import repro.engine.cli as cli_mod
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(cli_mod.tempfile, "mkstemp", denied)
+        assert main(["bench", "--cache", str(tmp_path / "c")]) == 2
+        captured = capsys.readouterr()
+        assert "is not writable" in captured.err
+        assert "bench suite" not in captured.out
+
+    def test_probe_leaves_no_droppings(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["batch", "HAL", "--cache", str(cache_dir)]) == 0
+        capsys.readouterr()
+        leftovers = list(cache_dir.glob(".writable-*"))
+        assert leftovers == []
+
+
+class TestServeArgValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--cache-entries", "5"],
+            ["serve", "--max-queue", "0"],
+            ["serve", "--max-batch", "0"],
+        ],
+    )
+    def test_bad_serve_args_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_unwritable_cache_dir_exits_2(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.engine.cli as cli_mod
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(cli_mod.tempfile, "mkstemp", denied)
+        argv = ["serve", "--cache-dir", str(tmp_path / "c"), "--port", "0"]
+        assert main(argv) == 2
+        assert "is not writable" in capsys.readouterr().err

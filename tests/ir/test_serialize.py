@@ -8,6 +8,7 @@ from repro.errors import GraphError
 from repro.graphs import hal, elliptic_wave_filter
 from repro.ir.serialize import (
     dfg_fingerprint,
+    dfg_from_dict,
     dumps_dfg,
     dumps_schedule,
     loads_dfg,
@@ -112,3 +113,64 @@ class TestFingerprint:
         tweaked = loads_dfg(dumps_dfg(hal()))
         tweaked.add_node("extra", OpKind.ADD)
         assert dfg_fingerprint(base) != dfg_fingerprint(tweaked)
+
+
+class TestMalformedDocuments:
+    """Untrusted documents (inline serving requests) must fail with
+    GraphError naming the offending record — never KeyError/ValueError."""
+
+    def test_non_dict_document(self):
+        with pytest.raises(GraphError, match="expected an object"):
+            dfg_from_dict([1, 2, 3])
+
+    def test_node_missing_field(self):
+        doc = {"format": "repro-dfg-v1", "nodes": [{"id": "a"}]}
+        with pytest.raises(GraphError, match="node record #0"):
+            dfg_from_dict(doc)
+
+    def test_node_not_an_object(self):
+        doc = {"format": "repro-dfg-v1", "nodes": ["a"]}
+        with pytest.raises(GraphError, match="malformed node record"):
+            dfg_from_dict(doc)
+
+    def test_unknown_op_kind(self):
+        doc = {
+            "format": "repro-dfg-v1",
+            "nodes": [{"id": "a", "op": "teleport", "delay": 1}],
+        }
+        with pytest.raises(GraphError, match="unknown op kind"):
+            dfg_from_dict(doc)
+
+    def test_edge_missing_field(self):
+        doc = {
+            "format": "repro-dfg-v1",
+            "nodes": [{"id": "a", "op": "add", "delay": 1}],
+            "edges": [{"src": "a"}],
+        }
+        with pytest.raises(GraphError, match="edge record #0"):
+            dfg_from_dict(doc)
+
+    def test_edge_not_an_object(self):
+        doc = {"format": "repro-dfg-v1", "edges": [7]}
+        with pytest.raises(GraphError, match="malformed edge record"):
+            dfg_from_dict(doc)
+
+    def test_bad_delay_type(self):
+        doc = {
+            "format": "repro-dfg-v1",
+            "nodes": [{"id": "a", "op": "add", "delay": "soon"}],
+        }
+        with pytest.raises(GraphError, match="bad field value"):
+            dfg_from_dict(doc)
+
+    def test_bad_edge_weight_type(self):
+        doc = {
+            "format": "repro-dfg-v1",
+            "nodes": [
+                {"id": "a", "op": "add", "delay": 1},
+                {"id": "b", "op": "add", "delay": 1},
+            ],
+            "edges": [{"src": "a", "dst": "b", "weight": "heavy"}],
+        }
+        with pytest.raises(GraphError, match="bad field value"):
+            dfg_from_dict(doc)

@@ -1,0 +1,61 @@
+"""Metrics tests: percentile math and snapshot shape."""
+
+from repro.serve.metrics import LATENCY_WINDOW, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([0.25], 0.5) == 0.25
+        assert percentile([0.25], 0.95) == 0.25
+
+    def test_order_independent(self):
+        samples = [0.5, 0.1, 0.9, 0.3, 0.7]
+        assert percentile(samples, 0.5) == 0.5
+        assert percentile(list(reversed(samples)), 0.5) == 0.5
+
+    def test_p95_tracks_tail(self):
+        samples = [0.01] * 95 + [1.0] * 5
+        assert percentile(samples, 0.95) == 1.0
+        assert percentile(samples, 0.50) == 0.01
+
+
+class TestServiceMetrics:
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        snapshot = metrics.snapshot()
+        for field in (
+            "requests",
+            "schedule_requests",
+            "computed",
+            "cache_hits",
+            "coalesced",
+            "rejected",
+            "errors",
+            "batches",
+            "in_flight",
+            "queue_depth",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_samples",
+        ):
+            assert field in snapshot, field
+        assert snapshot["latency_samples"] == 0
+
+    def test_latency_window_bounded(self):
+        metrics = ServiceMetrics()
+        for _ in range(LATENCY_WINDOW + 100):
+            metrics.observe_latency(0.002)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_samples"] == LATENCY_WINDOW
+        assert abs(snapshot["latency_p50_ms"] - 2.0) < 1e-9
+
+    def test_latency_in_milliseconds(self):
+        metrics = ServiceMetrics()
+        metrics.observe_latency(0.010)
+        metrics.observe_latency(0.030)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_p50_ms"] in (10.0, 30.0)
+        assert snapshot["latency_p95_ms"] == 30.0

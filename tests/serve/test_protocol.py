@@ -1,0 +1,152 @@
+"""Protocol tests: request validation, response shaping, canonical
+encoding."""
+
+import json
+
+import pytest
+
+from repro.engine.batch import BatchEngine
+from repro.engine.job import JobSpec
+from repro.graphs import get_graph
+from repro.ir.serialize import dfg_to_dict
+from repro.serve.protocol import (
+    DEFAULT_ALGORITHM,
+    DEFAULT_RESOURCES,
+    ProtocolError,
+    encode_json,
+    parse_request,
+    response_payload,
+    source_of,
+)
+
+
+def _body(**fields) -> bytes:
+    return json.dumps(fields).encode("utf-8")
+
+
+class TestParseRequest:
+    def test_registry_name_with_defaults(self):
+        request = parse_request(_body(graph="HAL"))
+        assert request.spec.graph.source == "registry"
+        assert request.spec.graph.name == "HAL"
+        assert request.spec.resources == DEFAULT_RESOURCES
+        assert request.spec.algorithm == DEFAULT_ALGORITHM
+        assert request.artifacts is False
+        assert request.gaps is False
+
+    def test_graph_name_case_insensitive(self):
+        assert parse_request(_body(graph="hal")).spec.graph.name == "HAL"
+
+    def test_algorithm_alias_resolves(self):
+        request = parse_request(_body(graph="HAL", algorithm="meta4"))
+        assert request.spec.algorithm == "threaded(meta4)"
+
+    def test_inline_graph_round_trips(self):
+        dfg = get_graph("FIR")
+        request = parse_request(_body(graph=dfg_to_dict(dfg)))
+        assert request.spec.graph.source == "inline"
+        rebuilt = request.spec.graph.build()
+        assert rebuilt.num_nodes == dfg.num_nodes
+
+    def test_inline_graph_same_cache_key_as_registry(self):
+        """An inline copy of a registry graph shares its cache entry."""
+        inline = parse_request(_body(graph=dfg_to_dict(get_graph("HAL"))))
+        named = parse_request(_body(graph="HAL"))
+        engine = BatchEngine()
+        inline_key = inline.spec.cache_key(
+            engine._graph_hash(inline.spec.graph)
+        )
+        named_key = named.spec.cache_key(
+            engine._graph_hash(named.spec.graph)
+        )
+        assert inline_key == named_key
+
+    def test_flags_parsed(self):
+        request = parse_request(
+            _body(graph="HAL", artifacts=True, gaps=True)
+        )
+        assert request.artifacts is True
+        assert request.gaps is True
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            (b"not json", "not valid JSON"),
+            (b"[1,2]", "must be a JSON object"),
+            (_body(), "'graph' is required"),
+            (_body(graph="NOSUCH"), "unknown benchmark"),
+            (_body(graph=7), "field 'graph'"),
+            (_body(graph="HAL", typo=1), "unknown request field"),
+            (_body(graph="HAL", resources=5), "'resources'"),
+            (_body(graph="HAL", resources="2bogus"), "notation"),
+            (_body(graph="HAL", algorithm=[]), "'algorithm'"),
+            (_body(graph="HAL", algorithm="meta99"), "unknown algorithm"),
+            (_body(graph="HAL", artifacts="yes"), "'artifacts'"),
+            (_body(graph="HAL", gaps=1), "'gaps'"),
+            (_body(graph={"format": "wrong"}), "bad inline graph"),
+            (
+                _body(graph={"format": "repro-dfg-v1", "nodes": [{}]}),
+                "bad inline graph",
+            ),
+        ],
+    )
+    def test_bad_requests_raise_protocol_error(self, body, fragment):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(body)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.status == 400
+
+    def test_malformed_inline_node_names_the_record(self):
+        body = _body(
+            graph={
+                "format": "repro-dfg-v1",
+                "nodes": [{"id": "a", "op": "frobnicate", "delay": 1}],
+            }
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(body)
+        assert "unknown op kind" in str(excinfo.value)
+
+
+class TestResponses:
+    def _result(self):
+        job = JobSpec.make("HAL", "2+/-,2*", "meta2")
+        engine = BatchEngine(compute_gaps=True, capture_schedules=True)
+        return engine.run([job])[0]
+
+    def test_payload_shaping_by_flags(self):
+        result = self._result()
+        lean = response_payload(
+            result, parse_request(_body(graph="HAL"))
+        )
+        assert "artifact" not in lean and "gap" not in lean
+        assert lean["length"] == 8
+        assert lean["format"] == "repro-serve-v1"
+        rich = response_payload(
+            result,
+            parse_request(_body(graph="HAL", artifacts=True, gaps=True)),
+        )
+        assert rich["artifact"]["length"] == 8
+        assert isinstance(rich["gap"], int) and rich["gap"] >= 0
+
+    def test_volatile_fields_never_serialized(self):
+        result = self._result()
+        payload = response_payload(
+            result,
+            parse_request(_body(graph="HAL", artifacts=True, gaps=True)),
+        )
+        assert "runtime_s" not in payload
+        assert "cached" not in payload
+
+    def test_encoding_is_canonical(self):
+        blob = encode_json({"b": 1, "a": {"d": 2, "c": 3}})
+        assert blob == b'{"a":{"c":3,"d":2},"b":1}'
+
+    def test_source_header_values(self):
+        result = self._result()
+        assert source_of(result, coalesced=True) == "coalesced"
+        assert source_of(result, coalesced=False) == "computed"
+        import dataclasses
+
+        hit = dataclasses.replace(result, cached=True)
+        assert source_of(hit, coalesced=False) == "cache"

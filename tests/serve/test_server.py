@@ -1,0 +1,405 @@
+"""Live-server tests: coalescing, caching, byte-identical responses,
+overload shedding, graceful drain, and the HTTP plumbing."""
+
+import asyncio
+import http.client
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.graphs import get_graph
+from repro.ir.serialize import dfg_to_dict
+from repro.scheduling.base import artifact_start_times
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ScheduleServer
+
+
+@pytest.fixture()
+def serve_factory():
+    """Start servers on background event loops; tear them all down."""
+    started = []
+
+    def factory(**kwargs) -> tuple:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("batch_window_ms", 2.0)
+        server = ScheduleServer(**kwargs)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10), "server failed to start"
+        started.append((server, loop, thread))
+        return server, loop, ServeClient(port=server.port, timeout=60)
+
+    yield factory
+
+    for server, loop, thread in started:
+        try:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(20)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, serve_factory):
+        _, _, client = serve_factory()
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["in_flight"] == 0
+
+    def test_schedule_registry_graph(self, serve_factory):
+        _, _, client = serve_factory()
+        raw = client.schedule_raw(
+            "HAL", resources="2+/-,2*", algorithm="meta2"
+        )
+        assert raw.status == 200
+        assert raw.source == "computed"
+        body = raw.json()
+        assert body["length"] == 8
+        assert body["algorithm"] == "threaded(meta2)"
+        assert body["format"] == "repro-serve-v1"
+        # Volatile fields live in headers, never the body.
+        assert "runtime_s" not in body and "cached" not in body
+
+    def test_second_request_served_from_cache(self, serve_factory):
+        _, _, client = serve_factory()
+        first = client.schedule_raw("FIR", algorithm="list")
+        second = client.schedule_raw("FIR", algorithm="list")
+        assert first.source == "computed"
+        assert second.source == "cache"
+        assert second.body == first.body
+
+    def test_artifact_round_trip(self, serve_factory):
+        _, _, client = serve_factory()
+        dfg = get_graph("EF")
+        body = client.schedule(
+            dfg_to_dict(dfg), algorithm="meta2", artifacts=True
+        )
+        artifact = body["artifact"]
+        starts = artifact_start_times(artifact)
+        assert len(starts) >= dfg.num_nodes
+        assert artifact["length"] == body["length"]
+        assert min(starts.values()) == 0
+
+    def test_gap_flag(self, serve_factory):
+        _, _, client = serve_factory()
+        rich = client.schedule("HAL", algorithm="meta2", gaps=True)
+        assert isinstance(rich["gap"], int) and rich["gap"] >= 0
+        lean = client.schedule("HAL", algorithm="meta2")
+        assert "gap" not in lean and "artifact" not in lean
+
+    def test_metrics_endpoint(self, serve_factory):
+        _, _, client = serve_factory()
+        client.schedule("HAL")
+        metrics = client.metrics()
+        assert metrics["schedule_requests"] == 1
+        assert metrics["computed"] == 1
+        assert metrics["engine_cache"]["stored"] == 1
+        assert metrics["latency_samples"] == 1
+        assert metrics["requests"] >= 2
+
+    def test_unknown_endpoint_404(self, serve_factory):
+        _, _, client = serve_factory()
+        raw = client.request("GET", "/nope")
+        assert raw.status == 404
+        assert "/schedule" in raw.json()["error"]
+
+    def test_wrong_methods_405(self, serve_factory):
+        _, _, client = serve_factory()
+        assert client.request("GET", "/schedule").status == 405
+        assert client.request("POST", "/healthz").status == 405
+        assert client.request("POST", "/metrics").status == 405
+
+    def test_bad_body_400(self, serve_factory):
+        _, _, client = serve_factory()
+        raw = client.request("POST", "/schedule", b"{nope")
+        assert raw.status == 400
+        assert "JSON" in raw.json()["error"]
+        with pytest.raises(ServeError):
+            client.schedule("NOSUCH")
+
+    def test_inline_graph_with_bad_field_type_is_400(self, serve_factory):
+        """A type-confused inline document must answer 400, never drop
+        the connection with an unhandled TypeError."""
+        _, _, client = serve_factory()
+        raw = client.schedule_raw(
+            {
+                "format": "repro-dfg-v1",
+                "nodes": [{"id": "a", "op": "add", "delay": "soon"}],
+            }
+        )
+        assert raw.status == 400
+        assert "bad field value" in raw.json()["error"]
+        assert client.healthz()["status"] == "ok"
+
+
+class TestCoalescing:
+    def test_burst_of_duplicates_computes_once(self, serve_factory):
+        _, _, client = serve_factory(batch_window_ms=50.0)
+        burst = 8
+
+        def fire(_):
+            return client.schedule_raw("AR", algorithm="meta2")
+
+        with ThreadPoolExecutor(max_workers=burst) as pool:
+            responses = list(pool.map(fire, range(burst)))
+
+        assert all(r.status == 200 for r in responses)
+        bodies = {r.body for r in responses}
+        assert len(bodies) == 1, "duplicate responses must be identical"
+
+        metrics = client.metrics()
+        assert metrics["computed"] == 1
+        assert metrics["coalesced"] + metrics["cache_hits"] == burst - 1
+        assert metrics["engine_cache"]["stored"] == 1
+        sources = [r.source for r in responses]
+        assert sources.count("computed") == 1
+
+    def test_mixed_burst_one_compute_per_unique_key(self, serve_factory):
+        _, _, client = serve_factory(batch_window_ms=30.0)
+        names = ["HAL", "AR", "FIR"]
+        requests = names * 4
+
+        def fire(name):
+            return client.schedule_raw(name, algorithm="list")
+
+        with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+            responses = list(pool.map(fire, requests))
+
+        assert all(r.status == 200 for r in responses)
+        metrics = client.metrics()
+        assert metrics["computed"] == len(names)
+        assert metrics["engine_cache"]["stored"] == len(names)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"graph": "HAL"},
+            {"graph": "FIR", "algorithm": "list"},
+            {
+                "graph": "HAL",
+                "algorithm": "meta2",
+                "artifacts": True,
+                "gaps": True,
+            },
+            {"graph": "__INLINE_EF__", "artifacts": True},
+        ],
+        ids=["default", "list", "rich", "inline"],
+    )
+    def test_coalesced_cached_fresh_responses_byte_identical(
+        self, serve_factory, body
+    ):
+        """The property the protocol guarantees: for one request body,
+        the response bytes are a pure function of the body — however
+        the result was obtained (fresh compute, coalesced onto an
+        in-flight twin, engine cache)."""
+        _, _, client = serve_factory(batch_window_ms=25.0)
+        if body["graph"] == "__INLINE_EF__":
+            body = dict(body, graph=dfg_to_dict(get_graph("EF")))
+        blob = json.dumps(body).encode("utf-8")
+
+        def fire(_):
+            return client.request("POST", "/schedule", blob)
+
+        # Concurrent wave (fresh + coalesced), then a sequential tail
+        # (served from the cache).
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            wave = list(pool.map(fire, range(4)))
+        tail = client.request("POST", "/schedule", blob)
+
+        responses = wave + [tail]
+        assert all(r.status == 200 for r in responses)
+        assert len({r.body for r in responses}) == 1
+        assert tail.source == "cache"
+
+
+class TestOverload:
+    def test_queue_full_returns_429(self, serve_factory):
+        server, _, client = serve_factory(
+            max_queue=1, batch_window_ms=400.0
+        )
+        first_done = threading.Event()
+        first_status = []
+
+        def slow_request():
+            first_status.append(
+                client.schedule_raw("HAL", algorithm="meta2").status
+            )
+            first_done.set()
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        # Wait until the first request is admitted (sitting in the
+        # micro-batch buffer for up to 400ms).
+        deadline = time.monotonic() + 5.0
+        while server.metrics.in_flight < 1:
+            assert time.monotonic() < deadline, "first request not admitted"
+            time.sleep(0.005)
+
+        rejected = client.schedule_raw("FIR", algorithm="meta2")
+        assert rejected.status == 429
+        assert "retry-after" in rejected.headers
+        assert "queue full" in rejected.json()["error"]
+
+        assert first_done.wait(30)
+        thread.join(5)
+        assert first_status == [200]
+        assert client.metrics()["rejected"] == 1
+        # Capacity freed: the same request is welcome now.
+        assert client.schedule_raw("FIR", algorithm="meta2").status == 200
+
+
+class TestHttpPlumbing:
+    def test_keep_alive_connection_reuse(self, serve_factory):
+        server, _, _ = serve_factory()
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30
+        )
+        try:
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+    def test_malformed_request_line_gets_400(self, serve_factory):
+        server, _, _ = serve_factory()
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_half_request_then_disconnect_is_tolerated(
+        self, serve_factory
+    ):
+        server, _, client = serve_factory()
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(b"POST /schedule HTTP/1.1\r\nContent-")
+        # The server keeps serving other clients.
+        assert client.healthz()["status"] == "ok"
+
+
+class TestDrain:
+    def test_graceful_drain_finishes_inflight(self, serve_factory):
+        server, loop, client = serve_factory(batch_window_ms=150.0)
+        results = []
+
+        def fire():
+            results.append(client.schedule_raw("DCT8", algorithm="meta2"))
+
+        thread = threading.Thread(target=fire)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while server.metrics.in_flight < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+
+        drained = asyncio.run_coroutine_threadsafe(
+            server.stop(), loop
+        ).result(30)
+        assert drained is True
+        thread.join(10)
+        assert [r.status for r in results] == [200]
+        # The listener is gone: new connections are refused.
+        with pytest.raises(OSError):
+            socket.create_connection(
+                ("127.0.0.1", server.port), timeout=1
+            ).close()
+
+
+class TestParallelEngine:
+    def test_workers_2_serves_identical_schedules(self, serve_factory):
+        _, _, serial_client = serve_factory(workers=1)
+        _, _, parallel_client = serve_factory(workers=2)
+        names = ["HAL", "AR", "FIR", "EF"]
+
+        def fetch(client):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                return list(
+                    pool.map(
+                        lambda n: client.schedule(n, algorithm="meta2"),
+                        names,
+                    )
+                )
+
+        serial = fetch(serial_client)
+        parallel = fetch(parallel_client)
+        assert [r["length"] for r in serial] == [
+            r["length"] for r in parallel
+        ]
+
+
+class TestStartupFailure:
+    def test_port_already_taken_is_clean_exit_2(self, capsys):
+        from repro.__main__ import main
+
+        with socket.socket() as holder:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            taken = holder.getsockname()[1]
+            code = main(["serve", "--port", str(taken)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot listen on" in err
+        assert "Traceback" not in err
+
+
+class TestServeCli:
+    def test_serve_process_end_to_end(self, tmp_path):
+        """``repro serve`` boots, serves, and drains on SIGTERM —
+        the same sequence the CI smoke job drives."""
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--batch-window-ms",
+                "1",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening on" in line, line
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            client = ServeClient(port=port, timeout=30)
+            client.wait_ready()
+            assert client.schedule("HAL")["length"] == 8
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=30)
+            assert process.returncode == 0
+            assert "shutdown clean" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=10)
