@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Microbenchmarks for the incremental scheduling kernels.
+
+Times the three kernels this layer introduced against their
+full-recompute references, on one seeded random DAG:
+
+* ``graph_view`` — building a fresh CSR :class:`~repro.ir.GraphView`
+  (plus diameter) per query vs. the cached ``dfg.view()`` path every
+  analysis now rides on.
+* ``frames`` — a full ASAP/ALAP window recompute after every fixing
+  decision (the pre-PR ``_frames`` sweep) vs. the delta-propagating
+  :class:`~repro.scheduling.FrameEngine`.
+* ``fds`` — the reference force-directed scheduler vs. the
+  prefix-sum/incremental-frames implementation, asserting the two
+  produce op-for-op identical schedules while timing them.
+
+Each run appends one entry to a ``repro-perf-v1`` trajectory document
+(default ``BENCH_perf.json``) so kernel performance is tracked across
+commits.  The ``--min-*-speedup`` flags turn the run into a regression
+gate: speedup *ratios* are machine-independent, so CI can fail on a
+gross (>3x would-be) slowdown of the incremental kernels without
+pinning absolute wall times.
+
+Usage::
+
+    python benchmarks/perf_kernels.py                      # record
+    python benchmarks/perf_kernels.py --nodes 200 \
+        --min-fds-speedup 3 --min-frames-speedup 3         # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a source checkout without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs.random_dags import random_layered_dag
+from repro.ir import GraphView
+from repro.ir.analysis import diameter
+from repro.scheduling import (
+    FrameEngine,
+    force_directed_schedule,
+    force_directed_schedule_reference,
+    list_schedule,
+)
+from repro.scheduling.force_directed import _frames
+from repro.scheduling.list_scheduler import ListPriority
+from repro.scheduling.resources import ResourceSet
+
+PERF_FORMAT = "repro-perf-v1"
+DEFAULT_RESOURCES = "2+/-,2*"
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - started, value
+
+
+def bench_graph_view(dfg, reps: int):
+    """Fresh CSR build + diameter per query vs. the cached view."""
+
+    def rebuild():
+        for _ in range(reps):
+            GraphView(dfg).diameter()
+
+    def cached():
+        for _ in range(reps):
+            dfg.view().diameter()
+
+    dfg.touch()  # both start cold
+    rebuild_s, _ = _timed(rebuild)
+    dfg.touch()
+    cached_s, _ = _timed(cached)
+    return {
+        "reps": reps,
+        "rebuild_s": rebuild_s,
+        "cached_s": cached_s,
+        "speedup": rebuild_s / cached_s if cached_s > 0 else float("inf"),
+    }
+
+
+def bench_frames(dfg, latency: int):
+    """Full window recompute per fix vs. delta propagation.
+
+    Both sides fix every op at its then-current ASAP in topological
+    order — the same narrowing trajectory an FDS sweep follows — and
+    must end with identical windows.
+    """
+    order = dfg.topological_order()
+
+    def full():
+        fixed = {}
+        frames = _frames(dfg, latency, fixed)
+        for node_id in order:
+            fixed[node_id] = frames[node_id][0]
+            frames = _frames(dfg, latency, fixed)
+        return frames
+
+    def incremental():
+        engine = FrameEngine(dfg, latency)
+        for node_id in order:
+            engine.fix(node_id, engine.frame(node_id)[0])
+        return engine.frames_dict()
+
+    full_s, full_frames = _timed(full)
+    incremental_s, inc_frames = _timed(incremental)
+    assert inc_frames == full_frames, "incremental frames diverged"
+    return {
+        "fixes": len(order),
+        "full_s": full_s,
+        "incremental_s": incremental_s,
+        "speedup": full_s / incremental_s
+        if incremental_s > 0
+        else float("inf"),
+    }
+
+
+def bench_fds(dfg, resources, latency: int):
+    """Reference vs. incremental FDS; schedules must match op-for-op."""
+    incremental_s, fast = _timed(
+        lambda: force_directed_schedule(dfg, resources, latency=latency)
+    )
+    reference_s, ref = _timed(
+        lambda: force_directed_schedule_reference(
+            dfg, resources, latency=latency
+        )
+    )
+    assert fast.start_times == ref.start_times, (
+        "incremental FDS diverged from the reference schedule"
+    )
+    return {
+        "latency": latency,
+        "length": fast.length,
+        "reference_s": reference_s,
+        "incremental_s": incremental_s,
+        "speedup": reference_s / incremental_s
+        if incremental_s > 0
+        else float("inf"),
+    }
+
+
+def bench_list(dfg, resources):
+    ready_s, ready = _timed(
+        lambda: list_schedule(dfg, resources, ListPriority.READY_ORDER)
+    )
+    mobility_s, mob = _timed(
+        lambda: list_schedule(dfg, resources, ListPriority.MOBILITY)
+    )
+    return {
+        "ready_s": ready_s,
+        "ready_length": ready.length,
+        "mobility_s": mobility_s,
+        "mobility_length": mob.length,
+    }
+
+
+def load_trajectory(path: Path):
+    if not path.exists():
+        return {"format": PERF_FORMAT, "entries": []}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise SystemExit(f"error: malformed trajectory {path}: {exc}")
+    if data.get("format") != PERF_FORMAT:
+        raise SystemExit(
+            f"error: {path} is not a {PERF_FORMAT} document "
+            f"(format={data.get('format')!r})"
+        )
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the incremental scheduling kernels against "
+        "their full-recompute references."
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=200, metavar="N",
+        help="random-DAG size (default 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="random-DAG seed (default 0)",
+    )
+    parser.add_argument(
+        "--slack", type=int, default=3, metavar="K",
+        help="FDS latency slack over the critical path (default 3)",
+    )
+    parser.add_argument(
+        "--view-reps", type=int, default=100, metavar="R",
+        help="repetitions for the graph-view timing (default 100)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default="BENCH_perf.json",
+        help="trajectory document to append to (default BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="measure and gate only; do not touch the trajectory file",
+    )
+    parser.add_argument(
+        "--min-fds-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless incremental FDS is at least X times faster "
+        "than the reference",
+    )
+    parser.add_argument(
+        "--min-frames-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless incremental frames are at least X times "
+        "faster than full recompute",
+    )
+    opts = parser.parse_args(argv)
+
+    dfg = random_layered_dag(opts.nodes, seed=opts.seed)
+    resources = ResourceSet.parse(DEFAULT_RESOURCES)
+    latency = diameter(dfg) + opts.slack
+
+    print(
+        f"perf_kernels: {dfg.name} ({dfg.num_nodes} ops, "
+        f"{dfg.num_edges} edges, latency {latency})"
+    )
+    entry = {
+        "recorded_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "nodes": opts.nodes,
+        "seed": opts.seed,
+        "resources": DEFAULT_RESOURCES,
+        "graph_view": bench_graph_view(dfg, opts.view_reps),
+        "frames": bench_frames(dfg, latency),
+        "fds": bench_fds(dfg, resources, latency),
+        "list": bench_list(dfg, resources),
+    }
+    for kernel in ("graph_view", "frames", "fds"):
+        data = entry[kernel]
+        detail = {
+            key: round(value, 5) if isinstance(value, float) else value
+            for key, value in data.items()
+            if key != "speedup"
+        }
+        print(
+            f"  {kernel:10s}: {data['speedup']:8.1f}x speedup "
+            f"({json.dumps(detail)})"
+        )
+    print(
+        f"  list      : ready {entry['list']['ready_s'] * 1000:.2f} ms, "
+        f"mobility {entry['list']['mobility_s'] * 1000:.2f} ms"
+    )
+
+    if not opts.no_json:
+        path = Path(opts.json)
+        trajectory = load_trajectory(path)
+        trajectory["entries"].append(entry)
+        path.write_text(
+            json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"appended entry {len(trajectory['entries'])} to {path}")
+
+    failures = []
+    if (
+        opts.min_fds_speedup is not None
+        and entry["fds"]["speedup"] < opts.min_fds_speedup
+    ):
+        failures.append(
+            f"fds speedup {entry['fds']['speedup']:.1f}x below the "
+            f"{opts.min_fds_speedup:g}x gate"
+        )
+    if (
+        opts.min_frames_speedup is not None
+        and entry["frames"]["speedup"] < opts.min_frames_speedup
+    ):
+        failures.append(
+            f"frames speedup {entry['frames']['speedup']:.1f}x below "
+            f"the {opts.min_frames_speedup:g}x gate"
+        )
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ThreadedGraphError
+from repro.errors import GraphError, SchedulingError, ThreadedGraphError
 from repro.core.threaded_graph import ThreadedGraph
 from repro.scheduling.base import Schedule
+from repro.scheduling.frames import FrameEngine
 from repro.scheduling.resources import FuType, ResourceSet
 
 
@@ -71,19 +72,44 @@ def _check(state: ThreadedGraph, schedule: Schedule) -> None:
         raise ThreadedGraphError(
             f"hardened length {schedule.length} != state diameter {expected}"
         )
-    # Precedence over the *DFG* (only scheduled endpoints).
-    for edge in state.dfg.edges():
-        if edge.src in schedule.start_times and edge.dst in schedule.start_times:
-            earliest = (
-                schedule.start_times[edge.src]
-                + state.dfg.delay(edge.src)
-                + edge.weight
-            )
-            if schedule.start_times[edge.dst] < earliest:
+    # Precedence over the *DFG*.  For a complete schedule, fixing every
+    # op at its hardened start through the incremental frame engine (in
+    # topological order, within the state-diameter deadline) surfaces
+    # any violated dependence as an infeasible window in one
+    # delta-propagating sweep.  Partial schedules (mid-ECO states with
+    # unscheduled ops) fall back to the per-edge check, which skips
+    # unscheduled endpoints.
+    dfg = state.dfg
+    start_times = schedule.start_times
+    if start_times and len(start_times) == dfg.num_nodes:
+        try:
+            engine = FrameEngine(dfg, latency=expected)
+        except GraphError as exc:
+            # A state diameter below the DFG critical path means the
+            # labels are corrupt — a validation failure, not a bug.
+            raise ThreadedGraphError(
+                f"hardened length {expected} cannot cover the graph: {exc}"
+            ) from None
+        for node_id in dfg.topological_order():
+            try:
+                engine.fix(node_id, start_times[node_id])
+            except SchedulingError as exc:
                 raise ThreadedGraphError(
-                    f"hardening violated dependence "
-                    f"{edge.src} -> {edge.dst}"
+                    f"hardening violated a dependence at {node_id}: {exc}"
+                ) from None
+    else:
+        for edge in dfg.edges():
+            if edge.src in start_times and edge.dst in start_times:
+                earliest = (
+                    start_times[edge.src]
+                    + dfg.delay(edge.src)
+                    + edge.weight
                 )
+                if start_times[edge.dst] < earliest:
+                    raise ThreadedGraphError(
+                        f"hardening violated dependence "
+                        f"{edge.src} -> {edge.dst}"
+                    )
     # No overlap inside any thread.
     for k in range(state.K):
         members = state.thread_members(k)

@@ -43,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.job import ALGORITHMS, GraphSpec, JobResult, JobSpec
+from repro.errors import SchedulingError
 from repro.ir.serialize import dfg_fingerprint
 from repro.scheduling.base import schedule_artifact
 
@@ -81,6 +82,12 @@ def execute_job(
 
     Top-level (not a closure) so a spawn-context worker can unpickle it.
     The graph is rebuilt from the spec here, in the executing process.
+
+    A :class:`~repro.errors.SchedulingError` out of the scheduler (an
+    infeasible latency mid-sweep, a resource set that cannot execute
+    some op) becomes a *structured failure*: the returned result
+    carries ``error`` and ``length == -1`` instead of aborting the
+    whole batch with an exception.  Programming errors still raise.
     """
     dfg = spec.graph.build()
     resources = spec.resource_set()
@@ -94,22 +101,31 @@ def execute_job(
     num_input_ops = dfg.num_nodes
     input_ops = dfg.nodes() if capture_schedule else None
     started = time.perf_counter()
-    schedule = runner(dfg, resources)
+    error: Optional[str] = None
+    schedule = None
+    try:
+        schedule = runner(dfg, resources)
+    except SchedulingError as exc:
+        error = f"{type(exc).__name__}: {exc}"
     runtime_s = time.perf_counter() - started
 
     gap: Optional[int] = None
     if (
-        compute_gap
+        schedule is not None
+        and compute_gap
         and spec.algorithm != "exact"
         and num_input_ops <= gap_ops_limit
     ):
         # Fresh build: threaded scheduling keeps the graph by reference,
         # so the comparator must not share state with the measured run.
-        exact = ALGORITHMS["exact"](spec.graph.build(), resources)
-        gap = schedule.length - exact.length
+        try:
+            exact = ALGORITHMS["exact"](spec.graph.build(), resources)
+            gap = schedule.length - exact.length
+        except SchedulingError:
+            gap = None  # the comparator's infeasibility is not the job's
 
     artifact = None
-    if capture_schedule:
+    if capture_schedule and schedule is not None:
         artifact = schedule_artifact(schedule, input_ops=input_ops)
 
     return JobResult(
@@ -119,10 +135,11 @@ def execute_job(
         num_ops=num_input_ops,
         resources=spec.resources,
         algorithm=spec.algorithm,
-        length=schedule.length,
+        length=-1 if schedule is None else schedule.length,
         runtime_s=runtime_s,
         gap=gap,
         artifact=artifact,
+        error=error,
     )
 
 
@@ -355,6 +372,12 @@ class BatchEngine:
 
         with self._lock:
             for key, result in computed:
+                if result.error is not None:
+                    # Structured failures are answered, not cached: a
+                    # poisoned store would keep serving the failure
+                    # after the bug (or resource model) is fixed.
+                    resolve(key, result)
+                    continue
                 # A rejected leaner entry may survive in the memory
                 # layer: carry its other payload over before
                 # overwriting it.

@@ -296,6 +296,14 @@ def cmd_bench(args: Sequence[str]) -> int:
             "schedule-length regression or >2x runtime blowup"
         ),
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help=(
+            "print per-algorithm wall-time percentiles and embed them "
+            "under a 'perf' key in the --json document"
+        ),
+    )
     _add_common(parser)
     opts = parser.parse_args(list(args))
     _check_cache_opts(opts)
@@ -306,7 +314,11 @@ def cmd_bench(args: Sequence[str]) -> int:
         capture_schedules=opts.artifacts,
         max_cache_entries=opts.cache_entries,
     )
+    if opts.perf:
+        report.perf = bench_mod.perf_summary(report.results)
     print(report.table())
+    if opts.perf:
+        print(report.perf_table())
     print(f"suite wall time: {report.wall_time_s:.2f}s")
 
     if opts.json:

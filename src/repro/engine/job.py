@@ -255,6 +255,13 @@ class JobResult:
     with ``capture_schedule=True``; otherwise ``None``.  It is a plain
     JSON-safe dict so the record round-trips through :meth:`to_dict` /
     :meth:`from_dict` and the disk cache unchanged.
+
+    ``error`` marks a *structured per-job failure*: the scheduler
+    raised a :class:`~repro.errors.SchedulingError` (e.g. an infeasible
+    latency in the force-directed fixing sweep, or a resource set that
+    cannot execute some op).  Failed jobs report ``length == -1``, no
+    gap, and no artifact, and they never abort the batch around them —
+    the other jobs' results come back as usual.
     """
 
     key: str
@@ -268,6 +275,12 @@ class JobResult:
     gap: Optional[int] = None
     cached: bool = False
     artifact: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a schedule (no structured error)."""
+        return self.error is None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -282,6 +295,7 @@ class JobResult:
             "gap": self.gap,
             "cached": self.cached,
             "artifact": self.artifact,
+            "error": self.error,
         }
 
     def public_dict(self) -> Dict[str, Any]:
@@ -313,6 +327,7 @@ class JobResult:
             gap=data.get("gap"),
             cached=bool(data.get("cached", False)),
             artifact=data.get("artifact"),
+            error=data.get("error"),
         )
 
 

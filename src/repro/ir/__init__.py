@@ -10,6 +10,7 @@ as text instead of hand-built graphs.
 
 from repro.ir.ops import OpKind, DelayModel
 from repro.ir.dfg import DataFlowGraph, Node, Edge
+from repro.ir.graph_view import GraphView
 from repro.ir.builder import GraphBuilder
 from repro.ir.analysis import (
     asap_times,
@@ -44,6 +45,7 @@ __all__ = [
     "DataFlowGraph",
     "Node",
     "Edge",
+    "GraphView",
     "GraphBuilder",
     "asap_times",
     "alap_times",

@@ -19,6 +19,11 @@ a path's length is the sum of its vertex delays plus its edge weights.
 
 Also provided are the classic HLS control-step analyses (ASAP, ALAP,
 mobility) used by the list and force-directed baselines.
+
+All analyses run over the graph's compiled
+:class:`~repro.ir.graph_view.GraphView` (CSR arrays + cached topo
+order/distances), so repeated queries between mutations are served from
+the snapshot instead of re-walking the dict-of-dicts graph.
 """
 
 from __future__ import annotations
@@ -31,41 +36,35 @@ from repro.ir.dfg import DataFlowGraph
 
 def source_distances(dfg: DataFlowGraph) -> Dict[str, int]:
     """``||<-v||`` for every vertex (inclusive of the vertex's own delay)."""
-    sdist: Dict[str, int] = {}
-    for node_id in dfg.topological_order():
-        best = 0
-        for edge in dfg.in_edges(node_id):
-            best = max(best, sdist[edge.src] + edge.weight)
-        sdist[node_id] = best + dfg.delay(node_id)
-    return sdist
+    view = dfg.view()
+    sdist = view.source_distance_array()
+    ids = view.ids
+    return {ids[i]: sdist[i] for i in view.topo_indices()}
 
 
 def sink_distances(dfg: DataFlowGraph) -> Dict[str, int]:
     """``||v->||`` for every vertex (inclusive of the vertex's own delay)."""
-    tdist: Dict[str, int] = {}
-    for node_id in reversed(dfg.topological_order()):
-        best = 0
-        for edge in dfg.out_edges(node_id):
-            best = max(best, tdist[edge.dst] + edge.weight)
-        tdist[node_id] = best + dfg.delay(node_id)
-    return tdist
+    view = dfg.view()
+    tdist = view.sink_distance_array()
+    ids = view.ids
+    return {ids[i]: tdist[i] for i in reversed(view.topo_indices())}
 
 
 def node_distances(dfg: DataFlowGraph) -> Dict[str, int]:
     """``||<-v->||`` for every vertex (longest through-path)."""
-    sdist = source_distances(dfg)
-    tdist = sink_distances(dfg)
+    view = dfg.view()
+    sdist = view.source_distance_array()
+    tdist = view.sink_distance_array()
+    delays = view.delays
     return {
-        node_id: sdist[node_id] + tdist[node_id] - dfg.delay(node_id)
-        for node_id in dfg.nodes()
+        node_id: sdist[i] + tdist[i] - delays[i]
+        for i, node_id in enumerate(view.ids)
     }
 
 
 def diameter(dfg: DataFlowGraph) -> int:
     """``||G||``: the critical-path length (0 for the empty graph)."""
-    if dfg.num_nodes == 0:
-        return 0
-    return max(node_distances(dfg).values())
+    return dfg.view().diameter()
 
 
 def critical_path(dfg: DataFlowGraph) -> List[str]:
@@ -109,8 +108,12 @@ def critical_path(dfg: DataFlowGraph) -> List[str]:
 
 def asap_times(dfg: DataFlowGraph) -> Dict[str, int]:
     """Earliest start step of each operation (unconstrained resources)."""
-    sdist = source_distances(dfg)
-    return {n: sdist[n] - dfg.delay(n) for n in dfg.nodes()}
+    view = dfg.view()
+    sdist = view.source_distance_array()
+    delays = view.delays
+    return {
+        node_id: sdist[i] - delays[i] for i, node_id in enumerate(view.ids)
+    }
 
 
 def alap_times(dfg: DataFlowGraph, latency: Optional[int] = None) -> Dict[str, int]:
@@ -119,15 +122,18 @@ def alap_times(dfg: DataFlowGraph, latency: Optional[int] = None) -> Dict[str, i
     ``latency`` defaults to the diameter (the minimum feasible latency);
     a smaller value raises :class:`GraphError`.
     """
-    span = diameter(dfg)
+    view = dfg.view()
+    span = view.diameter()
     if latency is None:
         latency = span
     elif latency < span:
         raise GraphError(
             f"latency {latency} is below the critical path length {span}"
         )
-    tdist = sink_distances(dfg)
-    return {n: latency - tdist[n] for n in dfg.nodes()}
+    tdist = view.sink_distance_array()
+    return {
+        node_id: latency - tdist[i] for i, node_id in enumerate(view.ids)
+    }
 
 
 def mobility(dfg: DataFlowGraph, latency: Optional[int] = None) -> Dict[str, int]:

@@ -32,12 +32,24 @@ from repro.ir.ops import DelayModel, OpKind
 
 @dataclass
 class Node:
-    """A single operation in a dataflow graph."""
+    """A single operation in a dataflow graph.
+
+    In-place writes to ``op`` / ``delay`` notify the owning graph so its
+    compiled :class:`~repro.ir.graph_view.GraphView` snapshot is rebuilt
+    on next access (see :meth:`DataFlowGraph.view`).
+    """
 
     id: str
     op: OpKind
     delay: int
     name: Optional[str] = None
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name in ("op", "delay"):
+            owner = self.__dict__.get("_owner")
+            if owner is not None:
+                owner._bump()
 
     def label(self) -> str:
         """Human-readable label, e.g. ``"m1:*"``."""
@@ -49,12 +61,23 @@ class Node:
 
 @dataclass
 class Edge:
-    """A directed dependence ``src -> dst``."""
+    """A directed dependence ``src -> dst``.
+
+    In-place ``weight`` writes (the physical back-annotation path)
+    notify the owning graph, like :class:`Node` attribute writes.
+    """
 
     src: str
     dst: str
     port: Optional[int] = None
     weight: int = 0
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name == "weight":
+            owner = self.__dict__.get("_owner")
+            if owner is not None:
+                owner._bump()
 
     def __repr__(self):
         extra = ""
@@ -86,6 +109,46 @@ class DataFlowGraph:
         self._nodes: Dict[str, Node] = {}
         self._succs: Dict[str, Dict[str, Edge]] = {}
         self._preds: Dict[str, Dict[str, Edge]] = {}
+        self._mutations = 0
+        self._view = None
+
+    # ------------------------------------------------------------------
+    # Compiled view / cache invalidation.
+    # ------------------------------------------------------------------
+
+    def _bump(self) -> None:
+        self._mutations += 1
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic mutation counter (snapshot tag for cached views)."""
+        return self._mutations
+
+    def touch(self) -> None:
+        """Force cached views to rebuild on next access.
+
+        Only needed after mutating graph structure through a back door
+        the graph cannot observe; all :class:`DataFlowGraph` mutators
+        and in-place ``Node.op`` / ``Node.delay`` / ``Edge.weight``
+        writes already notify the cache.
+        """
+        self._bump()
+
+    def view(self):
+        """The compiled :class:`~repro.ir.graph_view.GraphView`.
+
+        Built on first access and cached until the next mutation; all
+        derived analyses (topological order, distances, ASAP/ALAP)
+        share it, so repeated queries between mutations cost O(1)
+        rebuild work.
+        """
+        from repro.ir.graph_view import GraphView
+
+        view = self._view
+        if view is None or view.version != self._mutations:
+            view = GraphView(self)
+            self._view = view
+        return view
 
     # ------------------------------------------------------------------
     # Construction / mutation.
@@ -113,9 +176,11 @@ class DataFlowGraph:
         if delay < 0:
             raise GraphError(f"delay must be >= 0, got {delay}")
         node = Node(id=node_id, op=op, delay=delay, name=name)
+        node.__dict__["_owner"] = self
         self._nodes[node_id] = node
         self._succs[node_id] = {}
         self._preds[node_id] = {}
+        self._bump()
         return node
 
     def add_edge(
@@ -142,8 +207,10 @@ class DataFlowGraph:
             existing.weight = weight
             return existing
         edge = Edge(src=src, dst=dst, port=port, weight=weight)
+        edge.__dict__["_owner"] = self
         self._succs[src][dst] = edge
         self._preds[dst][src] = edge
+        self._bump()
         return edge
 
     def remove_edge(self, src: str, dst: str) -> Edge:
@@ -154,6 +221,7 @@ class DataFlowGraph:
         except KeyError:
             raise GraphError(f"no edge {src!r} -> {dst!r}") from None
         del self._preds[dst][src]
+        self._bump()
         return edge
 
     def remove_node(self, node_id: str) -> Node:
@@ -166,6 +234,7 @@ class DataFlowGraph:
         del self._succs[node_id]
         del self._preds[node_id]
         del self._nodes[node_id]
+        self._bump()
         return node
 
     def splice_on_edge(
@@ -292,23 +361,11 @@ class DataFlowGraph:
     def topological_order(self) -> List[str]:
         """Kahn's algorithm with deterministic (insertion-order) tie-break.
 
-        Raises :class:`CycleError` if the graph has a cycle.
+        Served from the compiled :meth:`view` (cached between
+        mutations).  Raises :class:`CycleError` if the graph has a
+        cycle.
         """
-        in_deg = {n: len(self._preds[n]) for n in self._nodes}
-        ready = [n for n in self._nodes if in_deg[n] == 0]
-        order: List[str] = []
-        head = 0
-        while head < len(ready):
-            node = ready[head]
-            head += 1
-            order.append(node)
-            for succ in self._succs[node]:
-                in_deg[succ] -= 1
-                if in_deg[succ] == 0:
-                    ready.append(succ)
-        if len(order) != len(self._nodes):
-            raise CycleError(self.find_cycle())
-        return order
+        return self.view().topological_ids()
 
     def is_dag(self) -> bool:
         try:

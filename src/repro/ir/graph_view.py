@@ -1,0 +1,208 @@
+"""A compiled, cache-friendly view of a :class:`DataFlowGraph`.
+
+The mutable graph is a dict-of-dicts — ideal for construction and
+refinement, wasteful for the analysis sweeps the schedulers run in
+their inner loops (every ``topological_order`` call re-walked the dicts
+and allocated fresh adjacency lists).  :class:`GraphView` compiles the
+graph once into CSR-style flat arrays:
+
+* node ids interned to dense integer indices (insertion order, so all
+  tie-breaks match the mutable graph's iteration order),
+* successor/predecessor adjacency as offset + target + weight arrays,
+* per-node delays, and
+* lazily cached derived data: topological order, source/sink
+  distances, and the diameter.
+
+A view is a snapshot: it is built by :meth:`DataFlowGraph.view` against
+the graph's mutation counter and is transparently rebuilt after any
+mutation (including in-place ``Node.delay`` / ``Edge.weight`` writes,
+which notify the owning graph).  Holders of a view across mutations
+must re-fetch it via ``dfg.view()``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CycleError
+
+__all__ = ["GraphView"]
+
+
+class GraphView:
+    """CSR snapshot of one :class:`~repro.ir.dfg.DataFlowGraph`.
+
+    Attributes
+    ----------
+    ids:
+        Node ids in insertion order; ``ids[i]`` is the id of index ``i``.
+    index:
+        Reverse map ``id -> index``.
+    delays:
+        Per-index operation delay.
+    succ_off / succ_dst / succ_w:
+        CSR successor adjacency: the out-edges of index ``i`` are
+        ``succ_dst[succ_off[i]:succ_off[i + 1]]`` with edge weights in
+        the parallel ``succ_w`` slice, in edge-insertion order.
+    pred_off / pred_src / pred_w:
+        The symmetric predecessor arrays.
+    """
+
+    __slots__ = (
+        "version",
+        "ids",
+        "index",
+        "delays",
+        "succ_off",
+        "succ_dst",
+        "succ_w",
+        "pred_off",
+        "pred_src",
+        "pred_w",
+        "_topo",
+        "_sdist",
+        "_tdist",
+        "_diameter",
+    )
+
+    def __init__(self, dfg):
+        self.version = dfg.mutation_count
+        ids = dfg.nodes()
+        index = {node_id: i for i, node_id in enumerate(ids)}
+        self.ids = ids
+        self.index = index
+        self.delays = [dfg.delay(node_id) for node_id in ids]
+
+        succ_off = [0] * (len(ids) + 1)
+        succ_dst: List[int] = []
+        succ_w: List[int] = []
+        pred_off = [0] * (len(ids) + 1)
+        pred_src: List[int] = []
+        pred_w: List[int] = []
+        for i, node_id in enumerate(ids):
+            for edge in dfg.out_edges(node_id):
+                succ_dst.append(index[edge.dst])
+                succ_w.append(edge.weight)
+            succ_off[i + 1] = len(succ_dst)
+        for i, node_id in enumerate(ids):
+            for edge in dfg.in_edges(node_id):
+                pred_src.append(index[edge.src])
+                pred_w.append(edge.weight)
+            pred_off[i + 1] = len(pred_src)
+        self.succ_off, self.succ_dst, self.succ_w = succ_off, succ_dst, succ_w
+        self.pred_off, self.pred_src, self.pred_w = pred_off, pred_src, pred_w
+
+        # Kahn's algorithm over the int arrays, FIFO with insertion-order
+        # seeding — byte-identical order to the dict-based implementation
+        # this replaces.
+        n = len(ids)
+        in_deg = [pred_off[i + 1] - pred_off[i] for i in range(n)]
+        ready = [i for i in range(n) if in_deg[i] == 0]
+        head = 0
+        while head < len(ready):
+            u = ready[head]
+            head += 1
+            for k in range(succ_off[u], succ_off[u + 1]):
+                v = succ_dst[k]
+                in_deg[v] -= 1
+                if in_deg[v] == 0:
+                    ready.append(v)
+        if len(ready) != n:
+            raise CycleError(dfg.find_cycle())
+        self._topo: List[int] = ready
+        self._sdist: Optional[List[int]] = None
+        self._tdist: Optional[List[int]] = None
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.succ_dst)
+
+    def topo_indices(self) -> List[int]:
+        """Topological order as indices (shared list; do not mutate)."""
+        return self._topo
+
+    def topological_ids(self) -> List[str]:
+        """Topological order as node ids (fresh list per call)."""
+        ids = self.ids
+        return [ids[i] for i in self._topo]
+
+    def successors(self, i: int) -> List[Tuple[int, int]]:
+        """``(target index, edge weight)`` pairs of index ``i``."""
+        lo, hi = self.succ_off[i], self.succ_off[i + 1]
+        return list(zip(self.succ_dst[lo:hi], self.succ_w[lo:hi]))
+
+    def predecessors(self, i: int) -> List[Tuple[int, int]]:
+        """``(source index, edge weight)`` pairs of index ``i``."""
+        lo, hi = self.pred_off[i], self.pred_off[i + 1]
+        return list(zip(self.pred_src[lo:hi], self.pred_w[lo:hi]))
+
+    # ------------------------------------------------------------------
+    # Cached distance analyses (Definition 1 vocabulary).
+
+    def source_distance_array(self) -> List[int]:
+        """``||<-v||`` per index (shared list; do not mutate)."""
+        if self._sdist is None:
+            sdist = [0] * len(self.ids)
+            delays = self.delays
+            pred_off, pred_src, pred_w = (
+                self.pred_off,
+                self.pred_src,
+                self.pred_w,
+            )
+            for u in self._topo:
+                best = 0
+                for k in range(pred_off[u], pred_off[u + 1]):
+                    cand = sdist[pred_src[k]] + pred_w[k]
+                    if cand > best:
+                        best = cand
+                sdist[u] = best + delays[u]
+            self._sdist = sdist
+        return self._sdist
+
+    def sink_distance_array(self) -> List[int]:
+        """``||v->||`` per index (shared list; do not mutate)."""
+        if self._tdist is None:
+            tdist = [0] * len(self.ids)
+            delays = self.delays
+            succ_off, succ_dst, succ_w = (
+                self.succ_off,
+                self.succ_dst,
+                self.succ_w,
+            )
+            for u in reversed(self._topo):
+                best = 0
+                for k in range(succ_off[u], succ_off[u + 1]):
+                    cand = tdist[succ_dst[k]] + succ_w[k]
+                    if cand > best:
+                        best = cand
+                tdist[u] = best + delays[u]
+            self._tdist = tdist
+        return self._tdist
+
+    def diameter(self) -> int:
+        """``||G||``: the critical-path length (0 for the empty graph)."""
+        if self._diameter is None:
+            if not self.ids:
+                self._diameter = 0
+            else:
+                sdist = self.source_distance_array()
+                tdist = self.sink_distance_array()
+                delays = self.delays
+                self._diameter = max(
+                    sdist[i] + tdist[i] - delays[i]
+                    for i in range(len(self.ids))
+                )
+        return self._diameter
+
+    def __repr__(self):
+        return (
+            f"GraphView(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"version={self.version})"
+        )

@@ -16,11 +16,15 @@ from repro.scheduling.base import (
     validate_schedule,
 )
 from repro.scheduling.asap_alap import asap_schedule, alap_schedule
+from repro.scheduling.frames import FrameEngine
 from repro.scheduling.list_scheduler import (
     ListPriority,
     list_schedule,
 )
-from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.force_directed import (
+    force_directed_schedule,
+    force_directed_schedule_reference,
+)
 from repro.scheduling.exact import exact_schedule
 from repro.scheduling.simulator import evaluate_dfg, simulate_schedule
 
@@ -34,9 +38,11 @@ __all__ = [
     "validate_schedule",
     "asap_schedule",
     "alap_schedule",
+    "FrameEngine",
     "ListPriority",
     "list_schedule",
     "force_directed_schedule",
+    "force_directed_schedule_reference",
     "exact_schedule",
     "evaluate_dfg",
     "simulate_schedule",

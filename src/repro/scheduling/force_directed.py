@@ -8,14 +8,26 @@ produce latency/resource trade-off curves.
 
 Implementation notes
 --------------------
-* Time frames are the ASAP/ALAP windows, recomputed after each
-  assignment (fixing an op tightens its neighbours' frames).
+* Time frames are the ASAP/ALAP windows.  :func:`force_directed_schedule`
+  maintains them incrementally through a
+  :class:`~repro.scheduling.frames.FrameEngine` (fixing an op
+  delta-propagates the narrowing to its cone) instead of the
+  full-recompute sweep of the reference implementation.
 * The distribution graph for a unit type spreads each op's occupancy
   probability uniformly over its feasible start steps, accounting for
   multi-cycle delays.
 * The force of fixing op ``o`` at step ``s`` is the classic self force
   plus predecessor/successor forces (their self forces under the frames
-  implied by the assignment).
+  implied by the assignment).  The fast path evaluates every candidate
+  in O(degree) amortized via per-type prefix sums over the distribution
+  graph; candidates within :data:`FORCE_TIE_EPS` of the best are then
+  re-scored with the reference force kernels (same floats, same
+  tie-break), so the fast and reference schedulers pick the *identical*
+  op/step sequence — asserted op-for-op by the equivalence tests.
+
+:func:`force_directed_schedule_reference` is the pre-optimization
+O(V^2 * L^2)-ish implementation, kept verbatim as the equivalence/perf
+oracle (``benchmarks/perf_kernels.py`` measures the speedup against it).
 """
 
 from __future__ import annotations
@@ -26,7 +38,14 @@ from repro.errors import GraphError, SchedulingError
 from repro.ir.dfg import DataFlowGraph
 from repro.ir.analysis import diameter
 from repro.scheduling.base import Schedule
+from repro.scheduling.frames import FrameEngine
 from repro.scheduling.resources import FuType, ResourceSet
+
+#: Candidates whose prefix-sum force lies within this of the minimum are
+#: re-scored with the reference kernels before the winner is picked.
+#: Must exceed the float drift between the two summation orders (~1e-10
+#: on benchmark-sized graphs) for the fast path to stay bit-compatible.
+FORCE_TIE_EPS = 1e-6
 
 
 def _frames(
@@ -34,7 +53,11 @@ def _frames(
     latency: int,
     fixed: Dict[str, int],
 ) -> Dict[str, Tuple[int, int]]:
-    """ASAP/ALAP start windows honouring already-fixed ops."""
+    """ASAP/ALAP start windows honouring already-fixed ops.
+
+    Full-recompute reference; the incremental counterpart is
+    :class:`~repro.scheduling.frames.FrameEngine`.
+    """
     order = dfg.topological_order()
     asap: Dict[str, int] = {}
     for node_id in order:
@@ -119,12 +142,201 @@ def force_directed_schedule(
     resources: ResourceSet,
     latency: Optional[int] = None,
 ) -> Schedule:
-    """Time-constrained force-directed scheduling.
+    """Time-constrained force-directed scheduling (incremental kernels).
 
     ``latency`` defaults to the critical-path length.  ``resources`` is
     used for the op->unit-type mapping of the distribution graphs; the
     returned schedule reports (rather than enforces) per-type peak usage
     via :meth:`Schedule.usage_profile`.
+
+    Produces the same schedule, op for op, as
+    :func:`force_directed_schedule_reference`.
+    """
+    span = diameter(dfg)
+    if latency is None:
+        latency = span
+    if latency < span:
+        raise GraphError(
+            f"latency {latency} below critical path length {span}"
+        )
+    view = dfg.view()
+    n = view.num_nodes
+    if n == 0:
+        return Schedule(
+            dfg=dfg,
+            start_times={},
+            resources=resources,
+            algorithm="force-directed",
+        )
+
+    engine = FrameEngine(dfg, latency)
+    lo, hi = engine.lo, engine.hi
+    ids = view.ids
+    delays = view.delays
+    nodes = dfg.node_objects()
+    fu_of = [resources.fu_for_op(node.op) for node in nodes]
+    spans = [max(1, d) for d in delays]
+    in_list = [view.predecessors(i) for i in range(n)]
+    out_list = [view.successors(i) for i in range(n)]
+
+    fixed: Dict[str, int] = {}
+    pending: Dict[int, None] = dict.fromkeys(range(n))
+    L = latency
+
+    def range_sum(alpha, beta, sp, prefix, double_prefix, total):
+        """``sum(SP[min(s + sp, L)] - SP[s] for s in [alpha, beta])``."""
+        tail = L - sp
+        if beta <= tail:
+            clipped = double_prefix[beta + sp + 1] - double_prefix[alpha + sp]
+        elif alpha > tail:
+            clipped = (beta - alpha + 1) * total
+        else:
+            clipped = (
+                double_prefix[tail + sp + 1]
+                - double_prefix[alpha + sp]
+                + (beta - tail) * total
+            )
+        return clipped - (double_prefix[beta + 1] - double_prefix[alpha])
+
+    while pending:
+        # Ops whose frame is already a single step are fixed for free.
+        trivially_fixed = [i for i in pending if lo[i] == hi[i]]
+        if trivially_fixed:
+            for i in trivially_fixed:
+                fixed[ids[i]] = lo[i]
+                engine.fix(ids[i], lo[i])
+                del pending[i]
+            continue
+
+        frames = {ids[i]: (lo[i], hi[i]) for i in view.topo_indices()}
+        # The distribution graphs are rebuilt (not patched per narrowed
+        # frame): the rebuild reproduces the reference implementation's
+        # float summation order exactly, which the near-tie refinement
+        # below needs to stay bit-compatible with it.
+        dist = _distribution(dfg, resources, frames, latency)
+
+        # Per-type prefix sums: SP[k] = sum(dist[:k]), SSP[k] =
+        # sum(SP[:k]).  They turn each candidate force into O(degree).
+        prefix: Dict[FuType, List[float]] = {}
+        double_prefix: Dict[FuType, List[float]] = {}
+        for fu, arr in dist.items():
+            sp_arr = [0.0] * (L + 1)
+            acc = 0.0
+            for step, value in enumerate(arr):
+                acc += value
+                sp_arr[step + 1] = acc
+            ssp_arr = [0.0] * (L + 2)
+            acc = 0.0
+            for k, value in enumerate(sp_arr):
+                acc += value
+                ssp_arr[k + 1] = acc
+            prefix[fu] = sp_arr
+            double_prefix[fu] = ssp_arr
+
+        # Constant (start-independent) part of each op's self force: the
+        # distribution mass its current uniform spread already claims.
+        base_part = [0.0] * n
+        for i in range(n):
+            fu = fu_of[i]
+            if fu is None:
+                continue
+            base_part[i] = range_sum(
+                lo[i],
+                hi[i],
+                spans[i],
+                prefix[fu],
+                double_prefix[fu],
+                prefix[fu][L],
+            ) / (hi[i] - lo[i] + 1)
+
+        candidates: List[Tuple[float, int, int]] = []
+        for i in pending:
+            fu = fu_of[i]
+            li, hi_i = lo[i], hi[i]
+            delay_i = delays[i]
+            span_i = spans[i]
+            preds = in_list[i]
+            succs = out_list[i]
+            for start in range(li, hi_i + 1):
+                force = 0.0
+                if fu is not None:
+                    sp_arr = prefix[fu]
+                    force += (
+                        sp_arr[min(start + span_i, L)]
+                        - sp_arr[start]
+                        - base_part[i]
+                    )
+                for p, w in preds:
+                    fu_p = fu_of[p]
+                    if fu_p is None:
+                        continue
+                    new_hi = start - w - delays[p]
+                    if new_hi < hi[p] and new_hi >= lo[p]:
+                        force += range_sum(
+                            lo[p],
+                            new_hi,
+                            spans[p],
+                            prefix[fu_p],
+                            double_prefix[fu_p],
+                            prefix[fu_p][L],
+                        ) / (new_hi - lo[p] + 1) - base_part[p]
+                for s, w in succs:
+                    fu_s = fu_of[s]
+                    if fu_s is None:
+                        continue
+                    new_lo = start + delay_i + w
+                    if new_lo > lo[s] and new_lo <= hi[s]:
+                        force += range_sum(
+                            new_lo,
+                            hi[s],
+                            spans[s],
+                            prefix[fu_s],
+                            double_prefix[fu_s],
+                            prefix[fu_s][L],
+                        ) / (hi[s] - new_lo + 1) - base_part[s]
+                candidates.append((force, i, start))
+
+        threshold = min(c[0] for c in candidates) + FORCE_TIE_EPS
+        best: Optional[Tuple[float, str, int]] = None
+        for approx, i, start in candidates:
+            if approx > threshold:
+                continue
+            node_id = ids[i]
+            force = 0.0
+            if fu_of[i] is not None:
+                force += _self_force(
+                    delays[i], dist[fu_of[i]], (lo[i], hi[i]), start, latency
+                )
+            force += _neighbour_forces(
+                dfg, resources, frames, dist, node_id, start, latency
+            )
+            key = (force, node_id, start)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        _, chosen, start = best
+        engine.fix(chosen, start)
+        fixed[chosen] = start
+        del pending[view.index[chosen]]
+
+    return Schedule(
+        dfg=dfg,
+        start_times=fixed,
+        resources=resources,
+        algorithm="force-directed",
+    )
+
+
+def force_directed_schedule_reference(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    latency: Optional[int] = None,
+) -> Schedule:
+    """The pre-optimization FDS: full frame/force recompute per fixing.
+
+    Kept as the oracle for the equivalence tests and the perf
+    microbench; produces the same schedules as
+    :func:`force_directed_schedule`.
     """
     span = diameter(dfg)
     if latency is None:

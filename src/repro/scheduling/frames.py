@@ -1,0 +1,211 @@
+"""Incremental ASAP/ALAP time-frame maintenance.
+
+A *time frame* is the ``[ASAP, ALAP]`` start window of an operation
+under a latency bound and a set of already-fixed operations — the core
+quantity of force-directed scheduling and of any schedule validator.
+The textbook way to honour a new fixing decision is a full O(V+E)
+recompute of every window; :class:`FrameEngine` instead delta-propagates
+the effect of one :meth:`fix` along the affected cone only, which makes
+the repeated-rescheduling loops (FDS fixing sweeps, soft-schedule
+hardening checks) cheap.
+
+The engine works in the integer index space of the graph's compiled
+:class:`~repro.ir.graph_view.GraphView` and maintains two invariants
+after every successful ``fix``:
+
+* ``lo[v] >= lo[p] + delay(p) + weight(p, v)`` for every edge ``p -> v``
+  (and symmetrically for ``hi``), and
+* ``lo[v] <= hi[v]`` for every operation.
+
+Because windows only ever *tighten* and the propagation operator is the
+same max/min used by the full recompute, the maintained frames are
+exactly what a from-scratch recompute with the accumulated fixings
+would produce — property-tested against the reference implementation in
+``tests/scheduling/test_frames.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import GraphError, SchedulingError, UnknownNodeError
+from repro.ir.dfg import DataFlowGraph
+
+__all__ = ["FrameEngine"]
+
+#: One reported frame change: ``(node_id, old_lo, old_hi, new_lo,
+#: new_hi)``.
+FrameChange = Tuple[str, int, int, int, int]
+
+
+class FrameEngine:
+    """Delta-propagating ASAP/ALAP windows over one graph snapshot.
+
+    Parameters
+    ----------
+    dfg:
+        The graph to maintain frames for.  The engine snapshots the
+        graph's :meth:`~repro.ir.dfg.DataFlowGraph.view`; mutating the
+        graph afterwards invalidates the engine (build a fresh one).
+    latency:
+        Deadline (number of control steps).  Defaults to the critical
+        path length; a smaller value raises :class:`GraphError`.
+    """
+
+    def __init__(self, dfg: DataFlowGraph, latency: int = None):
+        view = dfg.view()
+        span = view.diameter()
+        if latency is None:
+            latency = span
+        elif latency < span:
+            raise GraphError(
+                f"latency {latency} is below the critical path length {span}"
+            )
+        self.dfg = dfg
+        self.view = view
+        self.latency = latency
+        delays = view.delays
+        sdist = view.source_distance_array()
+        tdist = view.sink_distance_array()
+        n = view.num_nodes
+        #: Live window bounds per view index (read-only for callers).
+        self.lo: List[int] = [sdist[i] - delays[i] for i in range(n)]
+        self.hi: List[int] = [latency - tdist[i] for i in range(n)]
+        self._fixed: List[bool] = [False] * n
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    def _index(self, node_id: str) -> int:
+        try:
+            return self.view.index[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def frame(self, node_id: str) -> Tuple[int, int]:
+        """The current ``(ASAP, ALAP)`` start window of ``node_id``."""
+        i = self._index(node_id)
+        return self.lo[i], self.hi[i]
+
+    def width(self, node_id: str) -> int:
+        """Number of feasible start steps left for ``node_id``."""
+        i = self._index(node_id)
+        return self.hi[i] - self.lo[i] + 1
+
+    def is_fixed(self, node_id: str) -> bool:
+        return self._fixed[self._index(node_id)]
+
+    def frames_dict(self) -> Dict[str, Tuple[int, int]]:
+        """All windows as ``{node id: (lo, hi)}`` in topological order.
+
+        Matches the shape (and iteration order) of the full-recompute
+        reference, so the two are directly comparable in tests.
+        """
+        ids = self.view.ids
+        lo, hi = self.lo, self.hi
+        return {ids[i]: (lo[i], hi[i]) for i in self.view.topo_indices()}
+
+    # ------------------------------------------------------------------
+    # The one mutator.
+
+    def fix(self, node_id: str, step: int) -> List[FrameChange]:
+        """Pin ``node_id`` to start at ``step`` and propagate.
+
+        ``step`` must lie inside the operation's current window.  The
+        effect — successors' ASAPs rising, predecessors' ALAPs falling —
+        is pushed along the affected cone only.  Returns every window
+        that changed (the fixed operation first) for callers that want
+        to react to the narrowing; the in-tree schedulers read the
+        updated windows directly and ignore the return value.
+
+        Raises :class:`SchedulingError` if ``step`` is outside the
+        window or the propagation would make any frame (including an
+        already-fixed operation's) infeasible; the engine state is
+        only safe for continued use when ``fix`` returns normally.
+        """
+        i = self._index(node_id)
+        lo, hi = self.lo, self.hi
+        if step < lo[i]:
+            raise SchedulingError(
+                f"fixed time {step} for {node_id} violates precedence "
+                f"(needs >= {lo[i]})"
+            )
+        if step > hi[i]:
+            raise SchedulingError(
+                f"fixed time {step} for {node_id} violates its deadline "
+                f"(needs <= {hi[i]})"
+            )
+        view = self.view
+        ids = view.ids
+        delays = view.delays
+        changed: Dict[int, Tuple[int, int]] = {}
+        if lo[i] != step or hi[i] != step:
+            changed[i] = (lo[i], hi[i])
+            lo[i] = hi[i] = step
+        self._fixed[i] = True
+
+        fixed = self._fixed
+        succ_off, succ_dst, succ_w = view.succ_off, view.succ_dst, view.succ_w
+        pred_off, pred_src, pred_w = view.pred_off, view.pred_src, view.pred_w
+
+        # Forward: raise descendants' ASAPs.
+        stack = [i]
+        while stack:
+            u = stack.pop()
+            base = lo[u] + delays[u]
+            for k in range(succ_off[u], succ_off[u + 1]):
+                v = succ_dst[k]
+                nlo = base + succ_w[k]
+                if nlo <= lo[v]:
+                    continue
+                if fixed[v]:
+                    raise SchedulingError(
+                        f"fixed time {lo[v]} for {ids[v]} violates "
+                        f"precedence (needs >= {nlo})"
+                    )
+                if nlo > hi[v]:
+                    raise SchedulingError(
+                        f"infeasible frame for {ids[v]}: [{nlo}, {hi[v]}] "
+                        f"within latency {self.latency}"
+                    )
+                if v not in changed:
+                    changed[v] = (lo[v], hi[v])
+                lo[v] = nlo
+                stack.append(v)
+
+        # Backward: lower ancestors' ALAPs.
+        stack = [i]
+        while stack:
+            u = stack.pop()
+            cap = hi[u]
+            for k in range(pred_off[u], pred_off[u + 1]):
+                p = pred_src[k]
+                nhi = cap - pred_w[k] - delays[p]
+                if nhi >= hi[p]:
+                    continue
+                if fixed[p]:
+                    raise SchedulingError(
+                        f"fixed time {hi[p]} for {ids[p]} violates the "
+                        f"deadline of {ids[u]} (needs <= {nhi})"
+                    )
+                if nhi < lo[p]:
+                    raise SchedulingError(
+                        f"infeasible frame for {ids[p]}: [{lo[p]}, {nhi}] "
+                        f"within latency {self.latency}"
+                    )
+                if p not in changed:
+                    changed[p] = (lo[p], hi[p])
+                hi[p] = nhi
+                stack.append(p)
+
+        return [
+            (ids[j], old_lo, old_hi, lo[j], hi[j])
+            for j, (old_lo, old_hi) in changed.items()
+        ]
+
+    def __repr__(self):
+        done = sum(1 for f in self._fixed if f)
+        return (
+            f"FrameEngine(ops={self.view.num_nodes}, fixed={done}, "
+            f"latency={self.latency})"
+        )

@@ -23,12 +23,13 @@ are placed at their earliest feasible step.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import InfeasibleError
-from repro.ir.analysis import mobility, sink_distances
+from repro.ir.analysis import sink_distances
 from repro.ir.dfg import DataFlowGraph
 from repro.scheduling.base import Schedule
+from repro.scheduling.frames import FrameEngine
 from repro.scheduling.resources import FuType, ResourceSet
 
 
@@ -64,8 +65,12 @@ def list_schedule(
     # earliest[n]: earliest start once all preds are done (edge weights in).
     earliest: Dict[str, int] = {n: 0 for n in dfg.nodes()}
     # ready pool: ops whose preds have all been *scheduled* (their finish
-    # times known); each becomes startable at earliest[n].
-    ready: List[str] = [n for n in dfg.nodes() if remaining_preds[n] == 0]
+    # times known); each becomes startable at earliest[n].  An
+    # insertion-ordered dict-as-set keeps the O(n) list.remove() out of
+    # the inner loop while preserving the deterministic pool order.
+    ready: Dict[str, None] = dict.fromkeys(
+        n for n in dfg.nodes() if remaining_preds[n] == 0
+    )
     arrival: Dict[str, int] = {n: 0 for n in ready}
 
     start_times: Dict[str, int] = {}
@@ -89,7 +94,7 @@ def list_schedule(
             earliest[succ] = max(earliest[succ], finish + edge.weight)
             remaining_preds[succ] -= 1
             if remaining_preds[succ] == 0:
-                ready.append(succ)
+                ready[succ] = None
                 arrival[succ] = earliest[succ]
 
     while scheduled < total:
@@ -102,7 +107,7 @@ def list_schedule(
         # unit-allocation loop.
         for node_id in list(ready):
             if dfg.node(node_id).op.is_structural and earliest[node_id] <= step:
-                ready.remove(node_id)
+                del ready[node_id]
                 start_times[node_id] = step
                 scheduled += 1
                 on_scheduled(node_id, step)
@@ -122,7 +127,7 @@ def list_schedule(
             unit = _free_unit(busy_until, resources, fu_type, step)
             if unit is None:
                 continue
-            ready.remove(node_id)
+            del ready[node_id]
             start_times[node_id] = step
             binding[node_id] = unit
             busy_until[unit] = step + max(1, dfg.delay(node_id))
@@ -150,8 +155,10 @@ def _priority_keys(
         tdist = sink_distances(dfg)
         return {n: (-tdist[n], order_index[n]) for n in dfg.nodes()}
     if priority is ListPriority.MOBILITY:
-        mob = mobility(dfg)
-        return {n: (mob[n], order_index[n]) for n in dfg.nodes()}
+        # Mobility is the initial frame width minus one; the frame
+        # engine serves it straight off the cached graph view.
+        frames = FrameEngine(dfg)
+        return {n: (frames.width(n) - 1, order_index[n]) for n in dfg.nodes()}
     if priority is ListPriority.READY_ORDER:
         return {n: (0, order_index[n]) for n in dfg.nodes()}
     raise ValueError(f"unknown priority {priority!r}")

@@ -142,6 +142,9 @@ class RequestCoalescer:
                 self.metrics.cache_hits += 1
             else:
                 self.metrics.computed += 1
+                self.metrics.record_compute(
+                    result.algorithm, result.runtime_s
+                )
             if not future.done():
                 future.set_result(result)
 

@@ -11,19 +11,18 @@ latencies.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Dict, List
+from typing import Any, Dict
+
+from repro.engine.bench import percentile
+
+__all__ = ["ServiceMetrics", "percentile"]
 
 #: How many recent request latencies feed the percentile estimates.
 LATENCY_WINDOW = 1024
 
-
-def percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[rank]
+#: Per-algorithm compute-time window (fresh computations only), sized
+#: smaller than the request window since computes are the rarer event.
+COMPUTE_WINDOW = 256
 
 
 class ServiceMetrics:
@@ -51,6 +50,11 @@ class ServiceMetrics:
         Non-2xx responses other than 429 (bad request, not found, ...).
     ``batches``
         Micro-batch flushes into the engine.
+    ``compute_seconds_total``
+        Scheduler CPU-seconds actually spent (fresh computations only —
+        cache hits and coalesced requests add nothing), also broken
+        down per algorithm under ``algorithms`` with p50/p95 compute
+        latencies, so serving hot spots are visible from ``/metrics``.
     """
 
     def __init__(self) -> None:
@@ -64,10 +68,27 @@ class ServiceMetrics:
         self.batches = 0
         self.in_flight = 0
         self.queued_jobs = 0
+        self.compute_seconds_total = 0.0
         self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        self._compute: Dict[str, Dict[str, Any]] = {}
 
     def observe_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
+
+    def record_compute(self, algorithm: str, seconds: float) -> None:
+        """Account one fresh scheduler computation to ``algorithm``."""
+        self.compute_seconds_total += seconds
+        entry = self._compute.get(algorithm)
+        if entry is None:
+            entry = {
+                "computed": 0,
+                "seconds_total": 0.0,
+                "window": deque(maxlen=COMPUTE_WINDOW),
+            }
+            self._compute[algorithm] = entry
+        entry["computed"] += 1
+        entry["seconds_total"] += seconds
+        entry["window"].append(seconds)
 
     def snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` payload (plain JSON-safe dict)."""
@@ -86,4 +107,20 @@ class ServiceMetrics:
             "latency_p50_ms": percentile(window, 0.50) * 1000.0,
             "latency_p95_ms": percentile(window, 0.95) * 1000.0,
             "latency_samples": len(window),
+            "compute_seconds_total": self.compute_seconds_total,
+            "algorithms": {
+                algorithm: {
+                    "computed": entry["computed"],
+                    "seconds_total": entry["seconds_total"],
+                    "compute_p50_ms": percentile(
+                        list(entry["window"]), 0.50
+                    )
+                    * 1000.0,
+                    "compute_p95_ms": percentile(
+                        list(entry["window"]), 0.95
+                    )
+                    * 1000.0,
+                }
+                for algorithm, entry in sorted(self._compute.items())
+            },
         }

@@ -1,0 +1,148 @@
+"""Tests for the compiled CSR graph view and its cache invalidation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CycleError
+from repro.graphs import hal
+from repro.graphs.random_dags import random_layered_dag
+from repro.ir import DataFlowGraph, GraphView, OpKind
+from repro.ir.analysis import diameter, source_distances
+
+
+def legacy_topological_order(dfg):
+    """Kahn over the dict-of-dicts structures (the pre-view algorithm)."""
+    in_deg = {n: dfg.in_degree(n) for n in dfg.nodes()}
+    ready = [n for n in dfg.nodes() if in_deg[n] == 0]
+    order = []
+    head = 0
+    while head < len(ready):
+        node = ready[head]
+        head += 1
+        order.append(node)
+        for succ in dfg.successors(node):
+            in_deg[succ] -= 1
+            if in_deg[succ] == 0:
+                ready.append(succ)
+    return order
+
+
+class TestCsrStructure:
+    def test_mirrors_graph_adjacency(self):
+        g = hal()
+        view = g.view()
+        assert view.ids == g.nodes()
+        assert view.num_nodes == g.num_nodes
+        assert view.num_edges == g.num_edges
+        for node_id in g.nodes():
+            i = view.index[node_id]
+            assert view.delays[i] == g.delay(node_id)
+            succs = [
+                (view.ids[j], w) for j, w in view.successors(i)
+            ]
+            assert succs == [
+                (e.dst, e.weight) for e in g.out_edges(node_id)
+            ]
+            preds = [
+                (view.ids[j], w) for j, w in view.predecessors(i)
+            ]
+            assert preds == [
+                (e.src, e.weight) for e in g.in_edges(node_id)
+            ]
+
+    def test_empty_graph(self):
+        g = DataFlowGraph()
+        assert g.view().diameter() == 0
+        assert g.topological_order() == []
+
+    def test_cycle_raises_cycle_error(self):
+        g = DataFlowGraph()
+        g.add_node("a", OpKind.ADD)
+        g.add_node("b", OpKind.ADD)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(CycleError):
+            g.topological_order()
+        assert not g.is_dag()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 999))
+    def test_topo_matches_legacy_order(self, size, seed):
+        g = random_layered_dag(size, seed=seed)
+        assert g.topological_order() == legacy_topological_order(g)
+
+
+class TestCaching:
+    def test_view_cached_between_mutations(self):
+        g = hal()
+        first = g.view()
+        assert g.view() is first
+        g.add_node("extra", OpKind.ADD)
+        assert g.view() is not first
+
+    def test_structural_mutations_invalidate(self):
+        g = DataFlowGraph()
+        g.add_node("a", OpKind.ADD, delay=1)
+        g.add_node("b", OpKind.ADD, delay=1)
+        assert diameter(g) == 1
+        g.add_edge("a", "b")
+        assert diameter(g) == 2
+        g.remove_edge("a", "b")
+        assert diameter(g) == 1
+        g.add_edge("a", "b")
+        g.remove_node("b")
+        assert diameter(g) == 1
+
+    def test_inplace_delay_write_invalidates(self):
+        g = hal()
+        before = diameter(g)
+        node = g.node(g.nodes()[0])
+        node.delay = node.delay + 10
+        assert diameter(g) == before + 10
+
+    def test_inplace_weight_write_invalidates(self):
+        g = DataFlowGraph()
+        g.add_node("a", OpKind.ADD, delay=1)
+        g.add_node("b", OpKind.ADD, delay=1)
+        g.add_edge("a", "b")
+        assert diameter(g) == 2
+        g.edge("a", "b").weight = 5
+        assert diameter(g) == 7
+
+    def test_inplace_op_write_invalidates(self):
+        g = DataFlowGraph()
+        g.add_node("a", OpKind.ADD, delay=1)
+        first = g.view()
+        g.node("a").op = OpKind.MUL
+        assert g.view() is not first
+
+    def test_touch_forces_rebuild(self):
+        g = hal()
+        first = g.view()
+        g.touch()
+        assert g.view() is not first
+
+    def test_copy_starts_with_fresh_cache(self):
+        g = hal()
+        g.view()
+        clone = g.copy()
+        assert clone.view().topological_ids() == g.topological_order()
+
+
+class TestDistances:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=50), st.integers(0, 500))
+    def test_arrays_match_dict_analyses(self, size, seed):
+        g = random_layered_dag(size, seed=seed)
+        view = g.view()
+        sdist = view.source_distance_array()
+        expected = source_distances(g)
+        assert {
+            view.ids[i]: sdist[i] for i in range(view.num_nodes)
+        } == expected
+
+    def test_fresh_view_equals_cached_view(self):
+        g = hal()
+        assert GraphView(g).diameter() == g.view().diameter()
+        assert GraphView(g).topological_ids() == g.topological_order()

@@ -1,0 +1,146 @@
+"""FrameEngine tests: delta-propagation must equal full recompute."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, SchedulingError, UnknownNodeError
+from repro.graphs import hal
+from repro.graphs.random_dags import (
+    random_expression_dag,
+    random_layered_dag,
+)
+from repro.ir.analysis import alap_times, asap_times, diameter, mobility
+from repro.scheduling import FrameEngine
+from repro.scheduling.force_directed import _frames
+
+_FAMILIES = {
+    "layered": random_layered_dag,
+    "expression": random_expression_dag,
+}
+
+
+class TestInitialFrames:
+    def test_matches_full_recompute_with_nothing_fixed(self):
+        g = hal()
+        latency = diameter(g) + 2
+        engine = FrameEngine(g, latency)
+        assert engine.frames_dict() == _frames(g, latency, {})
+
+    def test_default_latency_is_critical_path(self):
+        g = hal()
+        engine = FrameEngine(g)
+        assert engine.latency == diameter(g)
+        asap = asap_times(g)
+        alap = alap_times(g)
+        for node_id in g.nodes():
+            assert engine.frame(node_id) == (asap[node_id], alap[node_id])
+
+    def test_latency_below_critical_path_rejected(self):
+        g = hal()
+        with pytest.raises(GraphError):
+            FrameEngine(g, latency=diameter(g) - 1)
+
+    def test_width_is_mobility_plus_one(self):
+        g = hal()
+        engine = FrameEngine(g)
+        mob = mobility(g)
+        for node_id in g.nodes():
+            assert engine.width(node_id) == mob[node_id] + 1
+
+
+class TestFix:
+    def test_unknown_node(self):
+        engine = FrameEngine(hal())
+        with pytest.raises(UnknownNodeError):
+            engine.fix("nope", 0)
+
+    def test_fix_outside_window_raises(self):
+        g = hal()
+        engine = FrameEngine(g, diameter(g) + 1)
+        node_id = g.nodes()[0]
+        lo, hi = engine.frame(node_id)
+        with pytest.raises(SchedulingError):
+            engine.fix(node_id, hi + 1)
+        with pytest.raises(SchedulingError):
+            FrameEngine(g, diameter(g) + 1).fix(node_id, lo - 1)
+
+    def test_fix_marks_and_narrows(self):
+        g = hal()
+        latency = diameter(g) + 3
+        engine = FrameEngine(g, latency)
+        node_id = g.nodes()[0]
+        lo, hi = engine.frame(node_id)
+        changed = engine.fix(node_id, hi)
+        assert engine.is_fixed(node_id)
+        assert engine.frame(node_id) == (hi, hi)
+        assert changed[0] == (node_id, lo, hi, hi, hi)
+        # Every reported change really narrowed a window.
+        for _, old_lo, old_hi, new_lo, new_hi in changed:
+            assert (new_lo, new_hi) != (old_lo, old_hi)
+            assert new_lo >= old_lo and new_hi <= old_hi
+
+    def test_refix_at_same_step_is_a_noop(self):
+        g = hal()
+        engine = FrameEngine(g, diameter(g) + 1)
+        node_id = g.nodes()[0]
+        engine.fix(node_id, engine.frame(node_id)[0])
+        snapshot = engine.frames_dict()
+        assert engine.fix(node_id, engine.frame(node_id)[0]) == []
+        assert engine.frames_dict() == snapshot
+
+    def test_propagation_keeps_edge_invariants(self):
+        """Windows always honour every dependence after any fix."""
+        g = hal()
+        latency = diameter(g) + 3
+        engine = FrameEngine(g, latency)
+        for node_id in g.topological_order():
+            engine.fix(node_id, engine.frame(node_id)[1])
+            for edge in g.edges():
+                lo_src, hi_src = engine.frame(edge.src)
+                lo_dst, hi_dst = engine.frame(edge.dst)
+                gap = g.delay(edge.src) + edge.weight
+                assert lo_dst >= lo_src + gap
+                assert hi_src <= hi_dst - gap
+
+
+class TestIncrementalEqualsFullRecompute:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(["layered", "expression"]),
+        st.integers(min_value=4, max_value=40),
+        st.integers(0, 999),
+        st.integers(0, 4),
+        st.data(),
+    )
+    def test_random_fixing_sequences(self, family, size, seed, slack, data):
+        """After every fix, the engine equals a from-scratch recompute."""
+        g = _FAMILIES[family](size, seed=seed)
+        latency = diameter(g) + slack
+        engine = FrameEngine(g, latency)
+        fixed = {}
+        unfixed = list(g.nodes())
+        steps = data.draw(
+            st.integers(min_value=1, max_value=min(len(unfixed), 12))
+        )
+        for _ in range(steps):
+            node_id = data.draw(st.sampled_from(unfixed))
+            unfixed.remove(node_id)
+            lo, hi = engine.frame(node_id)
+            step = data.draw(st.integers(min_value=lo, max_value=hi))
+            engine.fix(node_id, step)
+            fixed[node_id] = step
+            assert engine.frames_dict() == _frames(g, latency, fixed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=4, max_value=40), st.integers(0, 500))
+    def test_asap_sweep_matches(self, size, seed):
+        """The FDS-like trajectory: fix everything at its current lo."""
+        g = random_layered_dag(size, seed=seed)
+        latency = diameter(g) + 2
+        engine = FrameEngine(g, latency)
+        fixed = {}
+        for node_id in g.topological_order():
+            engine.fix(node_id, engine.frame(node_id)[0])
+            fixed[node_id] = engine.frame(node_id)[0]
+        assert engine.frames_dict() == _frames(g, latency, fixed)

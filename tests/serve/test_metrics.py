@@ -1,5 +1,7 @@
 """Metrics tests: percentile math and snapshot shape."""
 
+import pytest
+
 from repro.serve.metrics import LATENCY_WINDOW, ServiceMetrics, percentile
 
 
@@ -59,3 +61,32 @@ class TestServiceMetrics:
         snapshot = metrics.snapshot()
         assert snapshot["latency_p50_ms"] in (10.0, 30.0)
         assert snapshot["latency_p95_ms"] == 30.0
+
+
+class TestComputeAccounting:
+    def test_record_compute_totals_and_breakdown(self):
+        metrics = ServiceMetrics()
+        metrics.record_compute("force-directed", 0.2)
+        metrics.record_compute("force-directed", 0.2)
+        metrics.record_compute("force-directed", 0.4)
+        metrics.record_compute("list(ready)", 0.1)
+        snapshot = metrics.snapshot()
+        assert snapshot["compute_seconds_total"] == pytest.approx(0.9)
+        fds = snapshot["algorithms"]["force-directed"]
+        assert fds["computed"] == 3
+        assert fds["seconds_total"] == pytest.approx(0.8)
+        assert fds["compute_p50_ms"] == pytest.approx(200.0)
+        assert fds["compute_p95_ms"] == pytest.approx(400.0)
+        assert snapshot["algorithms"]["list(ready)"]["computed"] == 1
+
+    def test_empty_breakdown(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["compute_seconds_total"] == 0.0
+        assert snapshot["algorithms"] == {}
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.record_compute("exact", 0.05)
+        json.dumps(metrics.snapshot())

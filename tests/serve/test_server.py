@@ -403,3 +403,55 @@ class TestServeCli:
             if process.poll() is None:
                 process.kill()
                 process.communicate(timeout=10)
+
+
+class TestStructuredFailuresAndComputeMetrics:
+    def _mul_only(self):
+        from repro.ir import DataFlowGraph, OpKind
+
+        g = DataFlowGraph(name="muls")
+        g.add_node("m1", OpKind.MUL)
+        g.add_node("m2", OpKind.MUL)
+        g.add_edge("m1", "m2")
+        return g
+
+    def test_infeasible_job_answers_structured_error(self, serve_factory):
+        """A resource set that cannot execute the graph is the job's
+        failure (deterministic 200 body with `error`), never a 500."""
+        _, _, client = serve_factory()
+        raw = client.schedule_raw(
+            dfg_to_dict(self._mul_only()), resources="1+/-"
+        )
+        assert raw.status == 200
+        body = raw.json()
+        assert body["length"] == -1
+        assert "no functional unit can execute" in body["error"]
+        # And byte-deterministic like any other response.
+        again = client.schedule_raw(
+            dfg_to_dict(self._mul_only()), resources="1+/-"
+        )
+        assert again.body == raw.body
+
+    def test_successful_jobs_carry_no_error(self, serve_factory):
+        _, _, client = serve_factory()
+        body = client.schedule("HAL")
+        assert body["error"] is None
+
+    def test_metrics_expose_compute_seconds_per_algorithm(
+        self, serve_factory
+    ):
+        server, _, client = serve_factory()
+        client.schedule("HAL", algorithm="meta2")
+        client.schedule("HAL", algorithm="fds")
+        client.schedule("HAL", algorithm="meta2")  # cache hit: no compute
+        metrics = client.metrics()
+        assert metrics["compute_seconds_total"] > 0
+        algos = metrics["algorithms"]
+        assert set(algos) == {"threaded(meta2)", "force-directed"}
+        for entry in algos.values():
+            assert entry["computed"] == 1
+            assert entry["seconds_total"] > 0
+            assert entry["compute_p95_ms"] >= entry["compute_p50_ms"] > 0
+        assert metrics["compute_seconds_total"] == pytest.approx(
+            sum(e["seconds_total"] for e in algos.values())
+        )
