@@ -15,6 +15,8 @@ schedule       schedule one benchmark: ``schedule HAL "2+/-,2*" meta2``
 batch          sweep jobs through the parallel batch engine
 bench          run the unified benchmark suite (``--check`` gates CI)
 serve          run the async scheduling service (JSON over HTTP)
+dispatch       route jobs across several serve replicas
+               (consistent-hash on the cache key, with failover)
 =============  ====================================================
 
 Exit codes: 0 success, 1 benchmark regression (``bench --check``),
@@ -117,6 +119,12 @@ def _cmd_serve(args) -> int:
     return cmd_serve(args)
 
 
+def _cmd_dispatch(args) -> int:
+    from repro.engine.cli import cmd_dispatch
+
+    return cmd_dispatch(args)
+
+
 _COMMANDS = {
     "figure3": _cmd_figure3,
     "figure1": _cmd_figure1,
@@ -128,6 +136,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "dispatch": _cmd_dispatch,
 }
 
 

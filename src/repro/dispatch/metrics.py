@@ -1,0 +1,105 @@
+"""Router-side counters for the dispatcher's ``GET /metrics``.
+
+These count what the *router* did — routing, coalescing, retries,
+failovers, membership changes.  What the *replicas* did (computes,
+cache hits, batch flushes) is scraped live from each replica's own
+``/metrics`` at snapshot time and aggregated next to these counters;
+see :meth:`repro.dispatch.router.DispatchRouter.cluster_metrics`.
+
+Everything here is mutated from the router's event loop, so plain
+attributes suffice — no locks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict
+
+from repro.engine.bench import percentile
+
+#: How many recent routed-request latencies feed the percentiles.
+LATENCY_WINDOW = 1024
+
+
+class DispatchMetrics:
+    """Counters and gauges for one router process.
+
+    Counter semantics:
+
+    ``requests``
+        Every HTTP request the router parsed, any endpoint or status.
+    ``schedule_requests``
+        ``POST /schedule`` requests admitted past validation.
+    ``routed``
+        Requests the router proxied to a replica (coalesced twins
+        never reach the network, so ``routed`` counts unique work).
+    ``coalesced``
+        Requests that attached to an identical in-flight exchange at
+        the router — answered without any network hop of their own.
+    ``retried``
+        Proxy attempts beyond a request's first (every extra ring
+        position tried, whether or not it eventually succeeded).
+    ``failed_over``
+        Requests answered by a replica other than their ring owner.
+    ``failed``
+        Requests for which every candidate replica failed (the client
+        saw 502/503).
+    ``ejected`` / ``readmitted``
+        Ring membership flips, from health probes or live failures.
+    """
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.schedule_requests = 0
+        self.routed = 0
+        self.coalesced = 0
+        self.retried = 0
+        self.failed_over = 0
+        self.failed = 0
+        self.errors = 0
+        self.ejected = 0
+        self.readmitted = 0
+        self.in_flight = 0
+        self.per_replica: Dict[str, Dict[str, int]] = {}
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def replica_entry(self, name: str) -> Dict[str, int]:
+        entry = self.per_replica.get(name)
+        if entry is None:
+            entry = {"routed": 0, "failures": 0}
+            self.per_replica[name] = entry
+        return entry
+
+    def record_routed(self, name: str) -> None:
+        self.routed += 1
+        self.replica_entry(name)["routed"] += 1
+
+    def record_failure(self, name: str) -> None:
+        self.replica_entry(name)["failures"] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The router section of ``/metrics`` (JSON-safe dict)."""
+        window = list(self._latencies)
+        return {
+            "requests": self.requests,
+            "schedule_requests": self.schedule_requests,
+            "routed": self.routed,
+            "coalesced": self.coalesced,
+            "retried": self.retried,
+            "failed_over": self.failed_over,
+            "failed": self.failed,
+            "errors": self.errors,
+            "ejected": self.ejected,
+            "readmitted": self.readmitted,
+            "in_flight": self.in_flight,
+            "latency_p50_ms": percentile(window, 0.50) * 1000.0,
+            "latency_p95_ms": percentile(window, 0.95) * 1000.0,
+            "latency_samples": len(window),
+            "per_replica": {
+                name: dict(entry)
+                for name, entry in sorted(self.per_replica.items())
+            },
+        }

@@ -1,0 +1,149 @@
+"""A minimal asyncio HTTP/1.1 client for router→replica exchanges.
+
+One connection per exchange, ``Connection: close``, no chunked
+encoding — the replicas are our own :mod:`repro.serve` processes, which
+always answer with a ``Content-Length``.  The response body is returned
+as raw bytes and relayed to the client untouched, which is how the
+dispatcher preserves the serving layer's byte-determinism contract.
+
+Failures callers must handle:
+
+``OSError``
+    Nothing listening (connection refused), reset mid-exchange, or any
+    other transport failure.
+``asyncio.TimeoutError``
+    The exchange as a whole exceeded ``timeout``.
+``ProxyProtocolError``
+    The replica answered something that is not parseable HTTP/1.1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+#: Bound on a replica's response head, mirroring the server's own cap.
+MAX_RESPONSE_HEAD = 64 * 1024
+
+#: Bound on a replica's response body (matches the request-body cap —
+#: responses carry at most one artifact per request).
+MAX_RESPONSE_BODY = 32 * 1024 * 1024
+
+
+class ProxyProtocolError(Exception):
+    """The replica answered bytes that do not parse as HTTP/1.1."""
+
+
+Exchange = Tuple[int, Dict[str, str], bytes]
+
+
+async def exchange(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> Exchange:
+    """One request/response against ``host:port``.
+
+    Returns ``(status, lowercase headers, body bytes)``.
+    """
+    return await asyncio.wait_for(
+        _exchange(host, port, method, path, body, headers),
+        timeout=timeout,
+    )
+
+
+async def _exchange(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes,
+    headers: Optional[Dict[str, str]],
+) -> Exchange:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(
+            "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body
+        )
+        await writer.drain()
+
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_RESPONSE_HEAD:
+            raise ProxyProtocolError("response head too large")
+        head_lines = head.decode("latin-1").split("\r\n")
+        status_parts = head_lines[0].split(None, 2)
+        if len(status_parts) < 2 or not status_parts[0].startswith(
+            "HTTP/1."
+        ):
+            raise ProxyProtocolError(
+                f"malformed status line: {head_lines[0]!r}"
+            )
+        try:
+            status = int(status_parts[1])
+        except ValueError:
+            raise ProxyProtocolError(
+                f"malformed status code: {status_parts[1]!r}"
+            )
+        response_headers: Dict[str, str] = {}
+        for line in head_lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                response_headers[name.strip().lower()] = value.strip()
+        length_text = response_headers.get("content-length")
+        if length_text is None:
+            # Our servers always set Content-Length; read to EOF as a
+            # fallback so a close-delimited body still round-trips.
+            # (One read() returns on the first buffered chunk — loop
+            # until the peer closes or the body exceeds its bound.)
+            chunks = []
+            received = 0
+            while received <= MAX_RESPONSE_BODY:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                received += len(chunk)
+            payload = b"".join(chunks)
+        else:
+            try:
+                length = int(length_text)
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise ProxyProtocolError(
+                    f"bad Content-Length: {length_text!r}"
+                )
+            if length > MAX_RESPONSE_BODY:
+                raise ProxyProtocolError("response body too large")
+            payload = (
+                await reader.readexactly(length) if length else b""
+            )
+        if len(payload) > MAX_RESPONSE_BODY:
+            raise ProxyProtocolError("response body too large")
+        return status, response_headers, payload
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError(
+            f"replica {host}:{port} closed mid-response"
+        ) from exc
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, RuntimeError):
+            pass

@@ -1,0 +1,521 @@
+"""The multi-replica job dispatcher (``repro dispatch``).
+
+One asyncio process that fronts N ``repro serve`` replicas:
+
+* ``POST /schedule`` bodies are validated with the exact same
+  :func:`repro.serve.protocol.parse_request` the replicas use (bad
+  requests bounce at the edge, before any network hop), the engine
+  cache key is computed via :class:`repro.engine.keys.CacheKeyResolver`,
+  and the request is proxied to the replica that owns that key on a
+  consistent-hash ring — so each replica's sharded result store stays
+  hot and a unique job is computed once *cluster-wide*.
+* Duplicate in-flight requests coalesce at the router: twins attach to
+  the owner exchange's future and never open a connection of their own.
+* Replica failures fail over: connection refused, a 5xx, and a
+  drain-in-progress 503 all retry the next distinct ring position with
+  the failed replica excluded; transport-level failures also eject the
+  replica from the ring until a health probe readmits it.
+* A background health loop probes every replica's ``/healthz`` and
+  flips ring membership accordingly.
+* ``GET /metrics`` aggregates: the router's own counters, each
+  replica's live ``/metrics``, and cluster totals summed across them.
+
+Determinism contract: the router *relays replica response bytes
+verbatim* (see :mod:`repro.dispatch.proxy`), so a given request body
+returns the same bytes whether the client asked a replica directly or
+went through the dispatcher.  Volatile routing provenance travels in
+headers (``X-Repro-Replica``, ``X-Repro-Attempts``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.keys import CacheKeyResolver
+from repro.errors import ReproError
+from repro.serve import protocol
+from repro.serve.http import Body, HttpServerCore
+from repro.dispatch import proxy
+from repro.dispatch.metrics import DispatchMetrics
+from repro.dispatch.ring import DEFAULT_VNODES, HashRing
+
+#: Seconds between health-probe sweeps over the replica set.
+DEFAULT_HEALTH_INTERVAL_S = 1.0
+
+#: Per-probe timeout (a replica slower than this counts as down).
+DEFAULT_PROBE_TIMEOUT_S = 2.0
+
+#: End-to-end timeout for one proxied /schedule exchange.
+DEFAULT_REQUEST_TIMEOUT_S = 120.0
+
+#: How long a graceful shutdown waits for in-flight proxied requests.
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
+
+#: One routed answer: status, extra headers, raw body bytes to relay.
+Routed = Tuple[int, Dict[str, str], bytes]
+
+
+def parse_replica(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT`` for localhost) -> (host, port)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", text
+    try:
+        port = int(port_text)
+        if not 0 < port < 65536:
+            raise ValueError
+    except ValueError:
+        raise ReproError(
+            f"malformed replica address {text!r}; expected HOST:PORT"
+        )
+    return host or "127.0.0.1", port
+
+
+class DispatchRouter(HttpServerCore):
+    """Consistent-hash router over ``repro serve`` replicas."""
+
+    def __init__(
+        self,
+        replicas: List[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = DEFAULT_VNODES,
+        health_interval_s: float = DEFAULT_HEALTH_INTERVAL_S,
+        probe_timeout_s: float = DEFAULT_PROBE_TIMEOUT_S,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+    ):
+        super().__init__(host=host, port=port)
+        if not replicas:
+            raise ReproError(
+                "a dispatcher needs at least one replica address"
+            )
+        self.replicas: Dict[str, Tuple[str, int]] = {}
+        for text in replicas:
+            replica_host, replica_port = parse_replica(text)
+            name = f"{replica_host}:{replica_port}"
+            if name in self.replicas:
+                raise ReproError(f"duplicate replica address {name!r}")
+            self.replicas[name] = (replica_host, replica_port)
+        self.ring = HashRing(self.replicas, vnodes=vnodes)
+        self.health_interval_s = health_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.metrics = DispatchMetrics()
+        self._keys = CacheKeyResolver()
+        self._down: Set[str] = set()
+        self._inflight: Dict[protocol.ScheduleRequest, asyncio.Future] = {}
+        self._health_task: Optional[asyncio.Task] = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    async def start(self) -> "DispatchRouter":
+        await self.listen()
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health_loop()
+        )
+        return self
+
+    async def stop(self) -> bool:
+        """Graceful drain: stop listening, finish in-flight proxying.
+
+        Returns True when every in-flight exchange resolved inside
+        ``drain_timeout_s``.
+        """
+        self._draining = True
+        await self.close_listener()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        drained = True
+        deadline = (
+            asyncio.get_running_loop().time() + self.drain_timeout_s
+        )
+        while self._inflight:
+            waiters = [
+                asyncio.shield(f) for f in list(self._inflight.values())
+            ]
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                drained = False
+                break
+            done, pending = await asyncio.wait(
+                waiters, timeout=remaining
+            )
+            for waiter in pending:
+                waiter.cancel()
+            if pending:
+                drained = False
+                break
+        return drained
+
+    # ------------------------------------------------------------------
+    # Replica membership.
+
+    @property
+    def up_replicas(self) -> List[str]:
+        return [name for name in self.replicas if name not in self._down]
+
+    def _eject(self, name: str) -> None:
+        if name not in self._down:
+            self._down.add(name)
+            self.metrics.ejected += 1
+
+    def _readmit(self, name: str) -> None:
+        if name in self._down:
+            self._down.discard(name)
+            self.metrics.readmitted += 1
+
+    async def _probe(self, name: str) -> bool:
+        """One health probe; True when the replica answered 200."""
+        replica_host, replica_port = self.replicas[name]
+        try:
+            status, _, _ = await proxy.exchange(
+                replica_host,
+                replica_port,
+                "GET",
+                "/healthz",
+                timeout=self.probe_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError, proxy.ProxyProtocolError):
+            return False
+        return status == 200
+
+    async def check_replicas(self) -> Dict[str, bool]:
+        """Probe every replica once and update ring membership."""
+        names = list(self.replicas)
+        healthy = await asyncio.gather(
+            *(self._probe(name) for name in names)
+        )
+        states: Dict[str, bool] = {}
+        for name, ok in zip(names, healthy):
+            states[name] = ok
+            if ok:
+                self._readmit(name)
+            else:
+                self._eject(name)
+        return states
+
+    async def _health_loop(self) -> None:
+        while True:
+            try:
+                await self.check_replicas()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A probe sweep must never kill the loop; individual
+                # probe failures are already folded into membership.
+                pass
+            await asyncio.sleep(self.health_interval_s)
+
+    # ------------------------------------------------------------------
+    # Routing.
+
+    def on_request_error(self) -> None:
+        self.metrics.errors += 1
+
+    async def dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Body, Dict[str, str]]:
+        self.metrics.requests += 1
+        if path == "/schedule":
+            if method != "POST":
+                self.metrics.errors += 1
+                return 405, protocol.error_payload(
+                    "use POST /schedule"
+                ), {}
+            return await self._handle_schedule(body)
+        if path == "/healthz":
+            if method != "GET":
+                self.metrics.errors += 1
+                return 405, protocol.error_payload("use GET /healthz"), {}
+            up = self.up_replicas
+            status = 503 if self._draining or not up else 200
+            return status, {
+                "status": "draining" if self._draining else (
+                    "ok" if up else "no-replicas"
+                ),
+                "role": "dispatcher",
+                "replicas_up": len(up),
+                "replicas_total": len(self.replicas),
+                "in_flight": self.metrics.in_flight,
+            }, {}
+        if path == "/metrics":
+            if method != "GET":
+                self.metrics.errors += 1
+                return 405, protocol.error_payload("use GET /metrics"), {}
+            return 200, await self.cluster_metrics(), {}
+        self.metrics.errors += 1
+        return 404, protocol.error_payload(
+            f"no such endpoint {path!r}; try POST /schedule, "
+            "GET /healthz, GET /metrics"
+        ), {}
+
+    async def _handle_schedule(
+        self, body: bytes
+    ) -> Tuple[int, Body, Dict[str, str]]:
+        try:
+            request = protocol.parse_request(body)
+        except protocol.ProtocolError as exc:
+            self.metrics.errors += 1
+            return exc.status, protocol.error_payload(str(exc)), {}
+        if self._draining:
+            self.metrics.errors += 1
+            return 503, protocol.error_payload(
+                "dispatcher is draining; retry shortly"
+            ), {"Retry-After": "1"}
+
+        self.metrics.schedule_requests += 1
+
+        # Coalesce at the router: a request identical to one already
+        # being proxied (same job *and* same shaping flags, so the
+        # response bytes match) attaches to that exchange's future and
+        # never costs a network hop.  Shield per waiter: one client
+        # disconnecting must not cancel its twins' exchange.
+        future = self._inflight.get(request)
+        if future is not None:
+            self.metrics.coalesced += 1
+            status, extra, payload = await asyncio.shield(future)
+            return status, payload, extra
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[request] = future
+        self.metrics.in_flight += 1
+        started = time.monotonic()
+        try:
+            routed = await self._route(request, body)
+            if not future.done():
+                future.set_result(routed)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # The exception is delivered to every coalesced twin;
+                # retrieve it here too so asyncio never logs it as
+                # unretrieved when there are no twins.
+                future.exception()
+            raise
+        finally:
+            self._inflight.pop(request, None)
+            self.metrics.in_flight -= 1
+            self.metrics.observe_latency(time.monotonic() - started)
+        status, extra, payload = routed
+        return status, payload, extra
+
+    async def _route(
+        self, request: protocol.ScheduleRequest, body: bytes
+    ) -> Routed:
+        """Proxy one unique request along its ring preference walk."""
+        key = self._keys.key(request.spec)
+        candidates = [
+            name
+            for name in self.ring.preference(key)
+            if name not in self._down
+        ]
+        if not candidates:
+            # Every replica is ejected: try them all anyway rather
+            # than refusing outright — probes may simply not have
+            # noticed a recovery yet.
+            candidates = self.ring.preference(key)
+        if not candidates:
+            self.metrics.failed += 1
+            return 503, {"Retry-After": "1"}, protocol.encode_json(
+                protocol.error_payload("no replicas configured")
+            )
+
+        failures: List[str] = []
+        for attempt, name in enumerate(candidates):
+            replica_host, replica_port = self.replicas[name]
+            if attempt > 0:
+                self.metrics.retried += 1
+            try:
+                status, headers, payload = await proxy.exchange(
+                    replica_host,
+                    replica_port,
+                    "POST",
+                    "/schedule",
+                    body=body,
+                    timeout=self.request_timeout_s,
+                )
+            except (
+                OSError,
+                asyncio.TimeoutError,
+                proxy.ProxyProtocolError,
+            ) as exc:
+                # Transport-level failure: the replica is gone or
+                # wedged.  Eject it now instead of waiting a probe
+                # period, and walk on.
+                self.metrics.record_failure(name)
+                self._eject(name)
+                failures.append(
+                    f"{name}: {str(exc) or type(exc).__name__}"
+                )
+                continue
+            if status >= 500:
+                # 5xx and drain-in-progress 503s fail over; the next
+                # ring position computes the same deterministic answer.
+                self.metrics.record_failure(name)
+                if status == 503:
+                    self._eject(name)  # draining; probes readmit later
+                failures.append(f"{name}: HTTP {status}")
+                continue
+            self.metrics.record_routed(name)
+            if attempt > 0:
+                self.metrics.failed_over += 1
+            extra = {
+                "X-Repro-Replica": name,
+                "X-Repro-Attempts": str(attempt + 1),
+            }
+            # Retry-After keeps a relayed 429's backoff contract
+            # intact: through the router or direct, same behaviour.
+            for passthrough in (
+                "x-repro-source",
+                "x-repro-key",
+                "retry-after",
+            ):
+                if passthrough in headers:
+                    extra[passthrough.title()] = headers[passthrough]
+            return status, extra, payload
+
+        self.metrics.failed += 1
+        return 502, {"Retry-After": "1"}, protocol.encode_json(
+            protocol.error_payload(
+                "all replicas failed for this job: " + "; ".join(failures)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregated metrics.
+
+    async def _scrape(self, name: str) -> Dict:
+        replica_host, replica_port = self.replicas[name]
+        try:
+            status, _, payload = await proxy.exchange(
+                replica_host,
+                replica_port,
+                "GET",
+                "/metrics",
+                timeout=self.probe_timeout_s,
+            )
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            proxy.ProxyProtocolError,
+        ) as exc:
+            return {
+                "up": False,
+                "error": str(exc) or type(exc).__name__,
+            }
+        if status != 200:
+            return {"up": False, "error": f"HTTP {status}"}
+        try:
+            metrics = protocol.decode_response(payload)
+        except ValueError as exc:
+            return {"up": False, "error": f"bad metrics body: {exc}"}
+        return {"up": True, "metrics": metrics}
+
+    async def cluster_metrics(self) -> Dict:
+        """The aggregated ``/metrics`` document.
+
+        Three sections: ``router`` (this process's counters),
+        ``replicas`` (each replica's live ``/metrics``, or its scrape
+        error), and ``cluster`` (sums across the replicas that
+        answered — the cluster-wide one-compute-per-unique-key
+        invariant is checked against ``cluster.computed``).
+        """
+        names = list(self.replicas)
+        scraped = await asyncio.gather(
+            *(self._scrape(name) for name in names)
+        )
+        replicas = dict(zip(names, scraped))
+        totals = {
+            "replicas_up": sum(
+                1 for entry in replicas.values() if entry["up"]
+            ),
+            "replicas_total": len(replicas),
+        }
+        for field in (
+            "requests",
+            "schedule_requests",
+            "computed",
+            "cache_hits",
+            "coalesced",
+            "rejected",
+            "errors",
+            "batches",
+            "compute_seconds_total",
+        ):
+            totals[field] = sum(
+                entry["metrics"].get(field, 0)
+                for entry in replicas.values()
+                if entry["up"]
+            )
+        return {
+            "router": {
+                **self.metrics.snapshot(),
+                "ring": {
+                    "members": list(self.ring.members),
+                    "vnodes": self.ring.vnodes,
+                    "down": sorted(self._down),
+                },
+            },
+            "replicas": replicas,
+            "cluster": totals,
+        }
+
+
+async def _run_until_signal(router: DispatchRouter) -> bool:
+    """Serve until SIGINT/SIGTERM, then drain; True = drained clean."""
+    import signal
+
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loops
+    await router.start()
+    print(
+        f"repro dispatch: listening on http://{router.host}:{router.port}"
+        f" fronting {len(router.replicas)} replica(s): "
+        + ", ".join(router.replicas),
+        flush=True,
+    )
+    serve_task = asyncio.ensure_future(router.serve_forever())
+    await stop_event.wait()
+    print("repro dispatch: draining...", flush=True)
+    serve_task.cancel()
+    try:
+        await serve_task
+    except (asyncio.CancelledError, Exception):
+        pass
+    drained = await router.stop()
+    print(
+        "repro dispatch: shutdown "
+        + ("clean" if drained else "timed out waiting for in-flight work"),
+        flush=True,
+    )
+    return drained
+
+
+def run_router(**kwargs) -> int:
+    """Blocking entry point used by ``repro dispatch``.
+
+    Exit codes mirror ``repro serve``: 0 = drained clean, 1 = the
+    graceful drain timed out with proxied work still in flight.
+    """
+    router = DispatchRouter(**kwargs)
+    try:
+        drained = asyncio.run(_run_until_signal(router))
+    except KeyboardInterrupt:
+        return 0
+    return 0 if drained else 1

@@ -39,16 +39,19 @@ from repro.engine.job import (
     algorithm_ids,
     canonical_algorithm,
 )
+from repro.engine.keys import CacheKeyResolver, cache_key_for
 from repro.engine.sweeps import cross, random_dag_sweep, registry_sweep
 
 __all__ = [
     "ALGORITHMS",
     "BatchEngine",
+    "CacheKeyResolver",
     "GraphSpec",
     "JobResult",
     "JobSpec",
     "ResultCache",
     "algorithm_ids",
+    "cache_key_for",
     "canonical_algorithm",
     "cross",
     "execute_job",

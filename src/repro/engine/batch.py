@@ -43,21 +43,13 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.job import ALGORITHMS, GraphSpec, JobResult, JobSpec
+from repro.engine.keys import FINGERPRINT_MEMO_LIMIT, CacheKeyResolver
 from repro.errors import SchedulingError
-from repro.ir.serialize import dfg_fingerprint
 from repro.scheduling.base import schedule_artifact
 
 #: Graphs at or below this many ops get an exact-optimum comparison
 #: when the engine is constructed with ``compute_gaps=True``.
 DEFAULT_GAP_OPS_LIMIT = 12
-
-#: Bound on the per-engine graph-fingerprint memo.  Inline GraphSpecs
-#: carry their full serialized payload as the memo key, so a long-lived
-#: engine (the serving front end) fed a stream of distinct inline
-#: graphs would otherwise grow the memo — and its retained payloads —
-#: without limit.  On overflow the memo is simply cleared: re-hashing a
-#: graph is cheap next to scheduling it.
-FINGERPRINT_MEMO_LIMIT = 4096
 
 
 def _pool_context(name: Optional[str]):
@@ -195,7 +187,10 @@ class BatchEngine:
         self.gap_ops_limit = gap_ops_limit
         self.mp_context = mp_context
         self.capture_schedules = capture_schedules
-        self._fingerprints: Dict[GraphSpec, str] = {}
+        # The module-level limit is read here (not in keys.py) so tests
+        # and embedders that tune `batch.FINGERPRINT_MEMO_LIMIT` keep
+        # affecting engines constructed afterwards.
+        self._keys = CacheKeyResolver(memo_limit=FINGERPRINT_MEMO_LIMIT)
         # Submission-path state: the lock guards every structure that
         # concurrent `submit` callers share (the cache, the fingerprint
         # memo); `_pool` is the persistent executor `start` creates so a
@@ -205,15 +200,13 @@ class BatchEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def _fingerprints(self) -> Dict[GraphSpec, str]:
+        return self._keys._fingerprints
+
     def _graph_hash(self, spec: GraphSpec) -> str:
         """Content hash of the spec's graph (memoized, bounded)."""
-        graph_hash = self._fingerprints.get(spec)
-        if graph_hash is None:
-            graph_hash = dfg_fingerprint(spec.build())
-            if len(self._fingerprints) >= FINGERPRINT_MEMO_LIMIT:
-                self._fingerprints.clear()
-            self._fingerprints[spec] = graph_hash
-        return graph_hash
+        return self._keys.graph_hash(spec)
 
     def _gap_eligible(self, result: JobResult) -> bool:
         """Would *this* engine compute a gap for this job?"""

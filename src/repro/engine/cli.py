@@ -443,10 +443,111 @@ def cmd_serve(args: Sequence[str]) -> int:
     )
 
 
+def cmd_dispatch(args: Sequence[str]) -> int:
+    """Run the consistent-hash router over ``repro serve`` replicas."""
+    parser = argparse.ArgumentParser(
+        prog="repro dispatch",
+        description=(
+            "Front N `repro serve` replicas with a consistent-hash "
+            "router: requests are keyed by their engine cache key, "
+            "routed to the replica that owns the key, coalesced when "
+            "identical requests are already in flight, and failed "
+            "over along the ring when a replica goes down."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help="listen port; 0 picks a free one (default 8080)",
+    )
+    parser.add_argument(
+        "--replica",
+        action="append",
+        metavar="HOST:PORT",
+        default=None,
+        help="one replica address; repeat for each replica (required)",
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        metavar="N",
+        help="virtual nodes per replica on the hash ring (default 64)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between /healthz probe sweeps (default 1)",
+    )
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="per-probe timeout; slower counts as down (default 2)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="end-to-end timeout per proxied request (default 120)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="graceful-shutdown wait for in-flight requests (default 10s)",
+    )
+    opts = parser.parse_args(list(args))
+    if not opts.replica:
+        raise ReproError(
+            "pass at least one --replica HOST:PORT to dispatch to"
+        )
+    if opts.vnodes < 1:
+        raise ReproError(f"--vnodes must be at least 1, got {opts.vnodes}")
+    if opts.health_interval <= 0:
+        raise ReproError(
+            f"--health-interval must be positive, got "
+            f"{opts.health_interval}"
+        )
+    for flag, value in (
+        ("--probe-timeout", opts.probe_timeout),
+        ("--request-timeout", opts.request_timeout),
+        ("--drain-timeout", opts.drain_timeout),
+    ):
+        if value <= 0:
+            raise ReproError(f"{flag} must be positive, got {value}")
+
+    from repro.dispatch.router import run_router
+
+    return run_router(
+        replicas=opts.replica,
+        host=opts.host,
+        port=opts.port,
+        vnodes=opts.vnodes,
+        health_interval_s=opts.health_interval,
+        probe_timeout_s=opts.probe_timeout,
+        request_timeout_s=opts.request_timeout,
+        drain_timeout_s=opts.drain_timeout,
+    )
+
+
 _HANDLERS = {
     "batch": cmd_batch,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "dispatch": cmd_dispatch,
 }
 
 
@@ -455,7 +556,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in _HANDLERS:
         print(
-            "usage: repro.engine.cli {batch,bench,serve} ...",
+            "usage: repro.engine.cli {batch,bench,serve,dispatch} ...",
             file=sys.stderr,
         )
         return 2

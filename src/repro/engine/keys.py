@@ -1,0 +1,66 @@
+"""Public cache-key computation for scheduling jobs.
+
+The engine's result cache is content-addressed: sha256 over the built
+graph's fingerprint, the canonical resource notation, and the canonical
+algorithm id (see :meth:`repro.engine.job.JobSpec.cache_key`).  That
+key is not an engine-private detail — the multi-replica dispatcher
+routes every request by it so jobs land on the replica whose sharded
+store already holds them — so the computation lives here as a public
+helper instead of being folded into :class:`BatchEngine`.
+
+:class:`CacheKeyResolver` is the stateful form: it memoizes graph
+fingerprints (the expensive half — building the graph and hashing its
+canonical serialization) behind a bounded memo, exactly the behaviour
+the engine has always had.  :func:`cache_key_for` is the convenience
+one-shot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.job import GraphSpec, JobSpec
+from repro.ir.serialize import dfg_fingerprint
+
+#: Bound on a resolver's graph-fingerprint memo.  Inline GraphSpecs
+#: carry their full serialized payload as the memo key, so a long-lived
+#: resolver (the serving front end, the dispatcher) fed a stream of
+#: distinct inline graphs would otherwise grow the memo — and its
+#: retained payloads — without limit.  On overflow the memo is simply
+#: cleared: re-hashing a graph is cheap next to scheduling it.
+FINGERPRINT_MEMO_LIMIT = 4096
+
+
+class CacheKeyResolver:
+    """Maps job specs to engine cache keys, memoizing graph hashes.
+
+    Not thread-safe on its own; the engine guards its resolver with the
+    submission lock, and the dispatcher touches its resolver only from
+    the event loop.
+    """
+
+    def __init__(self, memo_limit: int = FINGERPRINT_MEMO_LIMIT):
+        self.memo_limit = memo_limit
+        self._fingerprints: Dict[GraphSpec, str] = {}
+
+    def graph_hash(self, spec: GraphSpec) -> str:
+        """Content hash of the spec's graph (memoized, bounded)."""
+        graph_hash = self._fingerprints.get(spec)
+        if graph_hash is None:
+            graph_hash = dfg_fingerprint(spec.build())
+            if len(self._fingerprints) >= self.memo_limit:
+                self._fingerprints.clear()
+            self._fingerprints[spec] = graph_hash
+        return graph_hash
+
+    def key(self, spec: JobSpec) -> str:
+        """The engine cache key this spec resolves and stores under."""
+        return spec.cache_key(self.graph_hash(spec.graph))
+
+
+def cache_key_for(spec: JobSpec, resolver: Optional[CacheKeyResolver] = None) -> str:
+    """One job's engine cache key (builds the graph; no caching unless
+    a resolver is passed)."""
+    if resolver is not None:
+        return resolver.key(spec)
+    return spec.cache_key(dfg_fingerprint(spec.graph.build()))

@@ -24,12 +24,18 @@ Quickstart (client)::
 Modules: :mod:`~repro.serve.protocol` (request/response schema),
 :mod:`~repro.serve.coalescer` (in-flight coalescing + micro-batching),
 :mod:`~repro.serve.metrics` (the ``/metrics`` counters),
+:mod:`~repro.serve.http` (the HTTP/1.1 transport core, shared with the
+:mod:`repro.dispatch` router),
 :mod:`~repro.serve.server` (the asyncio HTTP front end),
 :mod:`~repro.serve.client` (the blocking helper used by tests and CI).
+
+To scale past one process, front several ``repro serve`` replicas with
+``repro dispatch`` (see :mod:`repro.dispatch`).
 """
 
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.coalescer import RequestCoalescer
+from repro.serve.http import HttpServerCore
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
     ProtocolError,
@@ -40,6 +46,7 @@ from repro.serve.protocol import (
 from repro.serve.server import ScheduleServer, run_server
 
 __all__ = [
+    "HttpServerCore",
     "ProtocolError",
     "RequestCoalescer",
     "ScheduleRequest",

@@ -143,7 +143,14 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def wait_ready(self, timeout: float = 15.0) -> Dict[str, Any]:
-        """Poll ``/healthz`` until the server answers (or time out)."""
+        """Poll ``/healthz`` until the server answers 200 (or time out).
+
+        A transport failure (nothing listening yet) and an HTTP error
+        (the server is *up* but refusing — draining 503s, a persistent
+        5xx bug) are different diagnoses, so the timeout message keeps
+        them apart and quotes the last HTTP status and body instead of
+        reporting an erroring server as merely "not ready".
+        """
         deadline = time.monotonic() + timeout
         last_error: Optional[Exception] = None
         while time.monotonic() < deadline:
@@ -151,7 +158,13 @@ class ServeClient:
                 return self.healthz()
             except (OSError, socket.timeout, ServeError) as exc:
                 last_error = exc
-                time.sleep(0.05)
+            time.sleep(0.05)
+        if isinstance(last_error, ServeError):
+            raise ReproError(
+                f"server at {self.host}:{self.port} is listening but "
+                f"kept answering errors for {timeout:.1f}s "
+                f"(last response: {last_error})"
+            )
         raise ReproError(
             f"server at {self.host}:{self.port} not ready after "
             f"{timeout:.1f}s (last error: {last_error})"

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine.batch import BatchEngine
 from repro.engine.job import JobResult, JobSpec
+from repro.errors import ReproError
 from repro.serve.metrics import ServiceMetrics
 
 #: Flush when the buffer reaches this many unique jobs...
@@ -119,6 +120,30 @@ class RequestCoalescer:
         self._batches.add(task)
         task.add_done_callback(self._batches.discard)
 
+    def _settle(self, spec: JobSpec) -> None:
+        """Retire one admitted job's bookkeeping.
+
+        Runs exactly once per buffered job, *next to* its future
+        resolving — never earlier — so the ``queued_jobs`` gauge that
+        ``/metrics`` reports as ``queue_depth`` counts work as
+        in-flight until the moment its client can observe the result.
+        """
+        self._inflight.pop(spec, None)
+        self.metrics.queued_jobs -= 1
+        assert self.metrics.queued_jobs >= 0, (
+            "queued_jobs gauge went negative: a job was settled twice"
+        )
+
+    def _fail_batch(
+        self,
+        batch: List[Tuple[JobSpec, asyncio.Future]],
+        exc: BaseException,
+    ) -> None:
+        for spec, future in batch:
+            self._settle(spec)
+            if not future.done():
+                future.set_exception(exc)
+
     async def _run_batch(
         self, batch: List[Tuple[JobSpec, asyncio.Future]]
     ) -> None:
@@ -129,15 +154,32 @@ class RequestCoalescer:
                 self._executor, self.engine.submit, specs
             )
         except Exception as exc:
-            for spec, future in batch:
-                self._inflight.pop(spec, None)
-                if not future.done():
-                    future.set_exception(exc)
+            self._fail_batch(batch, exc)
             return
-        finally:
-            self.metrics.queued_jobs -= len(batch)
+        except BaseException as exc:
+            # Cancellation of the flush task (event-loop teardown)
+            # must still settle the batch: leaked _inflight entries
+            # would make every later duplicate of these specs attach
+            # to a future nobody will ever resolve.
+            self._fail_batch(batch, exc)
+            raise
+        if len(results) != len(batch):
+            # zip() would silently drop the unmatched tail and leave
+            # those clients awaiting futures nobody will ever resolve.
+            # An engine answering the wrong shape is a contract breach;
+            # fail every affected client loudly instead of hanging them.
+            self._fail_batch(
+                batch,
+                ReproError(
+                    f"engine returned {len(results)} results for a "
+                    f"batch of {len(batch)} jobs; failing all "
+                    f"{len(batch)} affected requests instead of "
+                    "hanging the unmatched clients"
+                ),
+            )
+            return
         for (spec, future), result in zip(batch, results):
-            self._inflight.pop(spec, None)
+            self._settle(spec)
             if result.cached:
                 self.metrics.cache_hits += 1
             else:

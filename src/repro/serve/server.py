@@ -1,8 +1,8 @@
 """The asyncio JSON-over-HTTP scheduling service.
 
-A deliberately small, dependency-free HTTP/1.1 server on
-``asyncio.start_server`` — no frameworks, no threads per connection —
-exposing three endpoints:
+A deliberately small, dependency-free HTTP/1.1 server — the transport
+lives in :class:`~repro.serve.http.HttpServerCore`, shared with the
+multi-replica dispatcher — exposing three endpoints:
 
 ``POST /schedule``
     Validate the body (see :mod:`repro.serve.protocol`), coalesce it
@@ -30,40 +30,38 @@ import time
 from typing import Dict, Optional, Tuple
 
 from repro.engine.batch import BatchEngine
-from repro.errors import ReproError
 from repro.serve import protocol
 from repro.serve.coalescer import (
     DEFAULT_BATCH_WINDOW_MS,
     DEFAULT_MAX_BATCH,
     RequestCoalescer,
 )
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    Body,
+    HttpServerCore,
+)
 from repro.serve.metrics import ServiceMetrics
+
+__all__ = [
+    "DEFAULT_DRAIN_TIMEOUT_S",
+    "DEFAULT_MAX_QUEUE",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "ScheduleServer",
+    "metrics_snapshot",
+    "run_server",
+]
 
 #: Admission bound: schedule requests in flight before 429s start.
 DEFAULT_MAX_QUEUE = 256
 
-#: Hard cap on request bodies (inline graphs get large, not huge).
-MAX_BODY_BYTES = 8 * 1024 * 1024
-
-#: Hard cap on the request line + headers block.
-MAX_HEADER_BYTES = 64 * 1024
-
 #: How long a graceful shutdown waits for in-flight work.
 DEFAULT_DRAIN_TIMEOUT_S = 10.0
 
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
 
-
-class ScheduleServer:
+class ScheduleServer(HttpServerCore):
     """One serving process: listener + coalescer + batch engine."""
 
     def __init__(
@@ -79,6 +77,7 @@ class ScheduleServer:
         drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
         max_cache_entries: Optional[int] = None,
     ):
+        super().__init__(host=host, port=port)
         if engine is None:
             # Rich results by design: artifacts always captured, gaps
             # always computed (bounded to small graphs by the engine's
@@ -93,8 +92,6 @@ class ScheduleServer:
                 max_cache_entries=max_cache_entries,
             )
         self.engine = engine
-        self.host = host
-        self._requested_port = port
         self.max_queue = max_queue
         self.drain_timeout_s = drain_timeout_s
         self.metrics = ServiceMetrics()
@@ -104,41 +101,19 @@ class ScheduleServer:
             max_batch=max_batch,
             batch_window_ms=batch_window_ms,
         )
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._bound_port: Optional[int] = None
         self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle.
 
-    @property
-    def port(self) -> int:
-        """The bound port (resolves ``port=0`` after :meth:`start`)."""
-        if self._bound_port is not None:
-            return self._bound_port
-        return self._requested_port
-
     async def start(self) -> "ScheduleServer":
         self.engine.start()
         try:
-            self._server = await asyncio.start_server(
-                self._handle_connection, self.host, self._requested_port
-            )
-        except OSError as exc:
-            # Port taken / privileged / bad host: a clean ReproError
-            # (CLI exit code 2), never a traceback.
+            await self.listen()
+        except Exception:
             self.engine.shutdown()
-            raise ReproError(
-                f"cannot listen on {self.host}:{self._requested_port}: "
-                f"{exc}"
-            )
-        self._bound_port = self._server.sockets[0].getsockname()[1]
+            raise
         return self
-
-    async def serve_forever(self) -> None:
-        assert self._server is not None, "call start() first"
-        async with self._server:
-            await self._server.serve_forever()
 
     async def stop(self) -> bool:
         """Graceful drain: stop listening, finish in-flight, tear down.
@@ -146,145 +121,21 @@ class ScheduleServer:
         Returns True when the drain completed inside the timeout.
         """
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        await self.close_listener()
         drained = await self.coalescer.drain(self.drain_timeout_s)
         self.coalescer.close()
         self.engine.shutdown()
         return drained
 
     # ------------------------------------------------------------------
-    # HTTP plumbing.
-
-    async def _handle_connection(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        try:
-            while True:
-                request = await self._read_request(reader)
-                if request is None:
-                    break
-                method, path, headers, body = request
-                keep_alive = (
-                    headers.get("connection", "keep-alive").lower()
-                    != "close"
-                )
-                try:
-                    status, payload, extra = await self._dispatch(
-                        method, path, body
-                    )
-                except Exception as exc:
-                    # Last resort: an unanticipated bug must answer 500,
-                    # not drop the connection with a logged traceback.
-                    self.metrics.errors += 1
-                    status, extra = 500, {}
-                    payload = protocol.error_payload(
-                        f"internal error: {exc}"
-                    )
-                await self._write_response(
-                    writer, status, payload, extra, keep_alive
-                )
-                if not keep_alive:
-                    break
-        except (
-            asyncio.IncompleteReadError,
-            asyncio.LimitOverrunError,
-            ConnectionError,
-        ):
-            pass  # client went away mid-request; nothing to answer
-        except _BadRequest as exc:
-            try:
-                await self._write_response(
-                    writer,
-                    exc.status,
-                    protocol.error_payload(str(exc)),
-                    {},
-                    keep_alive=False,
-                )
-            except (ConnectionError, RuntimeError):
-                pass
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, RuntimeError):
-                pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        """One parsed request, or None on clean end-of-stream."""
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None  # clean close between requests
-            raise
-        except asyncio.LimitOverrunError:
-            raise _BadRequest("request head too large", 413)
-        if len(head) > MAX_HEADER_BYTES:
-            raise _BadRequest("request head too large", 413)
-        lines = head.decode("latin-1").split("\r\n")
-        parts = lines[0].split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _BadRequest(f"malformed request line: {lines[0]!r}")
-        method, target = parts[0].upper(), parts[1]
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, sep, value = line.partition(":")
-            if not sep:
-                raise _BadRequest(f"malformed header line: {line!r}")
-            headers[name.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-            if length < 0:
-                raise ValueError
-        except ValueError:
-            raise _BadRequest(
-                f"bad Content-Length: {length_text!r}"
-            )
-        if length > MAX_BODY_BYTES:
-            raise _BadRequest("request body too large", 413)
-        body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method, path, headers, body
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Dict,
-        extra_headers: Dict[str, str],
-        keep_alive: bool,
-    ) -> None:
-        body = protocol.encode_json(payload)
-        reason = _REASONS.get(status, "Unknown")
-        headers = [
-            f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        headers += [
-            f"{name}: {value}" for name, value in extra_headers.items()
-        ]
-        writer.write(
-            "\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body
-        )
-        await writer.drain()
-
-    # ------------------------------------------------------------------
     # Routing.
 
-    async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict, Dict[str, str]]:
+    def on_request_error(self) -> None:
+        self.metrics.errors += 1
+
+    async def dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Body, Dict[str, str]]:
         self.metrics.requests += 1
         if path == "/schedule":
             if method != "POST":
@@ -318,7 +169,7 @@ class ScheduleServer:
 
     async def _handle_schedule(
         self, body: bytes
-    ) -> Tuple[int, Dict, Dict[str, str]]:
+    ) -> Tuple[int, Body, Dict[str, str]]:
         try:
             request = protocol.parse_request(body)
         except protocol.ProtocolError as exc:
@@ -355,14 +206,6 @@ class ScheduleServer:
             "X-Repro-Source": protocol.source_of(result, coalesced),
             "X-Repro-Key": result.key,
         }
-
-
-class _BadRequest(Exception):
-    """Transport-level refusal (malformed HTTP, oversized payload)."""
-
-    def __init__(self, message: str, status: int = 400):
-        super().__init__(message)
-        self.status = status
 
 
 async def _run_until_signal(server: ScheduleServer) -> bool:

@@ -1,0 +1,58 @@
+"""The public cache-key helper must agree with the engine's own keys
+— that identity is what makes consistent-hash routing keep replica
+stores hot."""
+
+from repro.engine import BatchEngine, CacheKeyResolver, cache_key_for
+from repro.engine.job import JobSpec
+from repro.graphs import get_graph
+from repro.ir.serialize import dfg_to_dict
+from repro.serve.protocol import parse_request
+import json
+
+
+def _spec(name="HAL", algorithm="meta2") -> JobSpec:
+    return JobSpec.make(name, "2+/-,2*", algorithm)
+
+
+class TestCacheKeyResolver:
+    def test_matches_engine_keys(self):
+        engine = BatchEngine()
+        resolver = CacheKeyResolver()
+        for name in ("HAL", "AR", "FIR"):
+            spec = _spec(name)
+            assert resolver.key(spec) == spec.cache_key(
+                engine._graph_hash(spec.graph)
+            )
+
+    def test_matches_served_result_key(self):
+        """The key the router routes by is the key the replica's
+        result reports."""
+        engine = BatchEngine()
+        spec = _spec("EF", algorithm="list")
+        (result,) = engine.run([spec])
+        assert CacheKeyResolver().key(spec) == result.key
+
+    def test_one_shot_helper_agrees(self):
+        spec = _spec("AR")
+        assert cache_key_for(spec) == CacheKeyResolver().key(spec)
+
+    def test_inline_copy_of_registry_graph_shares_key(self):
+        inline = parse_request(
+            json.dumps(
+                {"graph": dfg_to_dict(get_graph("HAL"))}
+            ).encode()
+        )
+        named = parse_request(json.dumps({"graph": "HAL"}).encode())
+        resolver = CacheKeyResolver()
+        assert resolver.key(inline.spec) == resolver.key(named.spec)
+
+    def test_memo_bounded(self):
+        resolver = CacheKeyResolver(memo_limit=2)
+        for name in ("HAL", "AR", "FIR", "EF"):
+            resolver.graph_hash(_spec(name).graph)
+        assert len(resolver._fingerprints) <= 2
+
+    def test_memoized_hash_stable(self):
+        resolver = CacheKeyResolver()
+        spec = _spec("HAL").graph
+        assert resolver.graph_hash(spec) == resolver.graph_hash(spec)

@@ -1,0 +1,73 @@
+"""ServeClient.wait_ready: not-listening vs up-but-erroring must be
+distinguishable from the raised message."""
+
+import http.server
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.client import ServeClient, ServeError
+
+
+@pytest.fixture()
+def erroring_server():
+    """A live HTTP server whose /healthz always answers 500."""
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):
+            body = b'{"error":"backend exploded"}'
+            self.send_response(500)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address[1]
+    server.shutdown()
+    thread.join(5)
+    server.server_close()
+
+
+class TestWaitReady:
+    def test_nothing_listening_reports_not_ready(self):
+        # An unbound port: connection refused every poll.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = ServeClient(port=free_port, timeout=1)
+        with pytest.raises(ReproError) as info:
+            client.wait_ready(timeout=0.4)
+        message = str(info.value)
+        assert "not ready" in message
+        assert "listening but" not in message
+
+    def test_persistent_5xx_reports_listening_with_status_and_body(
+        self, erroring_server
+    ):
+        """A server that is *up* but broken must not be reported as
+        merely 'not ready': the message names the condition and quotes
+        the last HTTP status and body."""
+        client = ServeClient(port=erroring_server, timeout=5)
+        with pytest.raises(ReproError) as info:
+            client.wait_ready(timeout=0.4)
+        message = str(info.value)
+        assert "listening but" in message
+        assert "HTTP 500" in message
+        assert "backend exploded" in message
+
+    def test_serve_error_still_raised_by_direct_healthz(
+        self, erroring_server
+    ):
+        client = ServeClient(port=erroring_server, timeout=5)
+        with pytest.raises(ServeError) as info:
+            client.healthz()
+        assert info.value.status == 500
