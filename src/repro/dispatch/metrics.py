@@ -20,6 +20,31 @@ from repro.engine.bench import percentile
 #: How many recent routed-request latencies feed the percentiles.
 LATENCY_WINDOW = 1024
 
+#: Replica counters summed into the ``cluster`` section of the
+#: dispatcher's ``/metrics``.  Only UP replicas contribute — a dead
+#: replica's counters vanish from the aggregate (smoke checks that
+#: pin cluster totals across a kill must snapshot the victim first).
+#: The peer-tier fields come from each replica's ClusterStore merge;
+#: replicas running without peers report them as zero.
+CLUSTER_SUM_FIELDS = (
+    "requests",
+    "schedule_requests",
+    "computed",
+    "cache_hits",
+    "coalesced",
+    "rejected",
+    "errors",
+    "batches",
+    "compute_seconds_total",
+    "peer_served",
+    "peer_received",
+    "peer_hits",
+    "peer_misses",
+    "peer_fetch_errors",
+    "published",
+    "publish_errors",
+)
+
 
 class DispatchMetrics:
     """Counters and gauges for one router process.

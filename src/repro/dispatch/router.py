@@ -38,8 +38,9 @@ from repro.errors import ReproError
 from repro.serve import protocol
 from repro.serve.http import Body, HttpServerCore
 from repro.dispatch import proxy
-from repro.dispatch.metrics import DispatchMetrics
+from repro.dispatch.metrics import CLUSTER_SUM_FIELDS, DispatchMetrics
 from repro.dispatch.ring import DEFAULT_VNODES, HashRing
+from repro.store.peers import parse_address
 
 #: Seconds between health-probe sweeps over the replica set.
 DEFAULT_HEALTH_INTERVAL_S = 1.0
@@ -58,19 +59,19 @@ Routed = Tuple[int, Dict[str, str], bytes]
 
 
 def parse_replica(text: str) -> Tuple[str, int]:
-    """``HOST:PORT`` (or bare ``PORT`` for localhost) -> (host, port)."""
-    host, sep, port_text = text.rpartition(":")
-    if not sep:
-        host, port_text = "127.0.0.1", text
-    try:
-        port = int(port_text)
-        if not 0 < port < 65536:
-            raise ValueError
-    except ValueError:
-        raise ReproError(
-            f"malformed replica address {text!r}; expected HOST:PORT"
-        )
-    return host or "127.0.0.1", port
+    """``HOST:PORT`` (or bare ``PORT`` for localhost) -> (host, port).
+
+    Replica addresses and peer addresses are the same notation — a
+    replica's ``--peer`` list is just the other replicas' addresses —
+    so this delegates to :func:`repro.store.peers.parse_address` and
+    exists as the dispatch-flavored name for it.
+
+    >>> parse_replica("10.0.0.5:8791")
+    ('10.0.0.5', 8791)
+    >>> parse_replica("8791")
+    ('127.0.0.1', 8791)
+    """
+    return parse_address(text)
 
 
 class DispatchRouter(HttpServerCore):
@@ -442,17 +443,7 @@ class DispatchRouter(HttpServerCore):
             ),
             "replicas_total": len(replicas),
         }
-        for field in (
-            "requests",
-            "schedule_requests",
-            "computed",
-            "cache_hits",
-            "coalesced",
-            "rejected",
-            "errors",
-            "batches",
-            "compute_seconds_total",
-        ):
+        for field in CLUSTER_SUM_FIELDS:
             totals[field] = sum(
                 entry["metrics"].get(field, 0)
                 for entry in replicas.values()

@@ -11,12 +11,15 @@ class.
 Replicas run with in-memory caches unless ``cache_root`` is given, in
 which case each replica gets its own sharded on-disk store under it
 (one directory per replica — stores are per-replica by design; keeping
-them hot is the router's job).
+them hot is the router's job, and ``peer_mesh=True`` connects them
+into the cluster tier: every replica gets ``--peer`` flags naming all
+the others, so local misses peer-fetch and fresh computes publish).
 """
 
 from __future__ import annotations
 
 import select
+import socket
 import subprocess
 import sys
 import time
@@ -25,6 +28,28 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.serve.client import ServeClient
+
+
+def free_ports(count: int) -> List[int]:
+    """Pre-allocate ``count`` distinct free TCP ports.
+
+    A peer mesh needs every replica's address *before* any replica
+    boots (the ``--peer`` flags are static config), which rules out
+    ``--port 0``.  Binding then closing reserves nothing, so a raced
+    port is possible in principle — in practice the kernel avoids
+    handing recently-bound ephemeral ports straight back, and the boot
+    fails loudly if it ever happens.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
 
 
 class ReplicaProcess:
@@ -72,10 +97,15 @@ class ReplicaProcess:
 def start_replica(
     extra_args: Sequence[str] = (),
     boot_timeout: float = 30.0,
+    port: int = 0,
 ) -> ReplicaProcess:
-    """Boot one ``repro serve --port 0`` and wait for its bound port."""
+    """Boot one ``repro serve`` and wait for its (announced) port.
+
+    ``port=0`` (the default) lets the OS pick; a peer mesh passes the
+    pre-allocated port its peers were told about.
+    """
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
          *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -130,21 +160,41 @@ class ReplicaSet:
         workers: int = 1,
         extra_args: Sequence[str] = (),
         boot_timeout: float = 30.0,
+        peer_mesh: bool = False,
+        publish: Optional[str] = None,
+        peer_timeout_s: Optional[float] = None,
     ):
         if count < 1:
             raise ReproError(f"need at least 1 replica, got {count}")
+        if (publish or peer_timeout_s) and not peer_mesh:
+            raise ReproError(
+                "publish/peer_timeout_s require peer_mesh=True"
+            )
         self.count = count
         self.cache_root = Path(cache_root) if cache_root else None
         self.batch_window_ms = batch_window_ms
         self.workers = workers
         self.extra_args = tuple(extra_args)
         self.boot_timeout = boot_timeout
+        self.peer_mesh = peer_mesh
+        self.publish = publish
+        self.peer_timeout_s = peer_timeout_s
         self.members: List[ReplicaProcess] = []
 
     # ------------------------------------------------------------------
 
     def start(self) -> "ReplicaSet":
         assert not self.members, "ReplicaSet already started"
+        # Peer config is static per process, so a mesh needs every
+        # address up front: pre-allocate the ports, then tell each
+        # replica about all the others.  Early boots see their peers
+        # as down (fetch errors degrade to local compute) until the
+        # rest arrive — exactly the production cold-start behaviour.
+        ports = (
+            free_ports(self.count)
+            if self.peer_mesh
+            else [0] * self.count
+        )
         try:
             for index in range(self.count):
                 args = list(self.extra_args)
@@ -159,8 +209,24 @@ class ReplicaSet:
                         "--cache-dir",
                         str(self.cache_root / f"replica-{index}"),
                     ]
+                if self.peer_mesh:
+                    for other, peer_port in enumerate(ports):
+                        if other != index:
+                            args += [
+                                "--peer", f"127.0.0.1:{peer_port}"
+                            ]
+                    if self.publish is not None:
+                        args += ["--publish", self.publish]
+                    if self.peer_timeout_s is not None:
+                        args += [
+                            "--peer-timeout", str(self.peer_timeout_s)
+                        ]
                 self.members.append(
-                    start_replica(args, boot_timeout=self.boot_timeout)
+                    start_replica(
+                        args,
+                        boot_timeout=self.boot_timeout,
+                        port=ports[index],
+                    )
                 )
         except BaseException:
             self.stop()

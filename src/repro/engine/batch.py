@@ -8,9 +8,13 @@ one :class:`JobResult` per job, in submission order.  Under the hood it
 2. resolves jobs against a :class:`~repro.engine.cache.ResultCache`
    (memory + optional sharded on-disk JSON store) — one lookup per
    unique key — and deduplicates identical jobs within the batch,
-3. executes the remaining unique jobs either serially or across a
+3. when the cache exposes a cluster tier (``fetch_missing``, see
+   :class:`repro.store.ClusterStore`), peer-fetches the still-missing
+   keys *outside* the submission lock, so slow peers never stall
+   concurrent batches,
+4. executes the remaining unique jobs either serially or across a
    ``ProcessPoolExecutor``, and
-4. stores fresh results back into the cache.
+5. stores fresh results back into the cache.
 
 The pool uses the ``fork`` start method where the platform offers it:
 ``spawn``/``forkserver`` re-import the parent's ``__main__``, which
@@ -361,6 +365,8 @@ class BatchEngine:
                     continue
                 resolve(key, self._shape(hit))
 
+        keyed = self._resolve_from_peers(keyed, resolve)
+
         computed = self._compute(keyed)
 
         with self._lock:
@@ -379,6 +385,91 @@ class BatchEngine:
                 resolve(key, self._shape(result))
 
         return [resolved[index] for index in range(len(specs))]
+
+    def _resolve_from_peers(
+        self,
+        keyed: List[Tuple[str, JobSpec, str]],
+        resolve,
+    ) -> List[Tuple[str, JobSpec, str]]:
+        """Try the cache's cluster tier for locally-missed keys.
+
+        Runs between the two locked phases of :meth:`submit`: the
+        network walk (``cache.fetch_missing``) happens with the lock
+        released, the installs of whatever came back retake it.  A
+        plain :class:`ResultCache` has no ``fetch_missing`` and this is
+        a no-op.  Fetched entries that still fail this engine's
+        servability bar (missing artifact/gap) are installed — so their
+        payloads merge on overwrite — but stay scheduled for compute.
+        """
+        if not keyed:
+            return keyed
+        fetcher = getattr(self.cache, "fetch_missing", None)
+        if not callable(fetcher):
+            return keyed
+        fetched = fetcher([key for key, _, _ in keyed])
+        if not fetched:
+            return keyed
+        install = getattr(self.cache, "install", self.cache.put)
+        still: List[Tuple[str, JobSpec, str]] = []
+        with self._lock:
+            for key, spec, graph_hash in keyed:
+                result = fetched.get(key)
+                if result is None or result.error is not None:
+                    still.append((key, spec, graph_hash))
+                    continue
+                merged = self._merge_payloads(result, self.cache.peek(key))
+                install(merged)
+                if not self._servable(merged):
+                    still.append((key, spec, graph_hash))
+                    continue
+                artifact = (
+                    deepcopy(merged.artifact)
+                    if self.capture_schedules
+                    else None
+                )
+                resolve(
+                    key,
+                    self._shape(
+                        replace(merged, cached=True, artifact=artifact)
+                    ),
+                )
+        return still
+
+    # ------------------------------------------------------------------
+    # The cluster-tier serving surface (GET/POST /cache/<key>).
+
+    def entry_payload(self, key: str) -> Optional[Dict]:
+        """The raw cache-entry document for ``key``, or None.
+
+        Thread-safe; this is what a replica serves to a peer's
+        ``GET /cache/<key>``.  Stats-free by contract (see
+        :meth:`ResultCache.export_entry`), so peer probes never distort
+        this replica's hit/miss accounting.
+        """
+        exporter = getattr(self.cache, "export_entry", None)
+        if exporter is None:
+            return None
+        with self._lock:
+            return exporter(key)
+
+    def install_result(self, result: JobResult) -> bool:
+        """Install a peer-published result into the local tiers.
+
+        Thread-safe; this is the ``POST /cache/<key>`` receive path.
+        Uses the cache's publish-free ``install`` when it has one, so
+        an entry never echoes back into the cluster it arrived from.
+        Structured failures are refused (error results are never
+        cached).  Returns whether the entry was accepted.
+        """
+        if result.error is not None:
+            return False
+        install = getattr(self.cache, "install", self.cache.put)
+        with self._lock:
+            merged = self._merge_payloads(
+                result, self.cache.peek(result.key)
+            )
+            install(merged)
+        return True
 
     def _compute(
         self, keyed: List[Tuple[str, JobSpec, str]]

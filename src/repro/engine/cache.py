@@ -537,6 +537,42 @@ class ResultCache:
         """
         return self._memory.get(key)
 
+    def export_entry(self, key: str) -> Optional[Dict]:
+        """The raw entry document for ``key``, or None if absent.
+
+        This is the serving side of the cluster tier (``GET
+        /cache/<key>``): the returned dict is exactly what
+        :meth:`put` writes to disk (format tag included), so a peer
+        installing it round-trips byte-for-byte.  Deliberately free of
+        stats and recency effects — a peer probing for an entry must
+        not distort this replica's hit/miss accounting or LRU order —
+        and it never exports what it would never serve: foreign-format
+        or corrupt disk entries read as absent.
+        """
+        result = self._memory.get(key)
+        if result is not None:
+            stored = dataclasses.replace(result, cached=False)
+            return {"format": ENTRY_FORMAT, **stored.to_dict()}
+        if self._dir is None:
+            return None
+        text = self._read_entry(key)
+        if text is None:
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("format") not in (None, ENTRY_FORMAT):
+            return None
+        try:
+            JobResult.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+        data.setdefault("format", ENTRY_FORMAT)
+        return data
+
     def record_dedup_hits(self, count: int) -> None:
         """Count ``count`` extra hits served by within-batch dedup.
 

@@ -336,14 +336,20 @@ def cmd_bench(args: Sequence[str]) -> int:
     return 0
 
 
-def cmd_serve(args: Sequence[str]) -> int:
-    """Run the async scheduling service over the batch engine."""
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser.
+
+    A named builder (rather than inline construction in
+    :func:`cmd_serve`) so the docs-sync test can assert that every
+    flag documented in ``docs/OPERATIONS.md`` is actually accepted.
+    """
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description=(
-            "Serve POST /schedule, GET /healthz, and GET /metrics over "
-            "a shared batch engine, with request coalescing, "
-            "micro-batching, and a bounded queue (429 on overload)."
+            "Serve POST /schedule, GET /healthz, GET /metrics, and the "
+            "cluster tier's GET/POST /cache/<key> over a shared batch "
+            "engine, with request coalescing, micro-batching, and a "
+            "bounded queue (429 on overload)."
         ),
     )
     parser.add_argument(
@@ -411,6 +417,53 @@ def cmd_serve(args: Sequence[str]) -> int:
         metavar="S",
         help="graceful-shutdown wait for in-flight jobs (default 10s)",
     )
+    parser.add_argument(
+        "--peer",
+        action="append",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "another replica in the cluster tier; repeat per peer. "
+            "Local cache misses peer-fetch before computing, fresh "
+            "computes publish to ring successors"
+        ),
+    )
+    parser.add_argument(
+        "--peer-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help=(
+            "per-exchange bound for peer fetches/publishes; a slower "
+            "peer counts as a miss (default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--publish",
+        choices=["off", "async", "sync"],
+        default="async",
+        help=(
+            "how fresh computes reach peers: async (background "
+            "thread, default), sync (write-through), off "
+            "(fetch-only replica)"
+        ),
+    )
+    parser.add_argument(
+        "--publish-fanout",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "ring successors that receive each fresh entry; 0 means "
+            "every peer (default 1 — the key's first failover target)"
+        ),
+    )
+    return parser
+
+
+def cmd_serve(args: Sequence[str]) -> int:
+    """Run the async scheduling service over the batch engine."""
+    parser = build_serve_parser()
     opts = parser.parse_args(list(args))
     if opts.cache_entries is not None and not opts.cache_dir:
         raise ReproError(
@@ -427,6 +480,15 @@ def cmd_serve(args: Sequence[str]) -> int:
         raise ReproError(
             f"--max-batch must be at least 1, got {opts.max_batch}"
         )
+    if opts.peer_timeout <= 0:
+        raise ReproError(
+            f"--peer-timeout must be positive, got {opts.peer_timeout}"
+        )
+    if opts.publish_fanout < 0:
+        raise ReproError(
+            "--publish-fanout must be >= 0 (0 = all peers), got "
+            f"{opts.publish_fanout}"
+        )
 
     from repro.serve.server import run_server
 
@@ -440,11 +502,16 @@ def cmd_serve(args: Sequence[str]) -> int:
         max_batch=opts.max_batch,
         batch_window_ms=opts.batch_window_ms,
         drain_timeout_s=opts.drain_timeout,
+        peers=opts.peer or (),
+        peer_timeout_s=opts.peer_timeout,
+        publish=opts.publish,
+        publish_fanout=opts.publish_fanout,
     )
 
 
-def cmd_dispatch(args: Sequence[str]) -> int:
-    """Run the consistent-hash router over ``repro serve`` replicas."""
+def build_dispatch_parser() -> argparse.ArgumentParser:
+    """The ``repro dispatch`` argument parser (see
+    :func:`build_serve_parser` for why this is a named builder)."""
     parser = argparse.ArgumentParser(
         prog="repro dispatch",
         description=(
@@ -509,6 +576,12 @@ def cmd_dispatch(args: Sequence[str]) -> int:
         metavar="S",
         help="graceful-shutdown wait for in-flight requests (default 10s)",
     )
+    return parser
+
+
+def cmd_dispatch(args: Sequence[str]) -> int:
+    """Run the consistent-hash router over ``repro serve`` replicas."""
+    parser = build_dispatch_parser()
     opts = parser.parse_args(list(args))
     if not opts.replica:
         raise ReproError(

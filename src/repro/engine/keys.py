@@ -13,6 +13,20 @@ fingerprints (the expensive half — building the graph and hashing its
 canonical serialization) behind a bounded memo, exactly the behaviour
 the engine has always had.  :func:`cache_key_for` is the convenience
 one-shot.
+
+The same key also addresses the cluster tier: replicas exchange
+entries over ``GET/POST /cache/<key>`` (see :mod:`repro.store`), so
+every hop in the system — client, router, replica, peer — agrees on
+what an entry is named:
+
+>>> from repro.engine.job import JobSpec
+>>> spec = JobSpec.make("HAL", "2+/-,2*", "list")
+>>> key = cache_key_for(spec)
+>>> len(key), key == cache_key_for(spec)
+(64, True)
+>>> resolver = CacheKeyResolver()
+>>> resolver.key(spec) == key       # memoized path, same key
+True
 """
 
 from __future__ import annotations

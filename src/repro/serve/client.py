@@ -9,6 +9,16 @@ the protocol tests instead.
 >>> client.wait_ready()                      # doctest: +SKIP
 >>> client.schedule("HAL", algorithm="meta2")  # doctest: +SKIP
 {'format': 'repro-serve-v1', 'graph': 'HAL', ...}
+
+Responses expose the volatile provenance headers the service keeps
+out of its byte-deterministic bodies:
+
+>>> raw = RawResponse(status=200,
+...                   headers={"x-repro-source": "cache",
+...                            "x-repro-key": "ab" * 32},
+...                   body=b'{"length": 17}')
+>>> raw.source, raw.json()["length"]
+('cache', 17)
 """
 
 from __future__ import annotations
@@ -136,6 +146,17 @@ class ServeClient:
 
     def healthz(self) -> Dict[str, Any]:
         return self._checked(self.request("GET", "/healthz"))
+
+    def cache_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """``GET /cache/<key>``: the raw entry document, or None.
+
+        None mirrors the peer-transport contract: a clean 404 means
+        the replica simply does not hold the entry.
+        """
+        raw = self.request("GET", f"/cache/{key}")
+        if raw.status == 404:
+            return None
+        return self._checked(raw)
 
     def metrics(self) -> Dict[str, Any]:
         return self._checked(self.request("GET", "/metrics"))

@@ -19,6 +19,27 @@ Flushes run in a thread-pool executor (``engine.submit`` is
 thread-safe and blocking); multiple flushed batches may overlap there,
 sharing the engine's persistent process pool.  All coalescer state is
 touched only from the event loop, so there is no locking here.
+
+A burst of identical requests resolves through one computation — the
+first caller computes, the twins coalesce:
+
+>>> import asyncio
+>>> from repro.engine.batch import BatchEngine
+>>> from repro.engine.job import JobSpec
+>>> async def burst():
+...     coalescer = RequestCoalescer(
+...         BatchEngine(), batch_window_ms=1.0)
+...     spec = JobSpec.make("HAL", "2+/-,2*", "list")
+...     settled = await asyncio.gather(
+...         *(coalescer.schedule(spec) for _ in range(3)))
+...     await coalescer.drain()
+...     coalescer.close()
+...     return settled
+>>> settled = asyncio.run(burst())
+>>> sorted(coalesced for _, coalesced in settled)
+[False, True, True]
+>>> len({result.length for result, _ in settled})
+1
 """
 
 from __future__ import annotations

@@ -12,7 +12,17 @@ Handlers return ``(status, body, extra_headers)`` where ``body`` is
 either a JSON-safe dict (encoded canonically here) or raw ``bytes``
 passed through untouched.  The bytes path is what lets the dispatcher
 relay a replica's response verbatim, preserving the serving layer's
-byte-determinism contract across a network hop.
+byte-determinism contract across a network hop.  The cluster store's
+``GET/POST /cache/<key>`` exchanges ride the same transport — a peer
+is just another client speaking the same dialect.
+
+Transport refusals carry their HTTP status with them:
+
+>>> exc = BadRequest("request body too large", 413)
+>>> exc.status, str(exc)
+(413, 'request body too large')
+>>> REASONS[exc.status]
+'Payload Too Large'
 """
 
 from __future__ import annotations

@@ -55,6 +55,16 @@ class ServiceMetrics:
         cache hits and coalesced requests add nothing), also broken
         down per algorithm under ``algorithms`` with p50/p95 compute
         latencies, so serving hot spots are visible from ``/metrics``.
+    ``peer_served``
+        Cache entries this replica answered to peers' ``GET
+        /cache/<key>`` probes (404s don't count).
+    ``peer_received``
+        Entries installed from peers' ``POST /cache/<key>`` publishes.
+
+    The cluster tier's *client-side* counters (``peer_hits``,
+    ``peer_fetch_errors``, ``published``, ...) live on the
+    :class:`~repro.store.ClusterStore` itself and are merged into the
+    ``/metrics`` snapshot by the server.
     """
 
     def __init__(self) -> None:
@@ -66,6 +76,8 @@ class ServiceMetrics:
         self.rejected = 0
         self.errors = 0
         self.batches = 0
+        self.peer_served = 0
+        self.peer_received = 0
         self.in_flight = 0
         self.queued_jobs = 0
         self.compute_seconds_total = 0.0
@@ -102,6 +114,8 @@ class ServiceMetrics:
             "rejected": self.rejected,
             "errors": self.errors,
             "batches": self.batches,
+            "peer_served": self.peer_served,
+            "peer_received": self.peer_received,
             "in_flight": self.in_flight,
             "queue_depth": self.queued_jobs,
             "latency_p50_ms": percentile(window, 0.50) * 1000.0,

@@ -13,7 +13,20 @@ multi-replica dispatcher — exposing three endpoints:
 ``GET /healthz``
     Liveness plus a tiny status summary.
 ``GET /metrics``
-    The :class:`~repro.serve.metrics.ServiceMetrics` snapshot.
+    The :class:`~repro.serve.metrics.ServiceMetrics` snapshot (peer
+    store counters merged in when a cluster tier is configured).
+``GET /cache/<key>`` / ``POST /cache/<key>``
+    The cluster tier's wire surface (see :mod:`repro.store`): GET
+    serves this replica's cache entry for an exact engine cache key,
+    POST installs a peer-published entry.  Both are stats-free on the
+    schedule path — a peer probing never distorts hit/miss accounting.
+
+Replicas started with ``--peer`` wrap their cache in a
+:class:`~repro.store.ClusterStore`: local misses peer-fetch before
+computing, fresh computes publish to ring successors, and graceful
+shutdown flushes the async publisher between the request drain and the
+engine teardown — so a SIGTERM'd replica's results survive on its
+peers.
 
 Overload: at most ``max_queue`` schedule requests may be in flight;
 beyond that the server answers 429 with a ``Retry-After`` hint rather
@@ -27,10 +40,17 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.engine.batch import BatchEngine
+from repro.engine.cache import _is_key
 from repro.serve import protocol
+from repro.store import (
+    DEFAULT_PEER_TIMEOUT_S,
+    ClusterStore,
+    PeerError,
+    parse_entry,
+)
 from repro.serve.coalescer import (
     DEFAULT_BATCH_WINDOW_MS,
     DEFAULT_MAX_BATCH,
@@ -76,21 +96,46 @@ class ScheduleServer(HttpServerCore):
         batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
         drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
         max_cache_entries: Optional[int] = None,
+        peers: Iterable[str] = (),
+        peer_timeout_s: float = DEFAULT_PEER_TIMEOUT_S,
+        publish: str = "async",
+        publish_fanout: int = 1,
     ):
         super().__init__(host=host, port=port)
+        peers = tuple(peers)
+        if engine is not None and peers:
+            raise ValueError(
+                "pass `peers` only when the server builds its own "
+                "engine; wrap your cache in a ClusterStore instead"
+            )
         if engine is None:
             # Rich results by design: artifacts always captured, gaps
             # always computed (bounded to small graphs by the engine's
             # ops limit).  Any request flag combination then shares one
             # computation and one cache entry; responses are shaped per
             # request in the protocol layer.
-            engine = BatchEngine(
-                workers=workers,
-                cache_dir=cache_dir,
-                compute_gaps=True,
-                capture_schedules=True,
-                max_cache_entries=max_cache_entries,
-            )
+            if peers:
+                engine = BatchEngine(
+                    workers=workers,
+                    cache=ClusterStore(
+                        peers,
+                        cache_dir=cache_dir,
+                        max_entries=max_cache_entries,
+                        peer_timeout_s=peer_timeout_s,
+                        publish=publish,
+                        publish_fanout=publish_fanout,
+                    ),
+                    compute_gaps=True,
+                    capture_schedules=True,
+                )
+            else:
+                engine = BatchEngine(
+                    workers=workers,
+                    cache_dir=cache_dir,
+                    compute_gaps=True,
+                    capture_schedules=True,
+                    max_cache_entries=max_cache_entries,
+                )
         self.engine = engine
         self.max_queue = max_queue
         self.drain_timeout_s = drain_timeout_s
@@ -124,6 +169,15 @@ class ScheduleServer(HttpServerCore):
         await self.close_listener()
         drained = await self.coalescer.drain(self.drain_timeout_s)
         self.coalescer.close()
+        # Flush the cluster publisher *after* the drain (the drained
+        # requests' computes enqueue publishes) and *before* the engine
+        # goes down — this is what makes a SIGTERM'd replica's results
+        # survive on its peers.  Runs off-loop: flush polls with sleeps.
+        closer = getattr(self.engine.cache, "close", None)
+        if callable(closer):
+            await asyncio.get_running_loop().run_in_executor(
+                None, closer
+            )
         self.engine.shutdown()
         return drained
 
@@ -158,13 +212,74 @@ class ScheduleServer(HttpServerCore):
             if method != "GET":
                 self.metrics.errors += 1
                 return 405, protocol.error_payload("use GET /metrics"), {}
-            snapshot = self.metrics.snapshot()
-            snapshot["engine_cache"] = self.engine.cache.stats()
-            return 200, snapshot, {}
+            return 200, self.metrics_payload(), {}
+        if path.startswith("/cache/"):
+            return await self._handle_cache(method, path, body)
         self.metrics.errors += 1
         return 404, protocol.error_payload(
             f"no such endpoint {path!r}; try POST /schedule, "
             "GET /healthz, GET /metrics"
+        ), {}
+
+    def metrics_payload(self) -> Dict:
+        """The exact ``/metrics`` document for this replica."""
+        snapshot = self.metrics.snapshot()
+        snapshot["engine_cache"] = self.engine.cache.stats()
+        peer_stats = getattr(self.engine.cache, "peer_stats", None)
+        if callable(peer_stats):
+            # Top-level merge (not nested) so the dispatcher's
+            # cluster-wide aggregation sums them like any counter.
+            snapshot.update(peer_stats())
+        return snapshot
+
+    async def _handle_cache(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Body, Dict[str, str]]:
+        """The cluster tier's wire surface, one key per request.
+
+        Engine calls run in the default executor: they take the
+        engine's submission lock, and a peer probe must not stall the
+        event loop behind a long cache resolution.
+        """
+        key = path[len("/cache/"):]
+        if not _is_key(key):
+            self.metrics.errors += 1
+            return 400, protocol.error_payload(
+                "cache keys are 64-char sha256 hexdigests"
+            ), {}
+        loop = asyncio.get_running_loop()
+        if method == "GET":
+            entry = await loop.run_in_executor(
+                None, self.engine.entry_payload, key
+            )
+            if entry is None:
+                return 404, protocol.error_payload(
+                    f"no cache entry for key {key[:12]}..."
+                ), {"X-Repro-Key": key}
+            self.metrics.peer_served += 1
+            return 200, entry, {"X-Repro-Key": key}
+        if method == "POST":
+            try:
+                data = json.loads(body.decode("utf-8"))
+                result = parse_entry(data, key)
+            except (ValueError, UnicodeDecodeError, PeerError) as exc:
+                self.metrics.errors += 1
+                return 400, protocol.error_payload(
+                    f"bad cache entry: {exc}"
+                ), {}
+            accepted = await loop.run_in_executor(
+                None, self.engine.install_result, result
+            )
+            if not accepted:
+                self.metrics.errors += 1
+                return 400, protocol.error_payload(
+                    "error results are never cached"
+                ), {}
+            self.metrics.peer_received += 1
+            return 200, {"stored": True, "key": key}, {}
+        self.metrics.errors += 1
+        return 405, protocol.error_payload(
+            "use GET or POST /cache/<key>"
         ), {}
 
     async def _handle_schedule(
@@ -260,6 +375,4 @@ def run_server(**kwargs) -> int:
 
 def metrics_snapshot(server: ScheduleServer) -> Dict:
     """The exact ``/metrics`` document (handy for in-process tests)."""
-    snapshot = server.metrics.snapshot()
-    snapshot["engine_cache"] = server.engine.cache.stats()
-    return json.loads(json.dumps(snapshot))
+    return json.loads(json.dumps(server.metrics_payload()))

@@ -1,0 +1,29 @@
+"""Cluster-shared tiered result store (memory -> disk -> peers)."""
+
+from repro.store.cluster import (
+    PUBLISH_MODES,
+    PUBLISH_QUEUE_LIMIT,
+    ClusterStore,
+    entry_payload_of,
+    parse_entry,
+)
+from repro.store.peers import (
+    DEFAULT_PEER_TIMEOUT_S,
+    PeerError,
+    fetch_entry,
+    parse_address,
+    publish_entry,
+)
+
+__all__ = [
+    "ClusterStore",
+    "PeerError",
+    "PUBLISH_MODES",
+    "PUBLISH_QUEUE_LIMIT",
+    "DEFAULT_PEER_TIMEOUT_S",
+    "entry_payload_of",
+    "parse_entry",
+    "fetch_entry",
+    "parse_address",
+    "publish_entry",
+]

@@ -1,0 +1,421 @@
+"""The cluster-shared tiered result store.
+
+:class:`ClusterStore` extends the two local tiers of
+:class:`~repro.engine.cache.ResultCache` (memory, sharded disk) with a
+third: the *cluster peer tier*.  Peers are other ``repro serve``
+replicas; on a local miss the store fetches the entry by its exact
+engine cache key over ``GET /cache/<key>``, and on a fresh local
+compute it publishes the entry to its ring successors over
+``POST /cache/<key>`` — so the cluster as a whole computes each unique
+key once, and a replica's death loses no cache warmth its peers
+already hold.
+
+Tier walk order on fetch follows :meth:`HashRing.preference`: the
+key's *home* replica (the one the dispatcher routes the key to) is
+asked first, then the failover successors, so in steady state the
+first probe is also the most likely hit.  Publishes go to the first
+``publish_fanout`` ring successors — exactly the replicas the
+dispatcher would fail the key over to — so after a replica dies, the
+survivor that inherits its keys already holds its results.
+
+Failure policy, end to end: a peer that is down, slow, or talking
+garbage is *a miss plus a counter* (``peer_fetch_errors``), never an
+exception in a request path; a publish that cannot be delivered is a
+counter (``publish_errors``), never a failure of the originating
+request.
+
+Concurrency: the engine calls :meth:`get`/:meth:`put` under its
+submission lock, and calls :meth:`fetch_missing` *outside* it (network
+waits must not stall concurrent batches).  The async publisher runs on
+one background thread that touches only the network and the counter
+lock — never the cache structures.
+
+>>> store = ClusterStore([])          # no peers: a plain local store
+>>> store.lookup("0" * 64) is None
+True
+>>> store.peer_stats()["peer_hits"]
+0
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.engine.cache import ENTRY_FORMAT, ResultCache
+from repro.engine.job import JobResult
+from repro.errors import ReproError
+from repro.store import peers as peers_mod
+from repro.store.peers import DEFAULT_PEER_TIMEOUT_S, PeerError
+
+#: Publish deliveries queued but not yet attempted before the async
+#: publisher starts shedding (a shed delivery counts a publish_error).
+PUBLISH_QUEUE_LIMIT = 1024
+
+#: Modes for :class:`ClusterStore`'s ``publish`` parameter.
+PUBLISH_MODES = ("off", "async", "sync")
+
+_SENTINEL = object()
+
+
+def entry_payload_of(result: JobResult) -> Dict:
+    """The canonical entry document for ``result`` (format tag first).
+
+    Identical to what :meth:`ResultCache.put` writes to disk, so a
+    published entry round-trips byte-for-byte with a locally stored
+    one.
+    """
+    stored = dataclasses.replace(result, cached=False)
+    return {"format": ENTRY_FORMAT, **stored.to_dict()}
+
+
+def parse_entry(data: object, key: str) -> JobResult:
+    """Validate one peer-supplied entry document into a JobResult.
+
+    Refuses — with :class:`PeerError` — anything that must never enter
+    a local tier: non-objects, entries tagged with a format this
+    version cannot parse, payloads whose embedded key disagrees with
+    the requested one, structured *error* results (never cached, so
+    never accepted), and records missing required fields.
+    """
+    if not isinstance(data, dict):
+        raise PeerError("peer entry is not a JSON object")
+    tag = data.get("format")
+    if tag not in (None, ENTRY_FORMAT):
+        raise PeerError(f"peer entry has foreign format {tag!r}")
+    try:
+        result = JobResult.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PeerError(f"peer entry is malformed: {exc}")
+    if result.key != key:
+        raise PeerError(
+            f"peer entry key {result.key[:12]}... does not match the "
+            f"requested key {key[:12]}..."
+        )
+    if result.error is not None:
+        raise PeerError(
+            "peer entry is a structured failure; error results are "
+            "never cached"
+        )
+    return result
+
+
+class ClusterStore(ResultCache):
+    """Memory -> sharded disk -> cluster peer tier, one store.
+
+    Parameters
+    ----------
+    peers:
+        ``HOST:PORT`` addresses of the *other* replicas (never this
+        process itself).  Empty means the store degenerates to a plain
+        local :class:`ResultCache`.
+    cache_dir / max_entries:
+        The local tiers, exactly as in :class:`ResultCache`.
+    peer_timeout_s:
+        Per-exchange bound for fetches and publish deliveries.
+    publish:
+        ``"async"`` (default) delivers fresh entries from a background
+        thread; ``"sync"`` delivers inline in :meth:`put` (write-
+        through — slower puts, no loss window); ``"off"`` disables
+        publishing while leaving peer *fetch* active.
+    publish_fanout:
+        How many ring successors receive each fresh entry (``0`` means
+        every peer).  The default of 1 covers single-replica failure:
+        the publish target is exactly the dispatcher's first failover
+        choice for the key.
+    fetch / push:
+        Transport injection points for tests; defaults are
+        :func:`repro.store.peers.fetch_entry` and
+        :func:`repro.store.peers.publish_entry`.
+    """
+
+    def __init__(
+        self,
+        peers: Iterable[str] = (),
+        cache_dir: Union[str, Path, None] = None,
+        max_entries: Optional[int] = None,
+        peer_timeout_s: float = DEFAULT_PEER_TIMEOUT_S,
+        publish: str = "async",
+        publish_fanout: int = 1,
+        vnodes: Optional[int] = None,
+        fetch: Optional[Callable] = None,
+        push: Optional[Callable] = None,
+    ):
+        # Imported here, not at module level: repro.dispatch's package
+        # init pulls in the router, which imports the serve layer,
+        # which imports this module — a cycle at import time, but not
+        # at construction time.
+        from repro.dispatch.ring import DEFAULT_VNODES, HashRing
+
+        super().__init__(cache_dir, max_entries=max_entries)
+        if publish not in PUBLISH_MODES:
+            raise ReproError(
+                f"publish must be one of {'/'.join(PUBLISH_MODES)}, "
+                f"got {publish!r}"
+            )
+        if publish_fanout < 0:
+            raise ReproError(
+                f"publish_fanout must be >= 0 (0 = all peers), got "
+                f"{publish_fanout}"
+            )
+        if peer_timeout_s <= 0:
+            raise ReproError(
+                f"peer_timeout_s must be positive, got {peer_timeout_s}"
+            )
+        self.peers: Dict[str, tuple] = {}
+        for text in peers:
+            host, port = peers_mod.parse_address(text)
+            name = f"{host}:{port}"
+            if name in self.peers:
+                raise ReproError(f"duplicate peer address {name!r}")
+            self.peers[name] = (host, port)
+        self.ring = HashRing(
+            self.peers,
+            vnodes=DEFAULT_VNODES if vnodes is None else vnodes,
+        )
+        self.peer_timeout_s = peer_timeout_s
+        self.publish_mode = publish if self.peers else "off"
+        self.publish_fanout = publish_fanout
+        self._fetch = fetch if fetch is not None else peers_mod.fetch_entry
+        self._push = push if push is not None else peers_mod.publish_entry
+        # Peer-tier counters; the lock covers them against the async
+        # publisher thread (everything else runs under the engine's
+        # submission lock or on the caller's thread).
+        self._peer_lock = threading.Lock()
+        self.peer_hits = 0
+        self.peer_misses = 0
+        self.peer_fetch_errors = 0
+        self.published = 0
+        self.publish_errors = 0
+        self._pending = 0
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=PUBLISH_QUEUE_LIMIT
+        )
+        self._publisher: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # The cluster tier: fetch.
+
+    def fetch_missing(self, keys: Iterable[str]) -> Dict[str, JobResult]:
+        """Peer-fetch entries for ``keys``; pure network, no mutation.
+
+        This is the hook :meth:`BatchEngine.submit` calls *outside* its
+        submission lock, so slow peers never stall concurrent batches;
+        the engine installs whatever comes back under the lock.  Each
+        key walks :meth:`HashRing.preference` — home replica first,
+        then the failover successors — and every per-peer failure
+        (refused, timed out, corrupt payload) is counted in
+        ``peer_fetch_errors`` and skipped; a walk that finds nothing is
+        one ``peer_miss``.  Never raises.
+        """
+        found: Dict[str, JobResult] = {}
+        if not self.peers:
+            return found
+        for key in keys:
+            result = self._fetch_one(key)
+            if result is not None:
+                found[key] = result
+        return found
+
+    def _fetch_one(self, key: str) -> Optional[JobResult]:
+        for name in self.ring.preference(key):
+            host, port = self.peers[name]
+            try:
+                data = self._fetch(
+                    host, port, key, timeout=self.peer_timeout_s
+                )
+                if data is None:
+                    continue  # clean 404: this peer just lacks it
+                result = parse_entry(data, key)
+            except PeerError:
+                with self._peer_lock:
+                    self.peer_fetch_errors += 1
+                continue
+            except Exception:
+                # A transport stub misbehaving must still degrade to a
+                # miss: the fallback is always local compute.
+                with self._peer_lock:
+                    self.peer_fetch_errors += 1
+                continue
+            with self._peer_lock:
+                self.peer_hits += 1
+            return result
+        with self._peer_lock:
+            self.peer_misses += 1
+        return None
+
+    def lookup(
+        self,
+        key: str,
+        require: Optional[Callable[[JobResult], bool]] = None,
+        strip_artifact: bool = False,
+    ) -> Optional[JobResult]:
+        """The full tier walk: local get, else peer fetch + install.
+
+        The one-call form of what the engine does in two phases.  A
+        fetched entry is installed into the local tiers (without
+        re-publishing — the cluster already holds it) and returned
+        marked ``cached=True``; an entry ``require`` rejects stays
+        installed (so :meth:`peek` can merge payloads) but reads as a
+        miss, exactly like the local-tier contract.
+        """
+        local = self.get(
+            key, require=require, strip_artifact=strip_artifact
+        )
+        if local is not None or not self.peers:
+            return local
+        fetched = self._fetch_one(key)
+        if fetched is None:
+            return None
+        self.install(fetched)
+        if require is not None and not require(fetched):
+            return None
+        artifact = (
+            None if strip_artifact else copy.deepcopy(fetched.artifact)
+        )
+        return dataclasses.replace(
+            fetched, cached=True, artifact=artifact
+        )
+
+    # ------------------------------------------------------------------
+    # The cluster tier: publish.
+
+    def install(self, result: JobResult) -> None:
+        """Store an entry in the *local* tiers only (no publish).
+
+        Peer-supplied entries come through here — both fetch installs
+        and ``POST /cache/<key>`` receives — so an entry never echoes
+        back into the cluster it arrived from.
+        """
+        super().put(result)
+
+    def put(self, result: JobResult) -> None:
+        """Store a fresh local compute, then publish it to the ring.
+
+        The local write keeps :class:`ResultCache` semantics exactly
+        (including raising on an unwritable store); the publish step
+        can only ever add counters, never exceptions.
+        """
+        super().put(result)
+        if (
+            self.publish_mode == "off"
+            or not self.peers
+            or result.error is not None
+        ):
+            return
+        payload = json.dumps(
+            entry_payload_of(result), sort_keys=True
+        ).encode("utf-8")
+        targets = self._publish_targets(result.key)
+        if self.publish_mode == "sync":
+            for name in targets:
+                self._deliver(name, result.key, payload)
+            return
+        for name in targets:
+            self._enqueue(name, result.key, payload)
+
+    def _publish_targets(self, key: str) -> List[str]:
+        limit = self.publish_fanout if self.publish_fanout > 0 else None
+        return self.ring.preference(key, limit=limit)
+
+    def _deliver(self, name: str, key: str, payload: bytes) -> None:
+        host, port = self.peers[name]
+        try:
+            self._push(
+                host, port, key, payload, timeout=self.peer_timeout_s
+            )
+        except Exception:
+            # A dead or refusing peer must never fail the originating
+            # request (or the publisher thread); the counter is the
+            # only trace.
+            with self._peer_lock:
+                self.publish_errors += 1
+            return
+        with self._peer_lock:
+            self.published += 1
+
+    def _enqueue(self, name: str, key: str, payload: bytes) -> None:
+        self._ensure_publisher()
+        with self._peer_lock:
+            self._pending += 1
+        try:
+            self._queue.put_nowait((name, key, payload))
+        except queue.Full:
+            # Shedding beats blocking a compute path on a wedged peer.
+            with self._peer_lock:
+                self._pending -= 1
+                self.publish_errors += 1
+
+    def _ensure_publisher(self) -> None:
+        if self._publisher is not None and self._publisher.is_alive():
+            return
+        self._publisher = threading.Thread(
+            target=self._publish_loop,
+            name="repro-store-publisher",
+            daemon=True,
+        )
+        self._publisher.start()
+
+    def _publish_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            name, key, payload = item
+            try:
+                self._deliver(name, key, payload)
+            finally:
+                with self._peer_lock:
+                    self._pending -= 1
+
+    def flush(self, timeout: Optional[float] = 10.0) -> bool:
+        """Wait until queued async publishes were attempted.
+
+        Returns True when the queue drained inside ``timeout`` (None =
+        wait forever).  "Attempted" includes failed deliveries — those
+        are accounted in ``publish_errors``, not retried.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            with self._peer_lock:
+                if self._pending <= 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+
+    def close(self, timeout: Optional[float] = 10.0) -> bool:
+        """Flush pending publishes and retire the publisher thread."""
+        drained = self.flush(timeout)
+        self._closed = True
+        publisher = self._publisher
+        if publisher is not None and publisher.is_alive():
+            self._queue.put(_SENTINEL)
+            publisher.join(timeout=5.0)
+        self._publisher = None
+        return drained
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    def peer_stats(self) -> Dict[str, int]:
+        """Cluster-tier counters (complements :meth:`stats`)."""
+        with self._peer_lock:
+            return {
+                "peers": len(self.peers),
+                "peer_hits": self.peer_hits,
+                "peer_misses": self.peer_misses,
+                "peer_fetch_errors": self.peer_fetch_errors,
+                "published": self.published,
+                "publish_errors": self.publish_errors,
+                "publish_pending": max(0, self._pending),
+            }

@@ -1,0 +1,188 @@
+"""Keep docs/*.md and the code from drifting apart.
+
+Three sync contracts:
+
+1. every dotted ``repro.*`` reference in the docs resolves to a real
+   module (or an attribute of one);
+2. the CLI flags documented in OPERATIONS.md are exactly the flags
+   the ``repro serve`` / ``repro dispatch`` argparsers accept;
+3. every counter in the live ``/metrics`` schemas appears in
+   OPERATIONS.md (and every flag-like token in the docs exists).
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.dispatch.metrics import CLUSTER_SUM_FIELDS, DispatchMetrics
+from repro.engine.cli import build_dispatch_parser, build_serve_parser
+from repro.serve.server import ScheduleServer
+from repro.store import ClusterStore
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+DOC_FILES = sorted(DOCS.glob("*.md"))
+
+REFERENCE = re.compile(r"\brepro(?:\.\w+)+")
+# Lookarounds keep ASCII-diagram runs of dashes from matching.
+FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9]+(?:-[a-z0-9]+)*(?![\w-])")
+
+
+def doc_text(name: str) -> str:
+    path = DOCS / name
+    assert path.exists(), f"{name} is missing from docs/"
+    return path.read_text(encoding="utf-8")
+
+
+def test_docs_exist():
+    for name in ("ARCHITECTURE.md", "OPERATIONS.md"):
+        assert (DOCS / name).exists(), f"docs/{name} is required"
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=lambda p: p.name
+)
+def test_module_references_resolve(path):
+    """Every ``repro.x.y`` mentioned in the docs must exist."""
+    text = path.read_text(encoding="utf-8")
+    for reference in sorted(set(REFERENCE.findall(text))):
+        parts = reference.split(".")
+        # Import the longest importable prefix, then getattr the rest
+        # (references may name classes/functions inside a module).
+        module = None
+        for end in range(len(parts), 0, -1):
+            try:
+                module = importlib.import_module(".".join(parts[:end]))
+                break
+            except ImportError:
+                continue
+        assert module is not None, (
+            f"{path.name} references {reference!r}: no importable "
+            "module prefix"
+        )
+        obj = module
+        for attribute in parts[end:]:
+            assert hasattr(obj, attribute), (
+                f"{path.name} references {reference!r}, but "
+                f"{obj.__name__!r} has no attribute {attribute!r}"
+            )
+            obj = getattr(obj, attribute)
+
+
+def section_of(text: str, heading: str) -> str:
+    """The body between ``## heading`` and the next ``## `` heading."""
+    marker = f"## {heading}"
+    assert marker in text, f"OPERATIONS.md lost its {marker!r} section"
+    body = text.split(marker, 1)[1]
+    follow = re.search(r"\n## [^#]", body)
+    return body[: follow.start()] if follow else body
+
+
+def parser_flags(parser) -> set:
+    flags = set()
+    for action in parser._actions:
+        flags.update(
+            option
+            for option in action.option_strings
+            if option.startswith("--")
+        )
+    flags.discard("--help")
+    return flags
+
+
+@pytest.mark.parametrize(
+    "heading,builder",
+    [
+        ("repro serve", build_serve_parser),
+        ("repro dispatch", build_dispatch_parser),
+    ],
+)
+def test_operations_flags_match_parser(heading, builder):
+    """Documented flags == accepted flags, both directions."""
+    section = section_of(doc_text("OPERATIONS.md"), heading)
+    documented = set(FLAG.findall(section))
+    accepted = parser_flags(builder())
+    missing = accepted - documented
+    assert not missing, (
+        f"`{heading}` flags not documented in OPERATIONS.md: "
+        f"{sorted(missing)}"
+    )
+    phantom = documented - accepted
+    assert not phantom, (
+        f"OPERATIONS.md documents `{heading}` flags the parser does "
+        f"not accept: {sorted(phantom)}"
+    )
+
+
+def test_every_doc_flag_is_accepted_somewhere():
+    """No doc file may mention a flag no repro CLI accepts."""
+    accepted = parser_flags(build_serve_parser()) | parser_flags(
+        build_dispatch_parser()
+    )
+    for path in DOC_FILES:
+        for flag in set(FLAG.findall(path.read_text(encoding="utf-8"))):
+            assert flag in accepted, (
+                f"{path.name} mentions {flag}, which no serve/dispatch "
+                "parser accepts"
+            )
+
+
+def test_serve_metrics_counters_documented():
+    """Every key in the live serve /metrics schema is in the runbook."""
+    operations = doc_text("OPERATIONS.md")
+    server = ScheduleServer(
+        engine=None,
+        peers=["127.0.0.1:9001"],
+        publish="off",
+    )
+    try:
+        snapshot = server.metrics_payload()
+    finally:
+        server.engine.shutdown()
+        server.engine.cache.close(timeout=1.0)
+    for counter in snapshot:
+        assert f"`{counter}`" in operations, (
+            f"serve /metrics key {counter!r} is undocumented in "
+            "OPERATIONS.md"
+        )
+    for counter in snapshot["engine_cache"]:
+        assert f"`{counter}`" in operations
+
+
+def test_dispatch_metrics_counters_documented():
+    operations = doc_text("OPERATIONS.md")
+    for counter in DispatchMetrics().snapshot():
+        assert f"`{counter}`" in operations, (
+            f"router /metrics key {counter!r} is undocumented in "
+            "OPERATIONS.md"
+        )
+
+
+def test_cluster_sum_fields_are_real_serve_counters():
+    """The aggregation field list must match the serve schema, or the
+    cluster section silently sums zeros."""
+    server = ScheduleServer(
+        engine=None,
+        peers=["127.0.0.1:9001"],
+        publish="off",
+    )
+    try:
+        snapshot = server.metrics_payload()
+    finally:
+        server.engine.shutdown()
+        server.engine.cache.close(timeout=1.0)
+    for field in CLUSTER_SUM_FIELDS:
+        assert field in snapshot, (
+            f"CLUSTER_SUM_FIELDS names {field!r}, absent from the "
+            "serve /metrics schema"
+        )
+
+
+def test_peer_store_counters_documented():
+    operations = doc_text("OPERATIONS.md")
+    for counter in ClusterStore([]).peer_stats():
+        assert f"`{counter}`" in operations, (
+            f"peer store counter {counter!r} is undocumented in "
+            "OPERATIONS.md"
+        )

@@ -1,0 +1,122 @@
+"""BatchEngine over a ClusterStore: the two-phase miss resolution.
+
+The engine must consult the cluster tier between its local cache pass
+and the compute phase — outside the submission lock — and a fetched
+entry must count as a cache hit (``cached=True``), never a compute.
+"""
+
+import threading
+
+from repro.engine.batch import BatchEngine
+from repro.engine.job import JobSpec
+from repro.engine.keys import cache_key_for
+from repro.store import ClusterStore, PeerError, entry_payload_of
+
+PEERS = ["127.0.0.1:9001", "127.0.0.2:9002"]
+
+SPEC = JobSpec.make("HAL", "2+/-,2*", "list")
+
+
+def rich_engine(cache):
+    """An engine configured the way the serving layer configures one."""
+    return BatchEngine(
+        cache=cache, compute_gaps=True, capture_schedules=True
+    )
+
+
+def computed_entry():
+    """A full-fat entry for SPEC, as another replica would publish it."""
+    donor = rich_engine(ClusterStore([]))
+    result = donor.submit([SPEC])[0]
+    return cache_key_for(SPEC), entry_payload_of(
+        donor.cache.peek(result.key)
+    )
+
+
+class TestPeerResolution:
+    def test_peer_hit_skips_compute(self):
+        key, entry = computed_entry()
+        calls = []
+
+        def fetch(host, port, wanted, timeout):
+            calls.append(wanted)
+            return entry if wanted == key else None
+
+        store = ClusterStore(
+            PEERS, fetch=fetch, push=lambda *a, **k: None
+        )
+        engine = rich_engine(store)
+        result = engine.submit([SPEC])[0]
+        assert result.cached, "a peer-fetched result is a cache hit"
+        assert result.length == 8
+        assert calls, "the engine consulted the cluster tier"
+        assert store.peer_stats()["peer_hits"] == 1
+        # Installed locally: the next submit is a pure local hit.
+        calls.clear()
+        again = engine.submit([SPEC])[0]
+        assert again.cached and not calls
+
+    def test_peer_failure_falls_back_to_local_compute(self):
+        def fetch(host, port, wanted, timeout):
+            raise PeerError("peer is down")
+
+        store = ClusterStore(
+            PEERS, fetch=fetch, push=lambda *a, **k: None
+        )
+        engine = rich_engine(store)
+        result = engine.submit([SPEC])[0]
+        assert not result.cached, "fell back to computing locally"
+        assert result.length == 8
+        assert store.peer_stats()["peer_fetch_errors"] == len(PEERS)
+
+    def test_fetch_runs_outside_the_submission_lock(self):
+        """A slow peer must not serialize concurrent submits."""
+        key, entry = computed_entry()
+        in_fetch = threading.Event()
+        release = threading.Event()
+
+        def fetch(host, port, wanted, timeout):
+            in_fetch.set()
+            assert release.wait(10), "fetch was never released"
+            return entry if wanted == key else None
+
+        store = ClusterStore(
+            ["127.0.0.1:9001"], fetch=fetch, push=lambda *a, **k: None
+        )
+        engine = rich_engine(store)
+        slow = threading.Thread(target=engine.submit, args=([SPEC],))
+        slow.start()
+        try:
+            assert in_fetch.wait(10)
+            # With the fetch parked mid-network, a different job must
+            # still get through the submission lock and compute.
+            other = engine.submit(
+                [JobSpec.make("FIR", "2+/-,2*", "list")]
+            )[0]
+            assert other.length > 0
+        finally:
+            release.set()
+            slow.join(30)
+
+    def test_fresh_compute_publishes(self):
+        pushes = []
+
+        def push(host, port, key, payload, timeout):
+            pushes.append(f"{host}:{port}")
+
+        store = ClusterStore(
+            PEERS,
+            publish="sync",
+            fetch=lambda *a, **k: None,
+            push=push,
+        )
+        engine = rich_engine(store)
+        engine.submit([SPEC])
+        assert pushes == [store.ring.preference(cache_key_for(SPEC))[0]]
+
+    def test_plain_cache_engines_are_unaffected(self):
+        """No fetch_missing on the cache -> the old single-phase path."""
+        engine = BatchEngine()
+        result = engine.submit([SPEC])[0]
+        assert not result.cached
+        assert engine.submit([SPEC])[0].cached

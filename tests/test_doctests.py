@@ -9,6 +9,14 @@ import repro.ir.builder
 import repro.scheduling.resources
 import repro.core.scheduler
 import repro.engine.cache
+import repro.engine.keys
+import repro.dispatch.ring
+import repro.dispatch.router
+import repro.serve.coalescer
+import repro.serve.http
+import repro.serve.client
+import repro.store.cluster
+import repro.store.peers
 
 MODULES = [
     repro.ir.ops,
@@ -16,6 +24,14 @@ MODULES = [
     repro.scheduling.resources,
     repro.core.scheduler,
     repro.engine.cache,
+    repro.engine.keys,
+    repro.dispatch.ring,
+    repro.dispatch.router,
+    repro.serve.coalescer,
+    repro.serve.http,
+    repro.serve.client,
+    repro.store.cluster,
+    repro.store.peers,
 ]
 
 
