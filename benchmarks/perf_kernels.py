@@ -41,7 +41,7 @@ try:
 except ImportError:  # running from a source checkout without install
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.graphs.random_dags import random_layered_dag
+from repro.graphs.random_dags import random_hier_dag, random_layered_dag
 from repro.ir import GraphView
 from repro.ir.analysis import diameter
 from repro.scheduling import (
@@ -147,6 +147,50 @@ def bench_fds(dfg, resources, latency: int):
     }
 
 
+def bench_hier(num_nodes: int, seed: int, resources_text: str):
+    """Orchestration overhead of hierarchical scheduling.
+
+    Times one local ``hier_schedule`` run on a seeded blocky DAG and
+    splits the wall time into subgraph *scheduling* (the backend) and
+    *orchestration* (partitioning, window derivation, stitching,
+    validation).  The gate pins the orchestration-to-scheduling
+    *ratio*, which is machine-independent like the kernel speedups.
+    """
+    from repro.hier.orchestrator import LocalBackend, hier_schedule
+
+    class TimedBackend(LocalBackend):
+        def __init__(self):
+            self.seconds = 0.0
+
+        def run(self, specs):
+            started = time.perf_counter()
+            results = super().run(specs)
+            self.seconds += time.perf_counter() - started
+            return results
+
+    dfg = random_hier_dag(num_nodes, seed=seed)
+    backend = TimedBackend()
+    total_s, result = _timed(
+        lambda: hier_schedule(dfg, resources_text, backend=backend)
+    )
+    schedule_s = backend.seconds
+    overhead_s = max(0.0, total_s - schedule_s)
+    return {
+        "nodes": num_nodes,
+        "seed": seed,
+        "parts": result.num_partitions,
+        "cut": result.partition.cut_size,
+        "rounds": result.rounds,
+        "length": result.schedule.length,
+        "total_s": total_s,
+        "schedule_s": schedule_s,
+        "overhead_s": overhead_s,
+        "overhead_ratio": overhead_s / schedule_s
+        if schedule_s > 0
+        else float("inf"),
+    }
+
+
 def bench_list(dfg, resources):
     ready_s, ready = _timed(
         lambda: list_schedule(dfg, resources, ListPriority.READY_ORDER)
@@ -216,7 +260,19 @@ def main(argv=None) -> int:
         help="exit 1 unless incremental frames are at least X times "
         "faster than full recompute",
     )
+    parser.add_argument(
+        "--hier-nodes", type=int, default=None, metavar="N",
+        help="also time hierarchical scheduling on an N-op blocky DAG "
+        "(off by default; this cell is the slow one)",
+    )
+    parser.add_argument(
+        "--max-hier-overhead", type=float, default=None, metavar="X",
+        help="with --hier-nodes: exit 1 when partition+stitch overhead "
+        "exceeds X times the subgraph scheduling time",
+    )
     opts = parser.parse_args(argv)
+    if opts.max_hier_overhead is not None and opts.hier_nodes is None:
+        parser.error("--max-hier-overhead needs --hier-nodes")
 
     dfg = random_layered_dag(opts.nodes, seed=opts.seed)
     resources = ResourceSet.parse(DEFAULT_RESOURCES)
@@ -252,6 +308,17 @@ def main(argv=None) -> int:
         f"  list      : ready {entry['list']['ready_s'] * 1000:.2f} ms, "
         f"mobility {entry['list']['mobility_s'] * 1000:.2f} ms"
     )
+    if opts.hier_nodes is not None:
+        entry["hier"] = hier = bench_hier(
+            opts.hier_nodes, opts.seed, DEFAULT_RESOURCES
+        )
+        print(
+            f"  hier      : {hier['nodes']} ops -> {hier['parts']} parts, "
+            f"{hier['rounds']} rounds, length {hier['length']}; "
+            f"schedule {hier['schedule_s']:.2f}s + orchestration "
+            f"{hier['overhead_s']:.2f}s "
+            f"({hier['overhead_ratio']:.2f}x ratio)"
+        )
 
     if not opts.no_json:
         path = Path(opts.json)
@@ -278,6 +345,15 @@ def main(argv=None) -> int:
         failures.append(
             f"frames speedup {entry['frames']['speedup']:.1f}x below "
             f"the {opts.min_frames_speedup:g}x gate"
+        )
+    if (
+        opts.max_hier_overhead is not None
+        and entry["hier"]["overhead_ratio"] > opts.max_hier_overhead
+    ):
+        failures.append(
+            f"hier orchestration overhead "
+            f"{entry['hier']['overhead_ratio']:.2f}x above the "
+            f"{opts.max_hier_overhead:g}x gate"
         )
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

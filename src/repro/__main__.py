@@ -17,6 +17,8 @@ bench          run the unified benchmark suite (``--check`` gates CI)
 serve          run the async scheduling service (JSON over HTTP)
 dispatch       route jobs across several serve replicas
                (consistent-hash on the cache key, with failover)
+hier           hierarchically schedule one large graph (partition,
+               fan out window-constrained jobs, stitch, iterate)
 =============  ====================================================
 
 Exit codes: 0 success, 1 benchmark regression (``bench --check``),
@@ -125,6 +127,12 @@ def _cmd_dispatch(args) -> int:
     return cmd_dispatch(args)
 
 
+def _cmd_hier(args) -> int:
+    from repro.hier.cli import cmd_hier
+
+    return cmd_hier(args)
+
+
 _COMMANDS = {
     "figure3": _cmd_figure3,
     "figure1": _cmd_figure1,
@@ -137,6 +145,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "dispatch": _cmd_dispatch,
+    "hier": _cmd_hier,
 }
 
 

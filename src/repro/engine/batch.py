@@ -46,7 +46,13 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.engine.cache import ResultCache
-from repro.engine.job import ALGORITHMS, GraphSpec, JobResult, JobSpec
+from repro.engine.job import (
+    ALGORITHMS,
+    GraphSpec,
+    JobResult,
+    JobSpec,
+    validated_windows,
+)
 from repro.engine.keys import FINGERPRINT_MEMO_LIMIT, CacheKeyResolver
 from repro.errors import SchedulingError
 from repro.scheduling.base import schedule_artifact
@@ -100,7 +106,18 @@ def execute_job(
     error: Optional[str] = None
     schedule = None
     try:
-        schedule = runner(dfg, resources)
+        if spec.windows:
+            # Window pins ride only on WINDOW_ALGORITHMS runners (the
+            # spec constructor enforces membership); the windowless
+            # call stays two-positional so algorithm stubs in tests
+            # keep working.  A window naming an op the graph does not
+            # have is a structured failure like any other infeasible
+            # job, not a batch abort.
+            schedule = runner(
+                dfg, resources, windows=validated_windows(dfg, spec)
+            )
+        else:
+            schedule = runner(dfg, resources)
     except SchedulingError as exc:
         error = f"{type(exc).__name__}: {exc}"
     runtime_s = time.perf_counter() - started
@@ -109,6 +126,7 @@ def execute_job(
     if (
         schedule is not None
         and compute_gap
+        and not spec.windows
         and spec.algorithm != "exact"
         and num_input_ops <= gap_ops_limit
     ):

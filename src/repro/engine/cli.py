@@ -616,11 +616,21 @@ def cmd_dispatch(args: Sequence[str]) -> int:
     )
 
 
+def cmd_hier(args: Sequence[str]) -> int:
+    """Run the hierarchical scheduling orchestrator (see repro.hier)."""
+    # Local import: repro.hier pulls in the orchestration layer, which
+    # the plain batch/bench/serve commands never need.
+    from repro.hier.cli import cmd_hier as run_hier
+
+    return run_hier(args)
+
+
 _HANDLERS = {
     "batch": cmd_batch,
     "bench": cmd_bench,
     "serve": cmd_serve,
     "dispatch": cmd_dispatch,
+    "hier": cmd_hier,
 }
 
 
@@ -629,7 +639,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in _HANDLERS:
         print(
-            "usage: repro.engine.cli {batch,bench,serve,dispatch} ...",
+            "usage: repro.engine.cli {batch,bench,serve,dispatch,hier} ...",
             file=sys.stderr,
         )
         return 2

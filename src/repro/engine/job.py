@@ -21,7 +21,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.scheduler import threaded_schedule
 from repro.errors import SchedulingError
-from repro.graphs.random_dags import random_expression_dag, random_layered_dag
+from repro.graphs.random_dags import (
+    random_expression_dag,
+    random_hier_dag,
+    random_layered_dag,
+)
 from repro.graphs.registry import get_graph
 from repro.ir.analysis import diameter
 from repro.ir.dfg import DataFlowGraph
@@ -39,6 +43,7 @@ from repro.scheduling.resources import ResourceSet
 _RANDOM_FAMILIES = {
     "layered": random_layered_dag,
     "expression": random_expression_dag,
+    "hier": random_hier_dag,
 }
 
 
@@ -125,18 +130,71 @@ class GraphSpec:
 FDS_SLACK = 3
 
 
-def _run_list_ready(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
-    return list_schedule(dfg, resources, ListPriority.READY_ORDER)
+#: Per-op start-window pins as stored on a spec: sorted
+#: ``((op, (lo, hi)), ...)`` pairs (hashable for coalescing).
+Windows = Tuple[Tuple[str, Tuple[int, int]], ...]
 
 
-def _run_list_cp(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
-    return list_schedule(dfg, resources, ListPriority.SINK_DISTANCE)
-
-
-def _run_fds(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
-    return force_directed_schedule(
-        dfg, resources, latency=diameter(dfg) + FDS_SLACK
+def _run_list_ready(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> Schedule:
+    return list_schedule(
+        dfg, resources, ListPriority.READY_ORDER, windows=windows
     )
+
+
+def _run_list_cp(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> Schedule:
+    return list_schedule(
+        dfg, resources, ListPriority.SINK_DISTANCE, windows=windows
+    )
+
+
+def _windowed_latency(
+    dfg: DataFlowGraph, windows: Optional[Dict[str, Tuple[int, int]]]
+) -> int:
+    """FDS latency bound that leaves room for every window upper pin.
+
+    ``hi[i] = latency - tdist[i]`` in the frame engine, so honouring a
+    pin ``start <= whi`` needs ``latency >= whi + tdist``; anything
+    less would make the pinned frame infeasible before scheduling even
+    starts.
+    """
+    latency = diameter(dfg) + FDS_SLACK
+    if windows:
+        view = dfg.view()
+        tdist = view.sink_distance_array()
+        index = view.index
+        for op, (_lo, hi) in windows.items():
+            need = hi + tdist[index[op]]
+            if need > latency:
+                latency = need
+    return latency
+
+
+def _run_fds(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> Schedule:
+    return force_directed_schedule(
+        dfg,
+        resources,
+        latency=_windowed_latency(dfg, windows),
+        windows=windows,
+    )
+
+
+def _run_hier(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
+    # Local import: repro.hier builds on this module's JobSpec.
+    from repro.hier.orchestrator import hier_schedule
+
+    return hier_schedule(dfg, resources).schedule
 
 
 def _run_exact(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
@@ -160,7 +218,15 @@ ALGORITHMS: Dict[str, Callable[[DataFlowGraph, ResourceSet], Schedule]] = {
     "threaded(meta3)": _make_threaded("meta3-paths"),
     "threaded(meta4)": _make_threaded("meta4-list-order"),
     "exact": _run_exact,
+    "hier-fds": _run_hier,
 }
+
+#: Algorithms whose runners accept per-op window constraints (a
+#: ``windows=`` keyword).  ``JobSpec.make`` rejects windows on any
+#: other algorithm before a job is built.
+WINDOW_ALGORITHMS = frozenset(
+    {"list(ready)", "list(critical-path)", "force-directed"}
+)
 
 _ALGORITHM_ALIASES = {
     "list": "list(ready)",
@@ -179,6 +245,7 @@ _ALGORITHM_ALIASES = {
     "threaded-meta3": "threaded(meta3)",
     "threaded-meta4": "threaded(meta4)",
     "bnb": "exact",
+    "hier": "hier-fds",
 }
 
 
@@ -197,6 +264,55 @@ def canonical_algorithm(name: str) -> str:
 # ----------------------------------------------------------------------
 
 
+def _normalize_windows(windows, algorithm: str) -> Windows:
+    """Validate and canonicalize per-op window pins for a spec.
+
+    Accepts a ``{op: (lo, hi)}`` mapping or an iterable of pairs and
+    returns the sorted, hashable tuple form.  Raises
+    :class:`SchedulingError` on malformed bounds, duplicate ops, or an
+    algorithm outside :data:`WINDOW_ALGORITHMS`.
+    """
+    if not windows:
+        return ()
+    if algorithm not in WINDOW_ALGORITHMS:
+        known = ", ".join(sorted(WINDOW_ALGORITHMS))
+        raise SchedulingError(
+            f"algorithm {algorithm!r} does not support window "
+            f"constraints; window-capable algorithms: {known}"
+        )
+    items = windows.items() if isinstance(windows, dict) else windows
+    normalized = []
+    for op, bounds in items:
+        try:
+            lo, hi = bounds
+        except (TypeError, ValueError):
+            raise SchedulingError(
+                f"window for {op!r} must be a (lo, hi) pair, "
+                f"got {bounds!r}"
+            ) from None
+        if (
+            isinstance(lo, bool)
+            or isinstance(hi, bool)
+            or not isinstance(lo, int)
+            or not isinstance(hi, int)
+        ):
+            raise SchedulingError(
+                f"window bounds for {op!r} must be integers, "
+                f"got {bounds!r}"
+            )
+        if lo < 0 or lo > hi:
+            raise SchedulingError(
+                f"window for {op!r} must satisfy 0 <= lo <= hi, "
+                f"got ({lo}, {hi})"
+            )
+        normalized.append((str(op), (lo, hi)))
+    normalized.sort()
+    for prev, cur in zip(normalized, normalized[1:]):
+        if prev[0] == cur[0]:
+            raise SchedulingError(f"duplicate window for op {cur[0]!r}")
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One unit of batch work: schedule ``graph`` on ``resources``.
@@ -204,14 +320,21 @@ class JobSpec:
     ``resources`` is kept in the paper's canonical notation (a string)
     so the spec pickles and hashes trivially; use :meth:`make` to accept
     either a string or a :class:`ResourceSet` and normalize both.
+
+    ``windows`` optionally pins per-op ``(lo, hi)`` start bounds — the
+    boundary-constraint mechanism of hierarchical scheduling.  It is
+    stored as a sorted tuple of pairs so specs stay hashable (the
+    request coalescer keys its in-flight map on the spec) and two
+    equal window sets always produce the same cache key.
     """
 
     graph: GraphSpec
     resources: str
     algorithm: str
+    windows: Windows = ()
 
     @classmethod
-    def make(cls, graph, resources, algorithm: str) -> "JobSpec":
+    def make(cls, graph, resources, algorithm: str, windows=None) -> "JobSpec":
         if isinstance(graph, DataFlowGraph):
             graph = GraphSpec.inline(graph)
         if not isinstance(graph, GraphSpec):
@@ -220,19 +343,55 @@ class JobSpec:
             notation = resources.notation()
         else:
             notation = ResourceSet.parse(resources).notation()
+        algorithm_id = canonical_algorithm(algorithm)
         return cls(
             graph=graph,
             resources=notation,
-            algorithm=canonical_algorithm(algorithm),
+            algorithm=algorithm_id,
+            windows=_normalize_windows(windows, algorithm_id),
         )
 
     def resource_set(self) -> ResourceSet:
         return ResourceSet.parse(self.resources)
 
+    def windows_dict(self) -> Dict[str, Tuple[int, int]]:
+        """The window pins as a ``{op: (lo, hi)}`` mapping."""
+        return dict(self.windows)
+
     def cache_key(self, graph_hash: str) -> str:
-        """Content-addressed key: graph hash × resources × algorithm."""
+        """Content-addressed key: graph hash × resources × algorithm.
+
+        Window pins append an extra component; window-free specs keep
+        the exact historical key text, so existing cache entries (and
+        cross-version clusters) stay addressable.
+        """
         text = f"{graph_hash}|{self.resources}|{self.algorithm}"
+        if self.windows:
+            pins = ";".join(
+                f"{op}@{lo}:{hi}" for op, (lo, hi) in self.windows
+            )
+            text += f"|windows:{pins}"
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def validated_windows(
+    dfg: DataFlowGraph, spec: JobSpec
+) -> Dict[str, Tuple[int, int]]:
+    """The spec's window pins, checked against the built graph.
+
+    Raises :class:`SchedulingError` (never
+    :class:`~repro.errors.UnknownNodeError`, which is a
+    :class:`~repro.errors.GraphError`) on an unknown op id, so a bad
+    window is a structured per-job failure rather than a batch abort.
+    """
+    windows = spec.windows_dict()
+    for op in windows:
+        if op not in dfg:
+            raise SchedulingError(
+                f"window references unknown op {op!r} in graph "
+                f"{spec.graph.describe()!r}"
+            )
+    return windows
 
 
 @dataclass(frozen=True)

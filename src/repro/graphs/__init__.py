@@ -15,7 +15,11 @@ from repro.graphs.dct import dct8
 from repro.graphs.fft import fft
 from repro.graphs.iir import iir_biquad_cascade
 from repro.graphs.paper_fig1 import paper_fig1
-from repro.graphs.random_dags import random_layered_dag, random_expression_dag
+from repro.graphs.random_dags import (
+    random_layered_dag,
+    random_expression_dag,
+    random_hier_dag,
+)
 from repro.graphs.registry import (
     get_graph,
     graph_names,
@@ -35,6 +39,7 @@ __all__ = [
     "paper_fig1",
     "random_layered_dag",
     "random_expression_dag",
+    "random_hier_dag",
     "get_graph",
     "graph_names",
     "list_graphs",

@@ -82,6 +82,93 @@ def random_layered_dag(
     return dfg
 
 
+def random_hier_dag(
+    num_nodes: int,
+    seed: int,
+    num_blocks: Optional[int] = None,
+    cross_probability: float = 0.06,
+    mul_fraction: float = 0.35,
+    max_fanin: int = 2,
+    delay_model: Optional[DelayModel] = None,
+) -> DataFlowGraph:
+    """A blocky random DAG sized for hierarchical scheduling.
+
+    The workload shape the partitioner is built for: ``num_blocks``
+    (default ``~n/300``) dense layered blocks — each a small
+    :func:`random_layered_dag`-style region — chained by sparse
+    forward cross-block edges (``cross_probability`` per block-pair
+    candidate, always at least one into each non-first block so the
+    graph is connected front to back).  Blocks make natural partition
+    bands; the cross edges are the boundary constraints the
+    orchestrator stitches.  Deterministic given ``seed``; scales to
+    tens of thousands of ops.
+    """
+    if num_nodes <= 0:
+        raise GraphError(f"num_nodes must be positive, got {num_nodes}")
+    rng = random.Random(seed)
+    if num_blocks is None:
+        num_blocks = max(1, num_nodes // 300)
+    num_blocks = min(num_blocks, num_nodes)
+
+    dfg = DataFlowGraph(
+        name=f"hier{num_nodes}s{seed}", delay_model=delay_model
+    )
+
+    # Spread nodes over blocks (every block non-empty), each block over
+    # ~sqrt(block size) internal layers.
+    block_of: List[int] = list(range(num_blocks)) + [
+        rng.randrange(num_blocks) for _ in range(num_nodes - num_blocks)
+    ]
+    block_of.sort()
+    blocks: List[List[str]] = [[] for _ in range(num_blocks)]
+    for index in range(num_nodes):
+        kind = (
+            OpKind.MUL
+            if rng.random() < mul_fraction
+            else rng.choice(_ALU_KINDS)
+        )
+        node_id = f"h{index}"
+        dfg.add_node(node_id, kind)
+        blocks[block_of[index]].append(node_id)
+
+    for block_index, members in enumerate(blocks):
+        num_layers = max(1, int(round(len(members) ** 0.5)))
+        layers: List[List[str]] = [[] for _ in range(num_layers)]
+        for position, node_id in enumerate(members):
+            layers[position * num_layers // len(members)].append(node_id)
+        for layer_index in range(1, num_layers):
+            pool = list(layers[layer_index - 1])
+            if layer_index >= 2:
+                pool.extend(layers[layer_index - 2])
+            for node_id in layers[layer_index]:
+                fanin = 0
+                for candidate in rng.sample(pool, min(len(pool), 4)):
+                    if fanin >= max_fanin:
+                        break
+                    if rng.random() < 0.4:
+                        dfg.add_edge(candidate, node_id, port=fanin)
+                        fanin += 1
+                if fanin == 0 and layers[layer_index - 1]:
+                    parent = rng.choice(layers[layer_index - 1])
+                    dfg.add_edge(parent, node_id, port=0)
+        # Sparse forward edges from the previous block: sample a few
+        # candidate pairs, and guarantee at least one so block order is
+        # a real dependence chain.
+        if block_index > 0:
+            previous = blocks[block_index - 1]
+            attempts = max(1, int(len(members) * cross_probability))
+            linked = 0
+            for _ in range(attempts):
+                src = rng.choice(previous)
+                dst = rng.choice(members)
+                if not dfg.has_edge(src, dst):
+                    dfg.add_edge(src, dst, weight=rng.randrange(2))
+                    linked += 1
+            if linked == 0:
+                dfg.add_edge(previous[-1], members[0], weight=0)
+    return dfg
+
+
 def random_expression_dag(
     num_nodes: int,
     seed: int,

@@ -22,16 +22,24 @@ from repro.graphs.fir import fir
 from repro.graphs.hal import hal
 from repro.graphs.iir import iir_biquad_cascade
 from repro.graphs.paper_fig1 import paper_fig1
+from repro.graphs.random_dags import random_hier_dag
 
 
 @dataclass(frozen=True)
 class GraphInfo:
-    """Registry entry: a named benchmark and its provenance."""
+    """Registry entry: a named benchmark and its provenance.
+
+    ``scale`` marks the large hierarchical-scheduling workloads
+    (thousands of ops): they resolve by name like any benchmark but
+    are excluded from default enumeration so batch sweeps and
+    per-benchmark test matrices stay tractable.
+    """
 
     name: str
     factory: Callable[..., DataFlowGraph]
     description: str
     in_paper: bool
+    scale: bool = False
 
 
 REGISTRY: Dict[str, GraphInfo] = {}
@@ -121,6 +129,51 @@ _register(
 )
 
 
+def _hier_factory(num_nodes: int, seed: int):
+    def build(delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+        return random_hier_dag(num_nodes, seed=seed, delay_model=delay_model)
+
+    return build
+
+
+_register(
+    GraphInfo(
+        name="HIER5K",
+        factory=_hier_factory(5000, seed=7),
+        description=(
+            "5000-op seeded blocky DAG for hierarchical scheduling "
+            "(scale tier)"
+        ),
+        in_paper=False,
+        scale=True,
+    )
+)
+_register(
+    GraphInfo(
+        name="HIER10K",
+        factory=_hier_factory(10000, seed=11),
+        description=(
+            "10000-op seeded blocky DAG — the hier-smoke CI workload "
+            "(scale tier)"
+        ),
+        in_paper=False,
+        scale=True,
+    )
+)
+_register(
+    GraphInfo(
+        name="HIER50K",
+        factory=_hier_factory(50000, seed=13),
+        description=(
+            "50000-op seeded blocky DAG for partitioner stress runs "
+            "(scale tier)"
+        ),
+        in_paper=False,
+        scale=True,
+    )
+)
+
+
 def get_graph(
     name: str, delay_model: Optional[DelayModel] = None
 ) -> DataFlowGraph:
@@ -134,20 +187,33 @@ def get_graph(
     return graph
 
 
-def graph_names(paper_only: bool = False) -> List[str]:
+def graph_names(
+    paper_only: bool = False, include_scale: bool = False
+) -> List[str]:
     """Canonical registered names, paper benchmarks first.
 
     The enumerable job source for batch sweeps: every name is accepted
-    by :func:`get_graph` and by ``GraphSpec.registry``.
+    by :func:`get_graph` and by ``GraphSpec.registry``.  Scale-tier
+    workloads are excluded unless ``include_scale`` (they would blow
+    up sweeps sized for the paper benchmarks).
     """
-    return [info.name for info in list_graphs(paper_only=paper_only)]
+    return [
+        info.name
+        for info in list_graphs(
+            paper_only=paper_only, include_scale=include_scale
+        )
+    ]
 
 
-def list_graphs(paper_only: bool = False) -> List[GraphInfo]:
+def list_graphs(
+    paper_only: bool = False, include_scale: bool = False
+) -> List[GraphInfo]:
     """All registered benchmarks, paper benchmarks first."""
     infos = sorted(
         REGISTRY.values(), key=lambda info: (not info.in_paper, info.name)
     )
     if paper_only:
         infos = [info for info in infos if info.in_paper]
+    if not include_scale:
+        infos = [info for info in infos if not info.scale]
     return infos

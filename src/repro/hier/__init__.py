@@ -1,0 +1,43 @@
+"""Hierarchical scheduling: partition, fan out, stitch, iterate.
+
+Scales the paper's schedulers to graphs far beyond a single job: the
+DFG is cut into acyclic parts (:mod:`repro.ir.partition`), each part
+is scheduled as an ordinary window-constrained job — in-process,
+through a :class:`~repro.engine.batch.BatchEngine`, or against a
+running ``repro serve`` / ``repro dispatch`` cluster — and the part
+schedules are stitched into one validated global schedule, with
+boundary start-times fed back as tightened windows over a bounded
+number of improvement rounds.
+
+>>> from repro.graphs import get_graph
+>>> from repro.hier import hier_schedule
+>>> result = hier_schedule(get_graph("EF"), "2+/-,2*", max_ops=12)
+>>> result.num_partitions
+3
+>>> result.rounds >= 2
+True
+>>> all(b <= a for a, b in zip(result.gaps, result.gaps[1:]))
+True
+>>> sorted(result.schedule.start_times) == sorted(get_graph("EF").nodes())
+True
+"""
+
+from repro.hier.orchestrator import (
+    DEFAULT_MAX_ROUNDS,
+    EngineBackend,
+    HierOrchestrator,
+    HierResult,
+    LocalBackend,
+    ServeBackend,
+    hier_schedule,
+)
+
+__all__ = [
+    "DEFAULT_MAX_ROUNDS",
+    "EngineBackend",
+    "HierOrchestrator",
+    "HierResult",
+    "LocalBackend",
+    "ServeBackend",
+    "hier_schedule",
+]

@@ -37,6 +37,7 @@ from repro.ir.expr import (
 from repro.ir.parser import parse_program
 from repro.ir.lowering import lower_program
 from repro.ir.dot import to_dot
+from repro.ir.partition import Partition, partition_graph
 from repro.ir.validate import validate_dfg
 
 __all__ = [
@@ -68,5 +69,7 @@ __all__ = [
     "parse_program",
     "lower_program",
     "to_dot",
+    "Partition",
+    "partition_graph",
     "validate_dfg",
 ]

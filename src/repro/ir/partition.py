@@ -1,0 +1,256 @@
+"""Deterministic acyclic partitioning of dataflow graphs.
+
+The hierarchical scheduling layer (``repro.hier``) cuts a huge DFG
+into subgraphs that are scheduled as independent jobs and stitched
+back together through boundary windows.  For that recipe to work the
+partition must satisfy two structural guarantees:
+
+* **Acyclic quotient graph** — collapsing each part to a single
+  vertex must yield a DAG, so parts can be scheduled in wavefront
+  order and boundary constraints only ever point forward.  We get
+  this by construction: parts are bands of unit-depth topological
+  levels, so every edge goes from a part to itself or a later part.
+* **Determinism** — the same graph must partition identically in
+  every process (cache keys of the subgraph jobs depend on it).  All
+  work happens over :class:`~repro.ir.graph_view.GraphView` index
+  arrays in CSR order; no hash-seed-dependent iteration is involved.
+
+The cut is then improved by a bounded number of greedy refinement
+passes that move single vertices between *adjacent* bands when doing
+so removes more boundary edges than it creates, subject to balance
+bounds and to the level-banding invariant (a vertex may only move
+forward past vertices it does not feed, and backward past vertices
+that do not feed it).
+
+>>> from repro.ir import DataFlowGraph, OpKind
+>>> dfg = DataFlowGraph("demo")
+>>> prev = None
+>>> for i in range(6):
+...     _ = dfg.add_node(f"n{i}", OpKind.ADD, delay=1)
+...     if prev is not None:
+...         _ = dfg.add_edge(prev, f"n{i}")
+...     prev = f"n{i}"
+>>> p = partition_graph(dfg, num_parts=3)
+>>> [len(part) for part in p.parts]
+[2, 2, 2]
+>>> all(e.src_part < e.dst_part for e in p.boundary)
+True
+>>> [g.num_nodes for g in p.subgraphs()]
+[2, 2, 2]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.ir.dfg import DataFlowGraph
+
+#: Default target operation count per part; ``partition_graph`` derives
+#: ``num_parts`` from it when no explicit count is given.
+DEFAULT_MAX_OPS = 200
+
+#: Default number of greedy cut-refinement passes.
+DEFAULT_REFINE_PASSES = 2
+
+
+@dataclass(frozen=True)
+class BoundaryEdge:
+    """One dependence edge that crosses a part boundary."""
+
+    src: str
+    dst: str
+    weight: int
+    src_part: int
+    dst_part: int
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The result of :func:`partition_graph`.
+
+    ``parts[k]`` lists the node ids of part ``k`` in graph insertion
+    order; ``part_of`` maps every node id to its part index; and
+    ``boundary`` holds every cross-part edge.  Every boundary edge
+    satisfies ``src_part < dst_part``, which is exactly the acyclic-
+    quotient guarantee.
+    """
+
+    dfg: DataFlowGraph = field(repr=False)
+    parts: Tuple[Tuple[str, ...], ...]
+    part_of: Dict[str, int] = field(repr=False)
+    boundary: Tuple[BoundaryEdge, ...] = field(repr=False)
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    @property
+    def cut_size(self) -> int:
+        """Number of edges crossing part boundaries."""
+        return len(self.boundary)
+
+    def quotient_edges(self) -> List[Tuple[int, int]]:
+        """Distinct ``(src_part, dst_part)`` pairs, sorted."""
+        return sorted({(e.src_part, e.dst_part) for e in self.boundary})
+
+    def quotient_depth(self) -> List[int]:
+        """Longest-path depth of each part in the quotient DAG.
+
+        Parts at the same depth have no dependence between them and
+        can be scheduled concurrently in the seed wavefront.
+        """
+        depth = [0] * self.num_parts
+        # Quotient edges always point to a strictly larger part index,
+        # so ascending part order is a topological order.
+        for src_part, dst_part in self.quotient_edges():
+            depth[dst_part] = max(depth[dst_part], depth[src_part] + 1)
+        return depth
+
+    def subgraphs(self) -> List[DataFlowGraph]:
+        """Induced subgraph per part, named ``<graph>.p<k>``."""
+        base = self.dfg.name or "dfg"
+        out = []
+        for k, members in enumerate(self.parts):
+            sub = self.dfg.subgraph(members)
+            sub.name = f"{base}.p{k}"
+            out.append(sub)
+        return out
+
+    def __repr__(self):
+        return (
+            f"Partition(parts={self.num_parts}, "
+            f"cut={self.cut_size}, nodes={len(self.part_of)})"
+        )
+
+
+def partition_graph(
+    dfg: DataFlowGraph,
+    num_parts: Optional[int] = None,
+    max_ops: int = DEFAULT_MAX_OPS,
+    refine_passes: int = DEFAULT_REFINE_PASSES,
+) -> Partition:
+    """Partition ``dfg`` into ordered acyclic bands.
+
+    ``num_parts`` overrides the ``max_ops``-derived part count.  The
+    returned partition may have fewer parts than requested when the
+    graph has fewer topological levels, or when one level holds far
+    more than its share of the vertices.
+    """
+    view = dfg.view()
+    n = view.num_nodes
+    if n == 0:
+        raise GraphError("cannot partition an empty graph")
+    if num_parts is None:
+        if max_ops < 1:
+            raise GraphError(f"max_ops must be >= 1, got {max_ops}")
+        num_parts = -(-n // max_ops)
+    if num_parts < 1:
+        raise GraphError(f"num_parts must be >= 1, got {num_parts}")
+
+    topo = view.topo_indices()
+
+    # Unit-depth levels: level(v) = 1 + max(level(pred)), 0 for sources.
+    # Every edge strictly increases the level, so banding contiguous
+    # level ranges can never produce a backward cross-band edge.
+    level = [0] * n
+    pred_off, pred_src = view.pred_off, view.pred_src
+    for u in topo:
+        best = 0
+        for k in range(pred_off[u], pred_off[u + 1]):
+            depth = level[pred_src[k]] + 1
+            if depth > best:
+                best = depth
+        level[u] = best
+    num_levels = max(level) + 1
+    num_parts = min(num_parts, num_levels)
+
+    # Band whole levels by cumulative vertex count: the band of a level
+    # is the floor of its prefix share.  Monotone in the level, so bands
+    # are contiguous level ranges; compressing skipped indices keeps
+    # every part non-empty.
+    counts = [0] * num_levels
+    for u in range(n):
+        counts[level[u]] += 1
+    prefix = 0
+    band_of_level = []
+    for lv in range(num_levels):
+        band_of_level.append(min(num_parts - 1, (prefix * num_parts) // n))
+        prefix += counts[lv]
+    remap: Dict[int, int] = {}
+    for b in band_of_level:
+        if b not in remap:
+            remap[b] = len(remap)
+    band_of_level = [remap[b] for b in band_of_level]
+    k = len(remap)
+
+    part = [band_of_level[level[u]] for u in range(n)]
+    sizes = [0] * k
+    for u in range(n):
+        sizes[part[u]] += 1
+
+    # Greedy min-cut refinement between adjacent bands.  A vertex may
+    # move forward only when none of its successors would end up behind
+    # it (and symmetrically backward), which preserves the invariant
+    # part(src) <= part(dst) for every edge.  Balance bounds keep parts
+    # within ~20% of the average and never empty.
+    if k > 1 and refine_passes > 0:
+        average = n // k
+        min_size = max(1, (average * 4) // 5)
+        max_size = (average * 6) // 5 + 1
+        for _ in range(refine_passes):
+            moved = False
+            for u in range(n):
+                b = part[u]
+                succs = view.successors(u)
+                preds = view.predecessors(u)
+                if (
+                    b + 1 < k
+                    and sizes[b] - 1 >= min_size
+                    and sizes[b + 1] + 1 <= max_size
+                    and all(part[s] >= b + 1 for s, _ in succs)
+                ):
+                    gain = sum(1 for s, _ in succs if part[s] == b + 1)
+                    gain -= sum(1 for p, _ in preds if part[p] == b)
+                    if gain > 0:
+                        part[u] = b + 1
+                        sizes[b] -= 1
+                        sizes[b + 1] += 1
+                        moved = True
+                        continue
+                if (
+                    b - 1 >= 0
+                    and sizes[b] - 1 >= min_size
+                    and sizes[b - 1] + 1 <= max_size
+                    and all(part[p] <= b - 1 for p, _ in preds)
+                ):
+                    gain = sum(1 for p, _ in preds if part[p] == b - 1)
+                    gain -= sum(1 for s, _ in succs if part[s] == b)
+                    if gain > 0:
+                        part[u] = b - 1
+                        sizes[b] -= 1
+                        sizes[b - 1] += 1
+                        moved = True
+            if not moved:
+                break
+
+    ids = view.ids
+    members: List[List[str]] = [[] for _ in range(k)]
+    for u in range(n):
+        members[part[u]].append(ids[u])
+    boundary: List[BoundaryEdge] = []
+    succ_off, succ_dst, succ_w = view.succ_off, view.succ_dst, view.succ_w
+    for u in range(n):
+        for e in range(succ_off[u], succ_off[u + 1]):
+            v = succ_dst[e]
+            if part[u] != part[v]:
+                boundary.append(
+                    BoundaryEdge(ids[u], ids[v], succ_w[e], part[u], part[v])
+                )
+    return Partition(
+        dfg=dfg,
+        parts=tuple(tuple(m) for m in members),
+        part_of={ids[u]: part[u] for u in range(n)},
+        boundary=tuple(boundary),
+    )

@@ -37,6 +37,11 @@ class Schedule:
         The constraint the schedule was produced under, if any.
     algorithm:
         Free-form provenance tag (e.g. ``"list"``, ``"threaded/meta=dfs"``).
+    meta:
+        Optional JSON-safe provenance extras (the hierarchical
+        orchestrator records its round/partition counts here); carried
+        into the schedule artifact only when set, so ordinary
+        schedules keep their historical artifact bytes.
     """
 
     dfg: DataFlowGraph
@@ -44,6 +49,7 @@ class Schedule:
     binding: Dict[str, Tuple[FuType, int]] = field(default_factory=dict)
     resources: Optional[ResourceSet] = None
     algorithm: str = ""
+    meta: Optional[Dict[str, Any]] = None
 
     def start(self, node_id: str) -> int:
         return self.start_times[node_id]
@@ -137,13 +143,16 @@ def schedule_artifact(
     if input_ops is not None:
         known = set(input_ops)
         inserted = sorted(op for op in schedule.start_times if op not in known)
-    return {
+    artifact = {
         "format": SCHEDULE_ARTIFACT_FORMAT,
         "algorithm": schedule.algorithm,
         "length": schedule.length,
         "ops": ops,
         "inserted": inserted,
     }
+    if schedule.meta is not None:
+        artifact["meta"] = schedule.meta
+    return artifact
 
 
 def artifact_start_times(artifact: Dict[str, Any]) -> Dict[str, int]:

@@ -52,18 +52,25 @@ def _frames(
     dfg: DataFlowGraph,
     latency: int,
     fixed: Dict[str, int],
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
 ) -> Dict[str, Tuple[int, int]]:
     """ASAP/ALAP start windows honouring already-fixed ops.
 
-    Full-recompute reference; the incremental counterpart is
+    ``windows`` optionally pins external ``{node id: (lo, hi)}`` start
+    bounds (the hierarchical boundary constraints); each clamps the
+    operation's natural frame before propagation.  Full-recompute
+    reference; the incremental counterpart is
     :class:`~repro.scheduling.frames.FrameEngine`.
     """
     order = dfg.topological_order()
+    windows = windows or {}
     asap: Dict[str, int] = {}
     for node_id in order:
         lo = 0
         for edge in dfg.in_edges(node_id):
             lo = max(lo, asap[edge.src] + dfg.delay(edge.src) + edge.weight)
+        if node_id in windows:
+            lo = max(lo, windows[node_id][0])
         if node_id in fixed:
             if fixed[node_id] < lo:
                 raise SchedulingError(
@@ -78,6 +85,8 @@ def _frames(
         hi = latency - dfg.delay(node_id)
         for edge in dfg.out_edges(node_id):
             hi = min(hi, alap[edge.dst] - edge.weight - dfg.delay(node_id))
+        if node_id in windows:
+            hi = min(hi, windows[node_id][1])
         if node_id in fixed:
             hi = fixed[node_id]
         alap[node_id] = hi
@@ -141,13 +150,16 @@ def force_directed_schedule(
     dfg: DataFlowGraph,
     resources: ResourceSet,
     latency: Optional[int] = None,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
 ) -> Schedule:
     """Time-constrained force-directed scheduling (incremental kernels).
 
     ``latency`` defaults to the critical-path length.  ``resources`` is
     used for the op->unit-type mapping of the distribution graphs; the
     returned schedule reports (rather than enforces) per-type peak usage
-    via :meth:`Schedule.usage_profile`.
+    via :meth:`Schedule.usage_profile`.  ``windows`` optionally pins
+    per-op ``(lo, hi)`` start bounds; an explicit ``latency`` must be
+    large enough for them (``repro.engine`` derives one).
 
     Produces the same schedule, op for op, as
     :func:`force_directed_schedule_reference`.
@@ -169,7 +181,7 @@ def force_directed_schedule(
             algorithm="force-directed",
         )
 
-    engine = FrameEngine(dfg, latency)
+    engine = FrameEngine(dfg, latency, windows=windows)
     lo, hi = engine.lo, engine.hi
     ids = view.ids
     delays = view.delays
@@ -331,6 +343,7 @@ def force_directed_schedule_reference(
     dfg: DataFlowGraph,
     resources: ResourceSet,
     latency: Optional[int] = None,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
 ) -> Schedule:
     """The pre-optimization FDS: full frame/force recompute per fixing.
 
@@ -350,7 +363,7 @@ def force_directed_schedule_reference(
     pending = [n for n in dfg.nodes()]
 
     while pending:
-        frames = _frames(dfg, latency, fixed)
+        frames = _frames(dfg, latency, fixed, windows)
         dist = _distribution(dfg, resources, frames, latency)
 
         # Ops whose frame is already a single step are fixed for free.

@@ -50,9 +50,21 @@ class FrameEngine:
     latency:
         Deadline (number of control steps).  Defaults to the critical
         path length; a smaller value raises :class:`GraphError`.
+    windows:
+        Optional external ``{node id: (lo, hi)}`` start-window pins
+        (the boundary-constraint mechanism of hierarchical
+        scheduling).  Each pin tightens the operation's natural frame
+        and is propagated through the precedence cone before any
+        :meth:`fix`; an unsatisfiable pin raises
+        :class:`SchedulingError`.
     """
 
-    def __init__(self, dfg: DataFlowGraph, latency: int = None):
+    def __init__(
+        self,
+        dfg: DataFlowGraph,
+        latency: int = None,
+        windows: Dict[str, Tuple[int, int]] = None,
+    ):
         view = dfg.view()
         span = view.diameter()
         if latency is None:
@@ -72,6 +84,49 @@ class FrameEngine:
         self.lo: List[int] = [sdist[i] - delays[i] for i in range(n)]
         self.hi: List[int] = [latency - tdist[i] for i in range(n)]
         self._fixed: List[bool] = [False] * n
+        if windows:
+            self._apply_windows(windows)
+
+    def _apply_windows(self, windows: Dict[str, Tuple[int, int]]) -> None:
+        """Tighten the initial frames with external window pins.
+
+        The clamp-then-repropagate order matches the full-recompute
+        reference (``_frames`` with windows), so delta ``fix`` calls
+        stay equivalent to a from-scratch recompute afterwards.
+        """
+        view = self.view
+        lo, hi = self.lo, self.hi
+        delays = view.delays
+        for node_id, (wlo, whi) in windows.items():
+            i = self._index(node_id)
+            if wlo > lo[i]:
+                lo[i] = wlo
+            if whi < hi[i]:
+                hi[i] = whi
+        topo = view.topo_indices()
+        succ_off, succ_dst, succ_w = view.succ_off, view.succ_dst, view.succ_w
+        for u in topo:
+            base = lo[u] + delays[u]
+            for k in range(succ_off[u], succ_off[u + 1]):
+                v = succ_dst[k]
+                nlo = base + succ_w[k]
+                if nlo > lo[v]:
+                    lo[v] = nlo
+        pred_off, pred_src, pred_w = view.pred_off, view.pred_src, view.pred_w
+        for u in reversed(topo):
+            cap = hi[u]
+            for k in range(pred_off[u], pred_off[u + 1]):
+                p = pred_src[k]
+                nhi = cap - pred_w[k] - delays[p]
+                if nhi < hi[p]:
+                    hi[p] = nhi
+        ids = view.ids
+        for i in range(view.num_nodes):
+            if lo[i] > hi[i]:
+                raise SchedulingError(
+                    f"infeasible frame for {ids[i]}: [{lo[i]}, {hi[i]}] "
+                    f"under the given windows and latency {self.latency}"
+                )
 
     # ------------------------------------------------------------------
     # Queries.

@@ -45,12 +45,17 @@ def list_schedule(
     dfg: DataFlowGraph,
     resources: ResourceSet,
     priority: ListPriority = ListPriority.SINK_DISTANCE,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
 ) -> Schedule:
     """Resource-constrained list scheduling.
 
-    Returns a :class:`Schedule` with a concrete unit binding.  Raises
-    :class:`InfeasibleError` if some operation cannot execute on any
-    available unit type.
+    ``windows`` optionally pins per-op ``(lo, hi)`` start bounds; under
+    resource constraints only the lower bound is enforceable, so the
+    scheduler treats ``lo`` as a release time and ``hi`` as advisory
+    (the hierarchical orchestrator re-derives real upper bounds from
+    the stitched result).  Returns a :class:`Schedule` with a concrete
+    unit binding.  Raises :class:`InfeasibleError` if some operation
+    cannot execute on any available unit type.
     """
     missing = resources.check_schedulable(dfg)
     if missing:
@@ -62,8 +67,13 @@ def list_schedule(
     keys = _priority_keys(dfg, priority, order_index)
 
     remaining_preds = {n: dfg.in_degree(n) for n in dfg.nodes()}
-    # earliest[n]: earliest start once all preds are done (edge weights in).
-    earliest: Dict[str, int] = {n: 0 for n in dfg.nodes()}
+    # earliest[n]: earliest start once all preds are done (edge weights
+    # in); window lower bounds act as release times.
+    releases = windows or {}
+    earliest: Dict[str, int] = {
+        n: max(0, releases[n][0]) if n in releases else 0
+        for n in dfg.nodes()
+    }
     # ready pool: ops whose preds have all been *scheduled* (their finish
     # times known); each becomes startable at earliest[n].  An
     # insertion-ordered dict-as-set keeps the O(n) list.remove() out of
@@ -71,7 +81,7 @@ def list_schedule(
     ready: Dict[str, None] = dict.fromkeys(
         n for n in dfg.nodes() if remaining_preds[n] == 0
     )
-    arrival: Dict[str, int] = {n: 0 for n in ready}
+    arrival: Dict[str, int] = {n: earliest[n] for n in ready}
 
     start_times: Dict[str, int] = {}
     binding: Dict[str, Tuple[FuType, int]] = {}
@@ -83,8 +93,10 @@ def list_schedule(
     scheduled = 0
     step = 0
     total = dfg.num_nodes
-    # Upper bound on steps: serialize everything (defensive guard).
-    guard = dfg.total_delay() + dfg.num_edges + dfg.num_nodes + 1
+    # Upper bound on steps: serialize everything past the last release
+    # (defensive guard).
+    max_release = max(earliest.values(), default=0)
+    guard = max_release + dfg.total_delay() + dfg.num_edges + dfg.num_nodes + 1
 
     def on_scheduled(node_id: str, start: int) -> None:
         """Release successors whose last predecessor just got a time."""
@@ -135,6 +147,13 @@ def list_schedule(
             on_scheduled(node_id, step)
 
         step += 1
+        if ready:
+            floor = min(earliest[n] for n in ready)
+            if floor > step:
+                # Every ready op is still before its release; skip the
+                # provably idle steps (hierarchical window releases can
+                # be far in the future, in global time).
+                step = floor
 
     return Schedule(
         dfg=dfg,

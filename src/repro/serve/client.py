@@ -121,8 +121,15 @@ class ServeClient:
         algorithm: Optional[str] = None,
         artifacts: bool = False,
         gaps: bool = False,
+        windows: Optional[Dict[str, Any]] = None,
     ) -> RawResponse:
-        """``POST /schedule``; returns the raw exchange (any status)."""
+        """``POST /schedule``; returns the raw exchange (any status).
+
+        ``windows`` is the optional per-op ``{op: [lo, hi]}`` start-pin
+        mapping of window-constrained jobs (tuples are accepted and
+        serialized as JSON arrays).  Non-dict values are sent verbatim
+        so the server's strict validation stays exercisable.
+        """
         if isinstance(graph, DataFlowGraph):
             graph = dfg_to_dict(graph)
         body: Dict[str, Any] = {"graph": graph}
@@ -134,6 +141,15 @@ class ServeClient:
             body["artifacts"] = True
         if gaps:
             body["gaps"] = True
+        if windows:
+            if isinstance(windows, dict):
+                body["windows"] = {
+                    op: list(bounds) if isinstance(bounds, (list, tuple))
+                    else bounds
+                    for op, bounds in windows.items()
+                }
+            else:
+                body["windows"] = windows
         return self.request(
             "POST",
             "/schedule",

@@ -208,6 +208,14 @@ class RequestCoalescer:
                 self.metrics.record_compute(
                     result.algorithm, result.runtime_s
                 )
+                # Hierarchical jobs report orchestration meta in the
+                # artifact; surface round/partition totals on /metrics.
+                meta = (result.artifact or {}).get("meta") or {}
+                if "hier_rounds" in meta:
+                    self.metrics.record_hier(
+                        meta["hier_rounds"],
+                        meta.get("hier_partitions", 0),
+                    )
             if not future.done():
                 future.set_result(result)
 

@@ -60,6 +60,12 @@ class ServiceMetrics:
         /cache/<key>`` probes (404s don't count).
     ``peer_received``
         Entries installed from peers' ``POST /cache/<key>`` publishes.
+    ``hier_jobs``
+        Freshly computed ``hier-fds`` jobs — ones whose artifact
+        carries hierarchical-orchestration meta.
+    ``hier_rounds_total`` / ``hier_partitions_total``
+        Feedback rounds and graph parts those jobs reported, summed;
+        divide by ``hier_jobs`` for the per-job averages.
 
     The cluster tier's *client-side* counters (``peer_hits``,
     ``peer_fetch_errors``, ``published``, ...) live on the
@@ -78,6 +84,9 @@ class ServiceMetrics:
         self.batches = 0
         self.peer_served = 0
         self.peer_received = 0
+        self.hier_jobs = 0
+        self.hier_rounds_total = 0
+        self.hier_partitions_total = 0
         self.in_flight = 0
         self.queued_jobs = 0
         self.compute_seconds_total = 0.0
@@ -102,6 +111,12 @@ class ServiceMetrics:
         entry["seconds_total"] += seconds
         entry["window"].append(seconds)
 
+    def record_hier(self, rounds: int, partitions: int) -> None:
+        """Account one fresh hierarchical job's orchestration meta."""
+        self.hier_jobs += 1
+        self.hier_rounds_total += int(rounds)
+        self.hier_partitions_total += int(partitions)
+
     def snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` payload (plain JSON-safe dict)."""
         window = list(self._latencies)
@@ -116,6 +131,9 @@ class ServiceMetrics:
             "batches": self.batches,
             "peer_served": self.peer_served,
             "peer_received": self.peer_received,
+            "hier_jobs": self.hier_jobs,
+            "hier_rounds_total": self.hier_rounds_total,
+            "hier_partitions_total": self.hier_partitions_total,
             "in_flight": self.in_flight,
             "queue_depth": self.queued_jobs,
             "latency_p50_ms": percentile(window, 0.50) * 1000.0,

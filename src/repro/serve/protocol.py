@@ -10,8 +10,11 @@ object::
       "algorithm": "meta2",            # optional, id or alias
       "artifacts": false,              # optional: include the full
                                        # schedule artifact in the body
-      "gaps": false                    # optional: include the
+      "gaps": false,                   # optional: include the
                                        # optimality gap (small graphs)
+      "windows": {"n3": [2, 5]}        # optional: per-op [lo, hi]
+                                       # start-window pins (only on
+                                       # window-capable algorithms)
     }
 
 Validation is strict: unknown top-level keys, wrong field types,
@@ -37,6 +40,7 @@ from typing import Any, Dict
 from repro.engine.job import JobResult, JobSpec
 from repro.errors import ReproError
 from repro.graphs.registry import graph_names
+from repro.ir.dfg import DataFlowGraph
 from repro.ir.serialize import dfg_from_dict
 
 RESPONSE_FORMAT = "repro-serve-v1"
@@ -45,7 +49,7 @@ DEFAULT_RESOURCES = "2+/-,2*"
 DEFAULT_ALGORITHM = "threaded(meta2)"
 
 _REQUEST_FIELDS = frozenset(
-    {"graph", "resources", "algorithm", "artifacts", "gaps"}
+    {"graph", "resources", "algorithm", "artifacts", "gaps", "windows"}
 )
 
 
@@ -75,7 +79,9 @@ class ScheduleRequest:
 def _parse_graph(value: Any):
     if isinstance(value, str):
         name = value.upper()
-        known = graph_names()
+        # Scale-tier names resolve too: serving one big registry job
+        # is legal (if unwise); only *enumeration* excludes them.
+        known = graph_names(include_scale=True)
         if name not in known:
             raise ProtocolError(
                 f"unknown benchmark {value!r}; known: {', '.join(known)}"
@@ -90,6 +96,46 @@ def _parse_graph(value: Any):
         "field 'graph' must be a registry benchmark name or an inline "
         f"repro-dfg-v1 object, got {type(value).__name__}"
     )
+
+
+def _parse_windows(value: Any) -> Dict[str, tuple]:
+    """Validate the optional per-op window object strictly.
+
+    Shape errors here are the client's fault and must answer 400 —
+    semantic errors (unknown op for the graph, an algorithm without
+    window support) are caught by :class:`JobSpec` / the engine and
+    reported the same way.
+    """
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            f"field 'windows' must be an object mapping op ids to "
+            f"[lo, hi] pairs, got {type(value).__name__}"
+        )
+    windows: Dict[str, tuple] = {}
+    for op, bounds in value.items():
+        if not isinstance(bounds, (list, tuple)) or len(bounds) != 2:
+            raise ProtocolError(
+                f"window for {op!r} must be a [lo, hi] pair, "
+                f"got {bounds!r}"
+            )
+        lo, hi = bounds
+        if (
+            isinstance(lo, bool)
+            or isinstance(hi, bool)
+            or not isinstance(lo, int)
+            or not isinstance(hi, int)
+        ):
+            raise ProtocolError(
+                f"window bounds for {op!r} must be integers, "
+                f"got {bounds!r}"
+            )
+        if lo < 0 or lo > hi:
+            raise ProtocolError(
+                f"window for {op!r} must satisfy 0 <= lo <= hi, "
+                f"got [{lo}, {hi}]"
+            )
+        windows[op] = (lo, hi)
+    return windows
 
 
 def _parse_flag(data: Dict[str, Any], field: str) -> bool:
@@ -140,11 +186,25 @@ def parse_request(body: bytes) -> ScheduleRequest:
         )
     artifacts = _parse_flag(data, "artifacts")
     gaps = _parse_flag(data, "gaps")
+    windows = None
+    if "windows" in data:
+        windows = _parse_windows(data["windows"])
+        if isinstance(graph, DataFlowGraph):
+            # Inline graphs are in hand; refuse dangling pins now.
+            # Registry jobs defer the membership check to the engine,
+            # which reports it as a structured per-job failure.
+            for op in windows:
+                if op not in graph:
+                    raise ProtocolError(
+                        f"window references unknown op {op!r} in the "
+                        f"inline graph"
+                    )
     try:
-        # JobSpec.make runs the resource and algorithm validation
-        # itself (ResourceSet.parse / canonical_algorithm); one pass,
-        # one place for the rules to live.
-        spec = JobSpec.make(graph, resources, algorithm)
+        # JobSpec.make runs the resource, algorithm, and window
+        # validation itself (ResourceSet.parse / canonical_algorithm /
+        # _normalize_windows); one pass, one place for the rules to
+        # live.
+        spec = JobSpec.make(graph, resources, algorithm, windows=windows)
     except ReproError as exc:
         raise ProtocolError(str(exc))
 

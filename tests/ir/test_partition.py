@@ -1,0 +1,171 @@
+"""Partitioner tests: exact cover, acyclic quotient, determinism."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import get_graph, hal
+from repro.graphs.random_dags import (
+    random_expression_dag,
+    random_hier_dag,
+    random_layered_dag,
+)
+from repro.ir.partition import partition_graph
+
+_FAMILIES = {
+    "layered": random_layered_dag,
+    "expression": random_expression_dag,
+    "hier": random_hier_dag,
+}
+
+
+def _build(family: str, nodes: int, seed: int):
+    return _FAMILIES[family](nodes, seed=seed)
+
+
+@st.composite
+def partition_cases(draw):
+    family = draw(st.sampled_from(sorted(_FAMILIES)))
+    nodes = draw(st.integers(min_value=1, max_value=160))
+    seed = draw(st.integers(min_value=0, max_value=50))
+    num_parts = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=12))
+    )
+    max_ops = draw(st.integers(min_value=1, max_value=60))
+    return family, nodes, seed, num_parts, max_ops
+
+
+class TestStructuralGuarantees:
+    @settings(max_examples=60, deadline=None)
+    @given(partition_cases())
+    def test_exact_cover(self, case):
+        family, nodes, seed, num_parts, max_ops = case
+        dfg = _build(family, nodes, seed)
+        p = partition_graph(dfg, num_parts=num_parts, max_ops=max_ops)
+        seen = [op for part in p.parts for op in part]
+        assert sorted(seen) == sorted(dfg.nodes())
+        assert len(seen) == len(set(seen))
+        for k, part in enumerate(p.parts):
+            assert part, "no part may be empty"
+            for op in part:
+                assert p.part_of[op] == k
+
+    @settings(max_examples=60, deadline=None)
+    @given(partition_cases())
+    def test_acyclic_quotient_and_boundary_complete(self, case):
+        family, nodes, seed, num_parts, max_ops = case
+        dfg = _build(family, nodes, seed)
+        p = partition_graph(dfg, num_parts=num_parts, max_ops=max_ops)
+        # Every boundary edge points strictly forward — the quotient
+        # graph is a DAG by construction, no cycle check needed.
+        assert all(e.src_part < e.dst_part for e in p.boundary)
+        cut = {(e.src, e.dst) for e in p.boundary}
+        for edge in dfg.edges():
+            crosses = p.part_of[edge.src] != p.part_of[edge.dst]
+            assert crosses == ((edge.src, edge.dst) in cut)
+        depth = p.quotient_depth()
+        for src_part, dst_part in p.quotient_edges():
+            assert depth[dst_part] >= depth[src_part] + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(partition_cases())
+    def test_part_count_and_subgraphs(self, case):
+        family, nodes, seed, num_parts, max_ops = case
+        dfg = _build(family, nodes, seed)
+        p = partition_graph(dfg, num_parts=num_parts, max_ops=max_ops)
+        assert 1 <= p.num_parts <= (num_parts or dfg.num_nodes)
+        subs = p.subgraphs()
+        assert sum(s.num_nodes for s in subs) == dfg.num_nodes
+        for k, sub in enumerate(subs):
+            assert sub.name.endswith(f".p{k}")
+            assert sorted(sub.nodes()) == sorted(p.parts[k])
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(partition_cases())
+    def test_repartition_is_identical(self, case):
+        family, nodes, seed, num_parts, max_ops = case
+        dfg = _build(family, nodes, seed)
+        a = partition_graph(dfg, num_parts=num_parts, max_ops=max_ops)
+        b = partition_graph(
+            _build(family, nodes, seed), num_parts=num_parts, max_ops=max_ops
+        )
+        assert a.parts == b.parts
+        assert a.boundary == b.boundary
+
+    @pytest.mark.parametrize("hashseed", ["0", "1", "31337"])
+    def test_cross_process_determinism(self, hashseed):
+        """The same graph partitions identically under any hash seed.
+
+        Subgraph cache keys depend on the partition, so a hash-seed-
+        dependent iteration order anywhere in the partitioner would
+        silently shatter the cluster cache.
+        """
+        script = (
+            "import json, sys\n"
+            "from repro.graphs.random_dags import random_hier_dag\n"
+            "from repro.ir.partition import partition_graph\n"
+            "p = partition_graph(random_hier_dag(400, seed=5), num_parts=5)\n"
+            "print(json.dumps({'parts': [list(x) for x in p.parts],\n"
+            "  'cut': [[e.src, e.dst] for e in p.boundary]}))\n"
+        )
+        import os
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        outputs = []
+        for env_seed in (hashseed, "random"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(src)
+            env["PYTHONHASHSEED"] = env_seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(json.loads(proc.stdout))
+        reference = partition_graph(
+            random_hier_dag(400, seed=5), num_parts=5
+        )
+        expected = {
+            "parts": [list(x) for x in reference.parts],
+            "cut": [[e.src, e.dst] for e in reference.boundary],
+        }
+        for output in outputs:
+            assert output == expected
+
+
+class TestApi:
+    def test_empty_graph_rejected(self):
+        from repro.ir.dfg import DataFlowGraph
+
+        with pytest.raises(GraphError):
+            partition_graph(DataFlowGraph("empty"))
+
+    def test_bad_parameters_rejected(self):
+        g = hal()
+        with pytest.raises(GraphError):
+            partition_graph(g, num_parts=0)
+        with pytest.raises(GraphError):
+            partition_graph(g, max_ops=0)
+
+    def test_single_part_has_no_boundary(self):
+        p = partition_graph(hal(), num_parts=1)
+        assert p.num_parts == 1
+        assert p.boundary == ()
+        assert p.cut_size == 0
+        assert p.quotient_depth() == [0]
+
+    def test_refinement_reduces_or_keeps_cut(self):
+        g = get_graph("EF")
+        unrefined = partition_graph(g, num_parts=3, refine_passes=0)
+        refined = partition_graph(g, num_parts=3, refine_passes=2)
+        assert refined.cut_size <= unrefined.cut_size

@@ -150,3 +150,103 @@ class TestResponses:
 
         hit = dataclasses.replace(result, cached=True)
         assert source_of(hit, coalesced=False) == "cache"
+
+
+class TestWindows:
+    """Window pins through the wire protocol: strict 400s, never 500s."""
+
+    def test_valid_windows_reach_the_spec(self):
+        request = parse_request(
+            _body(
+                graph="HAL",
+                algorithm="fds",
+                windows={"n3": [2, 5], "n1": [0, 4]},
+            )
+        )
+        assert request.spec.windows == (("n1", (0, 4)), ("n3", (2, 5)))
+
+    def test_windows_are_order_insensitive(self):
+        a = parse_request(
+            _body(
+                graph="HAL",
+                algorithm="fds",
+                windows={"a": [1, 2], "b": [3, 4]},
+            )
+        )
+        b = parse_request(
+            _body(
+                graph="HAL",
+                algorithm="fds",
+                windows={"b": [3, 4], "a": [1, 2]},
+            )
+        )
+        assert a.spec == b.spec
+
+    def test_empty_windows_object_is_windowless(self):
+        request = parse_request(
+            _body(graph="HAL", algorithm="fds", windows={})
+        )
+        assert request.spec.windows == ()
+
+    @pytest.mark.parametrize(
+        "windows",
+        [
+            "notadict",
+            42,
+            [["a", [1, 2]]],
+            {"a": "nope"},
+            {"a": [1]},
+            {"a": [1, 2, 3]},
+            {"a": None},
+            {"a": [1.5, 2]},
+            {"a": [True, 2]},
+            {"a": [1, False]},
+            {"a": [-1, 2]},
+            {"a": [5, 2]},
+            {"a": {"lo": 1, "hi": 2}},
+        ],
+        ids=repr,
+    )
+    def test_malformed_windows_raise_protocol_error(self, windows):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(_body(graph="HAL", algorithm="fds", windows=windows))
+        assert excinfo.value.status == 400
+
+    def test_windows_on_unsupported_algorithm_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(graph="HAL", algorithm="meta2", windows={"a": [0, 1]})
+            )
+        assert excinfo.value.status == 400
+        assert "window" in str(excinfo.value)
+
+    def test_unknown_op_in_inline_graph_is_400(self):
+        dfg = get_graph("FIR")
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(
+                    graph=dfg_to_dict(dfg),
+                    algorithm="fds",
+                    windows={"ghost": [0, 1]},
+                )
+            )
+        assert excinfo.value.status == 400
+        assert "ghost" in str(excinfo.value)
+
+    def test_unknown_op_on_registry_graph_defers_to_engine(self):
+        # The name is not resolved at parse time; the engine reports a
+        # structured per-job failure instead (still never a 500).
+        request = parse_request(
+            _body(graph="HAL", algorithm="fds", windows={"ghost": [0, 1]})
+        )
+        engine = BatchEngine()
+        (result,) = engine.run([request.spec])
+        assert not result.ok
+        assert "ghost" in result.error
+
+    def test_windowless_spec_equals_pre_window_spec(self):
+        # Byte-compat guard: requests without windows must build specs
+        # (and therefore cache keys) identical to the historical form.
+        plain = parse_request(_body(graph="HAL", algorithm="fds"))
+        spec = JobSpec.make("HAL", DEFAULT_RESOURCES, "fds")
+        assert plain.spec == spec

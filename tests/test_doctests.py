@@ -6,6 +6,8 @@ import pytest
 
 import repro.ir.ops
 import repro.ir.builder
+import repro.ir.partition
+import repro.hier
 import repro.scheduling.resources
 import repro.core.scheduler
 import repro.engine.cache
@@ -21,6 +23,8 @@ import repro.store.peers
 MODULES = [
     repro.ir.ops,
     repro.ir.builder,
+    repro.ir.partition,
+    repro.hier,
     repro.scheduling.resources,
     repro.core.scheduler,
     repro.engine.cache,
