@@ -1,0 +1,114 @@
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.dispatch.testing import ReplicaSet
+from repro.serve.client import ServeClient
+
+replicas = ReplicaSet(count=2, batch_window_ms=5.0).start()
+router = subprocess.Popen(
+    ["repro", "dispatch", "--port", "8790",
+     "--replica", replicas.addresses()[0],
+     "--replica", replicas.addresses()[1],
+     "--health-interval", "0.3"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+)
+try:
+    client = ServeClient(port=8790, timeout=60)
+    print("router health:", client.wait_ready(30))
+
+    # --- Duplicate burst: one compute per key CLUSTER-WIDE. ---
+    names = ["HAL", "AR", "FIR", "EF"]
+    requests = names * 8
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        responses = list(pool.map(
+            lambda n: client.schedule_raw(n, algorithm="meta2"),
+            requests,
+        ))
+    assert all(r.status == 200 for r in responses), \
+        [r.status for r in responses]
+    metrics = client.metrics()
+    print("router:", json.dumps(metrics["router"], sort_keys=True))
+    print("cluster:", json.dumps(metrics["cluster"], sort_keys=True))
+    assert metrics["cluster"]["computed"] == len(names), metrics["cluster"]
+    assert metrics["cluster"]["replicas_up"] == 2, metrics["cluster"]
+    assert metrics["router"]["failed"] == 0, metrics["router"]
+    by_name = {}
+    for name, r in zip(requests, responses):
+        by_name.setdefault(name, set()).add(r.body)
+    assert all(len(b) == 1 for b in by_name.values()), \
+        {n: len(b) for n, b in by_name.items()}
+
+    # --- Routed bytes == direct-replica bytes. ---
+    for index in range(2):
+        direct = replicas.client(index).schedule_raw(
+            "HAL", algorithm="meta2")
+        assert direct.body == next(iter(by_name["HAL"])), \
+            "routed response diverged from direct replica"
+
+    # --- SIGTERM one replica mid-burst: zero client failures. ---
+    # Distinct inline graphs spread ownership over both
+    # replicas; verify the victim owns some keys up front so
+    # the failover counter is guaranteed to move.
+    from repro.graphs.random_dags import random_layered_dag
+    from repro.ir.serialize import dfg_to_dict
+
+    graphs = [dfg_to_dict(random_layered_dag(8, seed=seed))
+              for seed in range(12)]
+    owners = []
+    for graph in graphs:
+        r = client.schedule_raw(graph, algorithm="list")
+        assert r.status == 200, r.status
+        owners.append(r.headers["x-repro-replica"])
+    # Kill a replica that demonstrably owns keys in the burst
+    # (ring ownership depends on the ephemeral ports), so the
+    # failover counter is guaranteed to move.
+    victim = owners[0]
+    victim_index = replicas.addresses().index(victim)
+
+    statuses = []
+    lock = threading.Lock()
+
+    def sustained(graph):
+        r = client.schedule_raw(graph, algorithm="list")
+        with lock:
+            statuses.append(r.status)
+
+    burst = graphs * 4
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [pool.submit(sustained, g) for g in burst[:16]]
+        time.sleep(0.2)
+        replicas.terminate(victim_index)   # SIGTERM mid-burst
+        futures += [pool.submit(sustained, g) for g in burst[16:]]
+        for f in futures:
+            f.result(timeout=120)
+    assert statuses and all(s == 200 for s in statuses), \
+        [s for s in statuses if s != 200]
+    assert replicas.members[victim_index].wait(30) == 0, \
+        "replica drain failed"
+
+    deadline = time.monotonic() + 20
+    while client.metrics()["cluster"]["replicas_up"] != 1:
+        assert time.monotonic() < deadline, "probe never ejected"
+        time.sleep(0.2)
+    metrics = client.metrics()
+    print("after kill:", json.dumps(metrics["router"], sort_keys=True))
+    assert metrics["router"]["failed"] == 0, metrics["router"]
+    assert metrics["router"]["failed_over"] > 0, metrics["router"]
+    assert metrics["router"]["ejected"] >= 1, metrics["router"]
+
+    # --- Router drains clean on SIGTERM. ---
+    router.send_signal(signal.SIGTERM)
+    out, _ = router.communicate(timeout=30)
+    assert router.returncode == 0, out
+    assert "shutdown clean" in out, out
+    print("dispatch smoke ok")
+finally:
+    if router.poll() is None:
+        router.kill()
+        router.communicate(timeout=10)
+    replicas.stop()

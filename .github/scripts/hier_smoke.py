@@ -1,0 +1,64 @@
+import json
+import signal
+import subprocess
+import sys
+
+from repro.dispatch.testing import ReplicaSet
+from repro.serve.client import ServeClient
+
+replicas = ReplicaSet(count=3, batch_window_ms=2.0).start()
+router_args = ["repro", "dispatch", "--port", "8792",
+               "--health-interval", "0.3"]
+for address in replicas.addresses():
+    router_args += ["--replica", address]
+router = subprocess.Popen(
+    router_args,
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+)
+try:
+    client = ServeClient(port=8792, timeout=120)
+    print("router health:", client.wait_ready(30))
+
+    hier = subprocess.run(
+        ["repro", "hier", "HIER10K",
+         "--target", "127.0.0.1:8792",
+         "--workers", "8", "--json", "hier_report.json"],
+        capture_output=True, text=True, timeout=480,
+    )
+    sys.stdout.write(hier.stdout)
+    sys.stderr.write(hier.stderr)
+    assert hier.returncode == 0, (
+        f"repro hier failed with {hier.returncode}"
+    )
+
+    report = json.load(open("hier_report.json"))
+    assert report["format"] == "repro-hier-v1", report["format"]
+    assert report["num_ops"] == 10000, report["num_ops"]
+    print("rounds:", report["rounds"], "gaps:", report["gaps"])
+    assert report["rounds"] >= 2, report
+    gaps = report["gaps"]
+    assert len(gaps) == report["rounds"], report
+    assert all(b <= a for a, b in zip(gaps, gaps[1:])), gaps
+
+    # The cluster computed exactly one result per unique
+    # subgraph cache key; every other job in the fan-out was
+    # a hit or coalesced.  The hier run is the only traffic.
+    metrics = client.metrics()
+    print("cluster:", json.dumps(metrics["cluster"], sort_keys=True))
+    assert metrics["cluster"]["replicas_up"] == 3, \
+        metrics["cluster"]
+    assert metrics["router"]["failed"] == 0, metrics["router"]
+    assert metrics["cluster"]["computed"] == report["unique_keys"], (
+        metrics["cluster"], report["unique_keys"])
+    assert report["cached_jobs"] == \
+        report["jobs"] - report["unique_keys"], report
+
+    router.send_signal(signal.SIGTERM)
+    out, _ = router.communicate(timeout=30)
+    assert router.returncode == 0, out
+    print("hier smoke ok")
+finally:
+    if router.poll() is None:
+        router.kill()
+        router.communicate(timeout=10)
+    replicas.stop()

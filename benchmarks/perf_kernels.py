@@ -191,6 +191,58 @@ def bench_hier(num_nodes: int, seed: int, resources_text: str):
     }
 
 
+def bench_anytime(graph_name: str, resources_text: str):
+    """Incumbent-vs-time trajectory of the anytime exact tier.
+
+    Seeds an engine with the force-directed result (what a serving
+    replica's cache would hold), then runs one ``bnb-anytime``
+    improver to proof, recording every incumbent with its wall-clock
+    offset.  The recorded trajectory documents the tier's anytime
+    profile — how quickly the incumbent drops below the heuristic
+    seed — and the ``improvement`` ratio (seed length over proved
+    length) is machine-independent, so CI can put a generous floor
+    under it without pinning wall times.
+    """
+    from repro.engine.batch import BatchEngine
+    from repro.engine.job import JobSpec
+    from repro.improve import Improver
+
+    engine = BatchEngine(capture_schedules=True)
+    engine.submit(
+        [JobSpec.make(graph_name, resources_text, "force-directed")]
+    )
+    improver = Improver(
+        engine, graph_name, resources_text, slice_nodes=1000
+    )
+    started = time.perf_counter()
+    points = []
+
+    def record(event):
+        if event["type"] in ("incumbent", "optimal"):
+            points.append(
+                {
+                    "t_s": time.perf_counter() - started,
+                    "nodes": event["nodes"],
+                    "length": event["length"],
+                    "bound": event["bound"],
+                }
+            )
+
+    summary = improver.run(on_event=record)
+    total_s = time.perf_counter() - started
+    return {
+        "graph": graph_name,
+        "resources": resources_text,
+        "seed_length": summary["seed_length"],
+        "length": summary["length"],
+        "proved": summary["proved"],
+        "nodes": summary["nodes"],
+        "total_s": total_s,
+        "improvement": summary["seed_length"] / summary["length"],
+        "trajectory": points,
+    }
+
+
 def bench_list(dfg, resources):
     ready_s, ready = _timed(
         lambda: list_schedule(dfg, resources, ListPriority.READY_ORDER)
@@ -261,6 +313,18 @@ def main(argv=None) -> int:
         "faster than full recompute",
     )
     parser.add_argument(
+        "--anytime-graph", default="EF", metavar="BENCH",
+        help="registry graph for the anytime-tier trajectory cell "
+        "(default EF; it improves on its heuristic seed and proves "
+        "in well under a second)",
+    )
+    parser.add_argument(
+        "--min-anytime-improvement", type=float, default=1.0, metavar="X",
+        help="exit 1 unless the anytime tier proves an optimum and its "
+        "seed-over-proved length ratio is at least X (default 1.0 — a "
+        "generous floor: the proof must never be worse than the seed)",
+    )
+    parser.add_argument(
         "--hier-nodes", type=int, default=None, metavar="N",
         help="also time hierarchical scheduling on an N-op blocky DAG "
         "(off by default; this cell is the slow one)",
@@ -292,6 +356,7 @@ def main(argv=None) -> int:
         "frames": bench_frames(dfg, latency),
         "fds": bench_fds(dfg, resources, latency),
         "list": bench_list(dfg, resources),
+        "anytime": bench_anytime(opts.anytime_graph, DEFAULT_RESOURCES),
     }
     for kernel in ("graph_view", "frames", "fds"):
         data = entry[kernel]
@@ -307,6 +372,14 @@ def main(argv=None) -> int:
     print(
         f"  list      : ready {entry['list']['ready_s'] * 1000:.2f} ms, "
         f"mobility {entry['list']['mobility_s'] * 1000:.2f} ms"
+    )
+    anytime = entry["anytime"]
+    print(
+        f"  anytime   : {anytime['graph']} seed {anytime['seed_length']} "
+        f"-> {'proved ' if anytime['proved'] else ''}{anytime['length']} "
+        f"({anytime['improvement']:.2f}x) in {anytime['nodes']} nodes / "
+        f"{anytime['total_s'] * 1000:.2f} ms, "
+        f"{len(anytime['trajectory'])} trajectory points"
     )
     if opts.hier_nodes is not None:
         entry["hier"] = hier = bench_hier(
@@ -345,6 +418,15 @@ def main(argv=None) -> int:
         failures.append(
             f"frames speedup {entry['frames']['speedup']:.1f}x below "
             f"the {opts.min_frames_speedup:g}x gate"
+        )
+    if not entry["anytime"]["proved"]:
+        failures.append(
+            f"anytime tier failed to prove {opts.anytime_graph} optimal"
+        )
+    elif entry["anytime"]["improvement"] < opts.min_anytime_improvement:
+        failures.append(
+            f"anytime improvement {entry['anytime']['improvement']:.2f}x "
+            f"below the {opts.min_anytime_improvement:g}x floor"
         )
     if (
         opts.max_hier_overhead is not None

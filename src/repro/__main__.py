@@ -19,6 +19,8 @@ dispatch       route jobs across several serve replicas
                (consistent-hash on the cache key, with failover)
 hier           hierarchically schedule one large graph (partition,
                fan out window-constrained jobs, stitch, iterate)
+improve        anytime-improve a cached result toward the proved
+               optimum (interruptible branch-and-bound)
 =============  ====================================================
 
 Exit codes: 0 success, 1 benchmark regression (``bench --check``),
@@ -133,6 +135,12 @@ def _cmd_hier(args) -> int:
     return cmd_hier(args)
 
 
+def _cmd_improve(args) -> int:
+    from repro.improve.cli import cmd_improve
+
+    return cmd_improve(args)
+
+
 _COMMANDS = {
     "figure3": _cmd_figure3,
     "figure1": _cmd_figure1,
@@ -146,6 +154,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "dispatch": _cmd_dispatch,
     "hier": _cmd_hier,
+    "improve": _cmd_improve,
 }
 
 

@@ -43,6 +43,11 @@ CLUSTER_SUM_FIELDS = (
     "peer_fetch_errors",
     "published",
     "publish_errors",
+    # Anytime-improver counters (sse_clients stays out: it is a gauge
+    # of open connections, not a monotone counter worth summing).
+    "improve_jobs",
+    "improved_entries",
+    "proved_optimal",
 )
 
 

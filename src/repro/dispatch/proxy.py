@@ -20,7 +20,7 @@ Failures callers must handle:
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Tuple
+from typing import AsyncIterator, Dict, Optional, Tuple
 
 #: Bound on a replica's response head, mirroring the server's own cap.
 MAX_RESPONSE_HEAD = 64 * 1024
@@ -35,6 +35,39 @@ class ProxyProtocolError(Exception):
 
 
 Exchange = Tuple[int, Dict[str, str], bytes]
+
+#: ``open_stream``'s answer: status, headers, pre-read body (for
+#: Content-Length responses), live chunk iterator (for close-delimited
+#: streams) — exactly one of the last two is meaningful.
+StreamOpen = Tuple[
+    int, Dict[str, str], bytes, Optional[AsyncIterator[bytes]]
+]
+
+
+def _parse_head(head: bytes) -> Tuple[int, Dict[str, str]]:
+    """Parse a response head into (status, lowercase headers)."""
+    if len(head) > MAX_RESPONSE_HEAD:
+        raise ProxyProtocolError("response head too large")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status_parts = head_lines[0].split(None, 2)
+    if len(status_parts) < 2 or not status_parts[0].startswith("HTTP/1."):
+        raise ProxyProtocolError(
+            f"malformed status line: {head_lines[0]!r}"
+        )
+    try:
+        status = int(status_parts[1])
+    except ValueError:
+        raise ProxyProtocolError(
+            f"malformed status code: {status_parts[1]!r}"
+        )
+    headers: Dict[str, str] = {}
+    for line in head_lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
 
 
 async def exchange(
@@ -82,29 +115,7 @@ async def _exchange(
         await writer.drain()
 
         head = await reader.readuntil(b"\r\n\r\n")
-        if len(head) > MAX_RESPONSE_HEAD:
-            raise ProxyProtocolError("response head too large")
-        head_lines = head.decode("latin-1").split("\r\n")
-        status_parts = head_lines[0].split(None, 2)
-        if len(status_parts) < 2 or not status_parts[0].startswith(
-            "HTTP/1."
-        ):
-            raise ProxyProtocolError(
-                f"malformed status line: {head_lines[0]!r}"
-            )
-        try:
-            status = int(status_parts[1])
-        except ValueError:
-            raise ProxyProtocolError(
-                f"malformed status code: {status_parts[1]!r}"
-            )
-        response_headers: Dict[str, str] = {}
-        for line in head_lines[1:]:
-            if not line:
-                continue
-            name, sep, value = line.partition(":")
-            if sep:
-                response_headers[name.strip().lower()] = value.strip()
+        status, response_headers = _parse_head(head)
         length_text = response_headers.get("content-length")
         if length_text is None:
             # Our servers always set Content-Length; read to EOF as a
@@ -147,3 +158,99 @@ async def _exchange(
             await writer.wait_closed()
         except (ConnectionError, OSError, RuntimeError):
             pass
+
+
+async def open_stream(
+    host: str,
+    port: int,
+    path: str,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> StreamOpen:
+    """One GET exchange whose response body may be a live stream.
+
+    Returns ``(status, lowercase headers, body, chunks)``.  A response
+    carrying ``Content-Length`` (errors, every non-stream endpoint) is
+    read in full: ``body`` holds it and ``chunks`` is None.  A
+    close-delimited response — the replicas' SSE streams — hands back
+    ``chunks``, an async generator yielding raw body bytes until the
+    replica closes; iterating it to the end or calling ``aclose()``
+    releases the connection either way.
+
+    ``timeout`` bounds the connect, request write, response head, and
+    any Content-Length body — *not* the streaming tail, which lives as
+    long as the run it relays.
+    """
+
+    async def _open():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            lines = [
+                f"GET {path} HTTP/1.1",
+                f"Host: {host}:{port}",
+                "Connection: close",
+                "Content-Length: 0",
+            ]
+            for name, value in (headers or {}).items():
+                lines.append(f"{name}: {value}")
+            writer.write(
+                "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+        except BaseException:
+            writer.close()
+            raise
+        return reader, writer, head
+
+    try:
+        reader, writer, head = await asyncio.wait_for(
+            _open(), timeout=timeout
+        )
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError(
+            f"replica {host}:{port} closed mid-response"
+        ) from exc
+    try:
+        status, response_headers = _parse_head(head)
+        length_text = response_headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise ProxyProtocolError(
+                    f"bad Content-Length: {length_text!r}"
+                )
+            if length > MAX_RESPONSE_BODY:
+                raise ProxyProtocolError("response body too large")
+            payload = await asyncio.wait_for(
+                reader.readexactly(length), timeout=timeout
+            ) if length else b""
+            writer.close()
+            return status, response_headers, payload, None
+    except asyncio.IncompleteReadError as exc:
+        writer.close()
+        raise ConnectionError(
+            f"replica {host}:{port} closed mid-response"
+        ) from exc
+    except BaseException:
+        writer.close()
+        raise
+
+    async def chunks() -> AsyncIterator[bytes]:
+        try:
+            while True:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    return
+                yield chunk
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    return status, response_headers, b"", chunks()

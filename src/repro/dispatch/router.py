@@ -33,10 +33,11 @@ import asyncio
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.engine.job import JobSpec
 from repro.engine.keys import CacheKeyResolver
 from repro.errors import ReproError
 from repro.serve import protocol
-from repro.serve.http import Body, HttpServerCore
+from repro.serve.http import Body, HttpServerCore, StreamBody, parse_query
 from repro.dispatch import proxy
 from repro.dispatch.metrics import CLUSTER_SUM_FIELDS, DispatchMetrics
 from repro.dispatch.ring import DEFAULT_VNODES, HashRing
@@ -225,9 +226,21 @@ class DispatchRouter(HttpServerCore):
         self.metrics.errors += 1
 
     async def dispatch(
-        self, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        query: str = "",
     ) -> Tuple[int, Body, Dict[str, str]]:
         self.metrics.requests += 1
+        if path == "/schedule/stream":
+            if method != "GET":
+                self.metrics.errors += 1
+                return 405, protocol.error_payload(
+                    "use GET /schedule/stream"
+                ), {}
+            return await self._handle_stream(query)
         if path == "/schedule":
             if method != "POST":
                 self.metrics.errors += 1
@@ -390,6 +403,111 @@ class DispatchRouter(HttpServerCore):
         return 502, {"Retry-After": "1"}, protocol.encode_json(
             protocol.error_payload(
                 "all replicas failed for this job: " + "; ".join(failures)
+            )
+        )
+
+    async def _handle_stream(
+        self, query: str
+    ) -> Tuple[int, Body, Dict[str, str]]:
+        """Relay ``GET /schedule/stream`` to the replica owning its key.
+
+        Routing mirrors ``/schedule``: the canonical ``bnb-anytime``
+        cache key picks the ring position, so a stream request lands on
+        the replica whose store already holds (and will keep) that
+        graph's canonical entry.  Failover happens *before* the stream
+        starts — once a replica answers 200 its SSE bytes are relayed
+        verbatim and a mid-stream death surfaces to the client as the
+        connection closing without a terminal event.
+        """
+        graph = parse_query(query).get("graph")
+        if not graph:
+            self.metrics.errors += 1
+            return 400, protocol.error_payload(
+                "query parameter 'graph' is required"
+            ), {}
+        resources = parse_query(query).get(
+            "resources", protocol.DEFAULT_RESOURCES
+        )
+        try:
+            # The canonical improver key: budget parameters shape the
+            # run, not the entry, so they don't influence routing.
+            spec = JobSpec.make(graph, resources, "bnb-anytime")
+            key = self._keys.key(spec)
+        except ReproError as exc:
+            self.metrics.errors += 1
+            return 400, protocol.error_payload(str(exc)), {}
+        if self._draining:
+            self.metrics.errors += 1
+            return 503, protocol.error_payload(
+                "dispatcher is draining; retry shortly"
+            ), {"Retry-After": "1"}
+
+        candidates = [
+            name
+            for name in self.ring.preference(key)
+            if name not in self._down
+        ]
+        if not candidates:
+            candidates = self.ring.preference(key)
+        if not candidates:
+            self.metrics.failed += 1
+            return 503, {"error": "no replicas configured"}, {
+                "Retry-After": "1"
+            }
+
+        target = f"/schedule/stream?{query}" if query else "/schedule/stream"
+        failures: List[str] = []
+        for attempt, name in enumerate(candidates):
+            replica_host, replica_port = self.replicas[name]
+            if attempt > 0:
+                self.metrics.retried += 1
+            try:
+                status, headers, payload, chunks = await proxy.open_stream(
+                    replica_host,
+                    replica_port,
+                    target,
+                    timeout=self.request_timeout_s,
+                )
+            except (
+                OSError,
+                asyncio.TimeoutError,
+                proxy.ProxyProtocolError,
+            ) as exc:
+                self.metrics.record_failure(name)
+                self._eject(name)
+                failures.append(
+                    f"{name}: {str(exc) or type(exc).__name__}"
+                )
+                continue
+            if status >= 500:
+                if chunks is not None:
+                    await chunks.aclose()
+                self.metrics.record_failure(name)
+                if status == 503:
+                    self._eject(name)
+                failures.append(f"{name}: HTTP {status}")
+                continue
+            self.metrics.record_routed(name)
+            if attempt > 0:
+                self.metrics.failed_over += 1
+            extra = {
+                "X-Repro-Replica": name,
+                "X-Repro-Attempts": str(attempt + 1),
+            }
+            for passthrough in ("x-repro-key", "retry-after"):
+                if passthrough in headers:
+                    extra[passthrough.title()] = headers[passthrough]
+            if chunks is None:
+                # A pre-stream refusal (400, 429, ...): relay the JSON
+                # body verbatim, exactly like the /schedule path.
+                return status, payload, extra
+            return status, StreamBody(chunks), extra
+
+        self.metrics.failed += 1
+        return 502, {"Retry-After": "1"}, protocol.encode_json(
+            protocol.error_payload(
+                "all replicas failed for this stream: "
+                + "; ".join(failures)
             )
         )
 

@@ -48,9 +48,11 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.engine.cache import ResultCache
 from repro.engine.job import (
     ALGORITHMS,
+    BUDGET_ALGORITHMS,
     GraphSpec,
     JobResult,
     JobSpec,
+    improves_result,
     validated_windows,
 )
 from repro.engine.keys import FINGERPRINT_MEMO_LIMIT, CacheKeyResolver
@@ -116,6 +118,11 @@ def execute_job(
             schedule = runner(
                 dfg, resources, windows=validated_windows(dfg, spec)
             )
+        elif spec.budget:
+            # Budgets likewise ride only on BUDGET_ALGORITHMS runners;
+            # a budget-free anytime spec still runs two-positional and
+            # the runner applies its own default node cap.
+            schedule = runner(dfg, resources, budget=spec.budget_dict())
         else:
             schedule = runner(dfg, resources)
     except SchedulingError as exc:
@@ -266,6 +273,61 @@ class BatchEngine:
             result = replace(result, gap=old.gap)
         return result
 
+    def _peek_entry(self, key: str) -> Optional[JobResult]:
+        """The stored entry for ``key`` across memory *and* disk.
+
+        :meth:`ResultCache.peek` only sees the memory layer, which is
+        fine for payload merging but not for the anytime rewrite
+        guard: a freshly started process (a CLI improver against a
+        shared cache directory, a restarted replica receiving a stale
+        peer publish) must compare against the entry already on disk.
+        ``export_entry`` is the stats-free read that spans both
+        layers; caches without one fall back to the memory peek.
+        """
+        exporter = getattr(self.cache, "export_entry", None)
+        if exporter is None:
+            return self.cache.peek(key)
+        data = exporter(key)
+        if data is None:
+            return None
+        data = dict(data)
+        data.pop("format", None)
+        return JobResult.from_dict(data)
+
+    def _store_candidate(
+        self, result: JobResult, old: Optional[JobResult]
+    ) -> JobResult:
+        """The entry every write path stores (and serves) for a key.
+
+        Non-anytime keys keep the historical behavior: the incoming
+        result wins and grafts whichever rich payloads it did not
+        produce from the previous entry — results for such keys are a
+        pure function of the spec, so payloads always describe the
+        same schedule.
+
+        Anytime keys (:data:`BUDGET_ALGORITHMS`) are rewritten in
+        place as improver jobs tighten the incumbent, so any write may
+        race a strictly better concurrent rewrite (a local improver, a
+        peer publish, a budget-capped recompute).  The better-ranked
+        result wins (see :func:`repro.engine.job.improves_result`);
+        when the incoming one loses, the stored entry is returned
+        *unchanged* — its identity signals refusal — and payloads only
+        merge between results of equal length, because a gap or
+        artifact is only valid for the schedule it was computed
+        against.
+        """
+        if (
+            result.algorithm not in BUDGET_ALGORITHMS
+            or old is None
+            or not old.ok
+        ):
+            return self._merge_payloads(result, old)
+        if not improves_result(result, old):
+            return old
+        if old.length == result.length:
+            return self._merge_payloads(result, old)
+        return result
+
     def _shape(self, result: JobResult) -> JobResult:
         """Trim a result to what this engine was asked to produce.
 
@@ -397,10 +459,16 @@ class BatchEngine:
                     continue
                 # A rejected leaner entry may survive in the memory
                 # layer: carry its other payload over before
-                # overwriting it.
-                result = self._merge_payloads(result, self.cache.peek(key))
-                self.cache.put(result)
-                resolve(key, self._shape(result))
+                # overwriting it.  For anytime keys the candidate may
+                # *be* that entry (a concurrent rewrite out-ranked this
+                # compute) — serve it as a cache hit and skip the put.
+                old = self._peek_entry(key)
+                stored = self._store_candidate(result, old)
+                if stored is old:
+                    resolve(key, self._shape(replace(stored, cached=True)))
+                    continue
+                self.cache.put(stored)
+                resolve(key, self._shape(stored))
 
         return [resolved[index] for index in range(len(specs))]
 
@@ -435,7 +503,7 @@ class BatchEngine:
                 if result is None or result.error is not None:
                     still.append((key, spec, graph_hash))
                     continue
-                merged = self._merge_payloads(result, self.cache.peek(key))
+                merged = self._store_candidate(result, self._peek_entry(key))
                 install(merged)
                 if not self._servable(merged):
                     still.append((key, spec, graph_hash))
@@ -477,16 +545,48 @@ class BatchEngine:
         Uses the cache's publish-free ``install`` when it has one, so
         an entry never echoes back into the cluster it arrived from.
         Structured failures are refused (error results are never
-        cached).  Returns whether the entry was accepted.
+        cached), as is an anytime entry that does not improve the one
+        already stored (a stale publish must never regress a local
+        rewrite).  Returns whether the entry was accepted.
         """
         if result.error is not None:
             return False
         install = getattr(self.cache, "install", self.cache.put)
         with self._lock:
-            merged = self._merge_payloads(
-                result, self.cache.peek(result.key)
+            old = self._peek_entry(result.key)
+            stored = self._store_candidate(result, old)
+            if stored is old:
+                return False
+            install(stored)
+        return True
+
+    def rewrite_result(self, result: JobResult) -> bool:
+        """Rewrite a cached anytime entry in place with a better one.
+
+        Thread-safe; this is the improver tier's store-back.  The
+        entry is only replaced when ``result`` strictly improves the
+        stored one (or none exists), so concurrent improvers, peer
+        publishes, and budget-capped recomputes can race freely
+        without ever regressing the incumbent.  Unlike
+        :meth:`install_result` this goes through the cache's
+        publishing ``put``: when the cluster tier is attached, an
+        accepted improvement fans out to ring peers exactly like a
+        fresh compute.  Returns whether the rewrite was applied.
+        """
+        if result.error is not None:
+            return False
+        if result.algorithm not in BUDGET_ALGORITHMS:
+            raise SchedulingError(
+                f"rewrite_result only applies to anytime algorithms "
+                f"({', '.join(sorted(BUDGET_ALGORITHMS))}), "
+                f"got {result.algorithm!r}"
             )
-            install(merged)
+        with self._lock:
+            old = self._peek_entry(result.key)
+            stored = self._store_candidate(result, old)
+            if stored is old:
+                return False
+            self.cache.put(stored)
         return True
 
     def _compute(

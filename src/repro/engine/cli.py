@@ -625,12 +625,21 @@ def cmd_hier(args: Sequence[str]) -> int:
     return run_hier(args)
 
 
+def cmd_improve(args: Sequence[str]) -> int:
+    """Run the anytime improver (see repro.improve)."""
+    # Local import, same reason as cmd_hier.
+    from repro.improve.cli import cmd_improve as run_improve
+
+    return run_improve(args)
+
+
 _HANDLERS = {
     "batch": cmd_batch,
     "bench": cmd_bench,
     "serve": cmd_serve,
     "dispatch": cmd_dispatch,
     "hier": cmd_hier,
+    "improve": cmd_improve,
 }
 
 
@@ -639,7 +648,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in _HANDLERS:
         print(
-            "usage: repro.engine.cli {batch,bench,serve,dispatch,hier} ...",
+            "usage: repro.engine.cli "
+            "{batch,bench,serve,dispatch,hier,improve} ...",
             file=sys.stderr,
         )
         return 2

@@ -31,6 +31,7 @@ from repro.ir.analysis import diameter
 from repro.ir.dfg import DataFlowGraph
 from repro.ir.serialize import dumps_dfg, loads_dfg
 from repro.scheduling.base import Schedule
+from repro.scheduling.bnb import bnb_anytime_schedule
 from repro.scheduling.exact import exact_schedule
 from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import ListPriority, list_schedule
@@ -201,6 +202,23 @@ def _run_exact(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
     return exact_schedule(dfg, resources)
 
 
+#: Node budget applied when a ``bnb-anytime`` job arrives with no
+#: explicit budget, so plain batch/serve requests stay bounded on
+#: graphs the proof search cannot close quickly.  The improver tier
+#: passes explicit budgets and rewrites the same canonical entry as
+#: it tightens the incumbent.
+DEFAULT_BNB_NODE_BUDGET = 400_000
+
+
+def _run_bnb(
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    budget: Optional[Dict[str, int]] = None,
+) -> Schedule:
+    run = dict(budget) if budget else {"nodes": DEFAULT_BNB_NODE_BUDGET}
+    return bnb_anytime_schedule(dfg, resources, budget=run)
+
+
 def _make_threaded(meta: str):
     def run(dfg: DataFlowGraph, resources: ResourceSet) -> Schedule:
         return threaded_schedule(dfg, resources, meta=meta)
@@ -218,6 +236,7 @@ ALGORITHMS: Dict[str, Callable[[DataFlowGraph, ResourceSet], Schedule]] = {
     "threaded(meta3)": _make_threaded("meta3-paths"),
     "threaded(meta4)": _make_threaded("meta4-list-order"),
     "exact": _run_exact,
+    "bnb-anytime": _run_bnb,
     "hier-fds": _run_hier,
 }
 
@@ -227,6 +246,13 @@ ALGORITHMS: Dict[str, Callable[[DataFlowGraph, ResourceSet], Schedule]] = {
 WINDOW_ALGORITHMS = frozenset(
     {"list(ready)", "list(critical-path)", "force-directed"}
 )
+
+#: Algorithms whose runners accept a search budget (a ``budget=``
+#: keyword) and whose cached results carry anytime metadata
+#: (``artifact.meta.bnb``).  ``JobSpec.make`` rejects budgets on any
+#: other algorithm, and the engine's in-place rewrite guard only
+#: applies to these.
+BUDGET_ALGORITHMS = frozenset({"bnb-anytime"})
 
 _ALGORITHM_ALIASES = {
     "list": "list(ready)",
@@ -245,6 +271,7 @@ _ALGORITHM_ALIASES = {
     "threaded-meta3": "threaded(meta3)",
     "threaded-meta4": "threaded(meta4)",
     "bnb": "exact",
+    "anytime": "bnb-anytime",
     "hier": "hier-fds",
 }
 
@@ -313,6 +340,58 @@ def _normalize_windows(windows, algorithm: str) -> Windows:
     return tuple(normalized)
 
 
+#: Budget in its canonical hashable form: sorted ``(field, value)``
+#: pairs, e.g. ``(("deadline_ms", 500), ("nodes", 100000))``.
+Budget = Tuple[Tuple[str, int], ...]
+
+_BUDGET_FIELDS = ("deadline_ms", "nodes")
+
+
+def _normalize_budget(budget, algorithm: str) -> Budget:
+    """Validate and canonicalize a search budget for a spec.
+
+    Accepts a ``{"nodes": N, "deadline_ms": M}`` mapping (either key
+    optional) or an iterable of pairs and returns the sorted, hashable
+    tuple form.  Raises :class:`SchedulingError` on unknown fields,
+    non-positive values, duplicates, or an algorithm outside
+    :data:`BUDGET_ALGORITHMS`.
+    """
+    if not budget:
+        return ()
+    if algorithm not in BUDGET_ALGORITHMS:
+        known = ", ".join(sorted(BUDGET_ALGORITHMS))
+        raise SchedulingError(
+            f"algorithm {algorithm!r} does not support a search "
+            f"budget; budget-capable algorithms: {known}"
+        )
+    items = budget.items() if isinstance(budget, dict) else budget
+    normalized = []
+    for field, value in items:
+        field = str(field)
+        if field not in _BUDGET_FIELDS:
+            known = ", ".join(_BUDGET_FIELDS)
+            raise SchedulingError(
+                f"unknown budget field {field!r}; known: {known}"
+            )
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchedulingError(
+                f"budget field {field!r} must be an integer, "
+                f"got {value!r}"
+            )
+        if value <= 0:
+            raise SchedulingError(
+                f"budget field {field!r} must be positive, got {value}"
+            )
+        normalized.append((field, value))
+    normalized.sort()
+    for prev, cur in zip(normalized, normalized[1:]):
+        if prev[0] == cur[0]:
+            raise SchedulingError(
+                f"duplicate budget field {cur[0]!r}"
+            )
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One unit of batch work: schedule ``graph`` on ``resources``.
@@ -326,15 +405,25 @@ class JobSpec:
     stored as a sorted tuple of pairs so specs stay hashable (the
     request coalescer keys its in-flight map on the spec) and two
     equal window sets always produce the same cache key.
+
+    ``budget`` optionally bounds anytime search (``nodes`` expanded
+    and/or ``deadline_ms`` wall clock).  Budgeted runs get their own
+    cache identity — a 10ms answer and a 10s answer for the same graph
+    are different results — while the budget-free spec is the
+    *canonical* key that improver jobs rewrite in place as they tighten
+    the incumbent.
     """
 
     graph: GraphSpec
     resources: str
     algorithm: str
     windows: Windows = ()
+    budget: Budget = ()
 
     @classmethod
-    def make(cls, graph, resources, algorithm: str, windows=None) -> "JobSpec":
+    def make(
+        cls, graph, resources, algorithm: str, windows=None, budget=None
+    ) -> "JobSpec":
         if isinstance(graph, DataFlowGraph):
             graph = GraphSpec.inline(graph)
         if not isinstance(graph, GraphSpec):
@@ -349,6 +438,7 @@ class JobSpec:
             resources=notation,
             algorithm=algorithm_id,
             windows=_normalize_windows(windows, algorithm_id),
+            budget=_normalize_budget(budget, algorithm_id),
         )
 
     def resource_set(self) -> ResourceSet:
@@ -358,12 +448,27 @@ class JobSpec:
         """The window pins as a ``{op: (lo, hi)}`` mapping."""
         return dict(self.windows)
 
+    def budget_dict(self) -> Dict[str, int]:
+        """The budget as a ``{field: value}`` mapping."""
+        return dict(self.budget)
+
+    def canonical(self) -> "JobSpec":
+        """The budget-free spec whose cache entry improvers rewrite."""
+        if not self.budget:
+            return self
+        return JobSpec(
+            graph=self.graph,
+            resources=self.resources,
+            algorithm=self.algorithm,
+            windows=self.windows,
+        )
+
     def cache_key(self, graph_hash: str) -> str:
         """Content-addressed key: graph hash × resources × algorithm.
 
-        Window pins append an extra component; window-free specs keep
-        the exact historical key text, so existing cache entries (and
-        cross-version clusters) stay addressable.
+        Window pins and budgets append extra components; specs without
+        them keep the exact historical key text, so existing cache
+        entries (and cross-version clusters) stay addressable.
         """
         text = f"{graph_hash}|{self.resources}|{self.algorithm}"
         if self.windows:
@@ -371,6 +476,9 @@ class JobSpec:
                 f"{op}@{lo}:{hi}" for op, (lo, hi) in self.windows
             )
             text += f"|windows:{pins}"
+        if self.budget:
+            caps = ";".join(f"{k}={v}" for k, v in self.budget)
+            text += f"|budget:{caps}"
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
@@ -488,6 +596,51 @@ class JobResult:
             artifact=data.get("artifact"),
             error=data.get("error"),
         )
+
+
+def anytime_meta(result: JobResult) -> Dict[str, Any]:
+    """The anytime-search metadata of a result (``{}`` when absent).
+
+    Anytime runners record proof state under ``artifact.meta.bnb``:
+    ``proved`` (optimality certificate), ``lower_bound``, ``nodes``
+    expanded, the seed length, and the incumbent trajectory.
+    """
+    artifact = result.artifact or {}
+    meta = artifact.get("meta") or {}
+    bnb = meta.get("bnb")
+    return bnb if isinstance(bnb, dict) else {}
+
+
+def anytime_rank(result: JobResult) -> Tuple[int, int, int]:
+    """Quality order for anytime results at the same cache key.
+
+    Higher is strictly better: shorter schedule first, then a proved
+    optimum beats an unproved incumbent of the same length, then more
+    search effort (a larger explored-node count certifies a tighter
+    residual gap even without a proof).
+    """
+    meta = anytime_meta(result)
+    return (
+        -result.length,
+        1 if meta.get("proved") else 0,
+        int(meta.get("nodes") or 0),
+    )
+
+
+def improves_result(new: JobResult, old: JobResult) -> bool:
+    """True when ``new`` strictly improves ``old`` under anytime order.
+
+    This is the in-place rewrite guard: a cached anytime entry is only
+    ever replaced by a strictly better one, so concurrent improvers
+    (and stale peer publishes) can race without ever regressing the
+    stored incumbent.  Failed results never improve anything; any ok
+    result improves a failed one.
+    """
+    if not new.ok:
+        return False
+    if not old.ok:
+        return True
+    return anytime_rank(new) > anytime_rank(old)
 
 
 def algorithm_ids() -> List[str]:

@@ -1,0 +1,14 @@
+"""Anytime improvement of cached scheduling results.
+
+The improver tier closes the gap between the engine's fast heuristics
+and true optima without ever blocking a request: background
+``bnb-anytime`` jobs pick up a graph's cached result, tighten it in
+interruptible slices, and rewrite the cache entry in place — locally
+and across cluster peers — each time the incumbent improves.  See
+:class:`Improver` for the state machine and :mod:`repro.improve.cli`
+for the ``repro improve`` command.
+"""
+
+from repro.improve.improver import EVENT_TYPES, Improver, improve_once
+
+__all__ = ["EVENT_TYPES", "Improver", "improve_once"]

@@ -1,0 +1,189 @@
+"""``repro improve``: anytime improvement from the command line.
+
+Runs one :class:`~repro.improve.improver.Improver` against a local
+engine cache: seeds from the cached FDS/anytime entry, searches under
+the given node/deadline budget, and rewrites the canonical
+``bnb-anytime`` cache entry whenever the incumbent improves.  With a
+shared ``--cache-dir`` this is how an operator (or a cron job) chips
+away at open instances between serving bursts; re-running resumes
+from the stored checkpoint instead of restarting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.engine.batch import BatchEngine
+from repro.errors import ReproError
+from repro.improve.improver import Improver
+from repro.scheduling.bnb import DEFAULT_SLICE_NODES
+
+REPORT_FORMAT = "repro-improve-v1"
+
+
+def build_improve_parser() -> argparse.ArgumentParser:
+    """The ``repro improve`` argument parser.
+
+    A named builder (like ``build_serve_parser``) so the docs-sync
+    test can assert the documented flags are exactly the accepted
+    ones.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro improve",
+        description=(
+            "Anytime-improve a graph's cached schedule: seed from the "
+            "cached result, run interruptible branch-and-bound under a "
+            "budget, and rewrite the cache entry in place whenever the "
+            "incumbent improves (terminating with a proof when the "
+            "search closes)."
+        ),
+    )
+    parser.add_argument(
+        "graph",
+        metavar="BENCH",
+        help="registry benchmark name (e.g. HAL, FIR, AR)",
+    )
+    parser.add_argument(
+        "--resources",
+        "-r",
+        default="2+/-,2*",
+        metavar="SPEC",
+        help='resource constraint (default "2+/-,2*")',
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "node-expansion budget for this run (default unlimited: "
+            "run until the optimum is proved)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for this run (default unlimited)",
+    )
+    parser.add_argument(
+        "--slice-nodes",
+        type=int,
+        default=DEFAULT_SLICE_NODES,
+        metavar="N",
+        help=(
+            f"nodes per interruptible slice between budget checks and "
+            f"rewrites (default {DEFAULT_SLICE_NODES})"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "on-disk result cache to improve (default: a fresh "
+            "in-memory cache, useful only for one-off proofs)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-event progress lines",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable run report to PATH",
+    )
+    return parser
+
+
+def cmd_improve(args: Sequence[str]) -> int:
+    """Entry point for ``repro improve``."""
+    parser = build_improve_parser()
+    opts = parser.parse_args(list(args))
+    if opts.nodes is not None and opts.nodes <= 0:
+        raise ReproError(f"--nodes must be positive, got {opts.nodes}")
+    if opts.deadline is not None and opts.deadline <= 0:
+        raise ReproError(f"--deadline must be positive, got {opts.deadline}")
+    if opts.slice_nodes <= 0:
+        raise ReproError(
+            f"--slice-nodes must be positive, got {opts.slice_nodes}"
+        )
+
+    engine = BatchEngine(
+        cache_dir=opts.cache_dir, capture_schedules=True
+    )
+    improver = Improver(
+        engine,
+        opts.graph,
+        opts.resources,
+        slice_nodes=opts.slice_nodes,
+    )
+    label = improver.spec.graph.describe()
+    print(
+        f"{label}: seed {improver.solver.seed_length}, "
+        f"lower bound {improver.solver.lower_bound}"
+        f"{' (resuming from checkpoint)' if improver.resumed else ''}"
+    )
+
+    def emit(event) -> None:
+        if opts.quiet:
+            return
+        print(
+            f"  {event['type']}: length {event['length']} "
+            f"bound {event['bound']} ({event['nodes']} nodes, "
+            f"phase {event['phase']})"
+        )
+
+    summary = improver.run(
+        nodes=opts.nodes,
+        deadline_ms=(
+            int(opts.deadline * 1000) if opts.deadline is not None else None
+        ),
+        on_event=emit,
+    )
+
+    state = (
+        "proved optimal"
+        if summary["proved"]
+        else f"best known (bound {summary['lower_bound']})"
+    )
+    print(
+        f"{label}: {summary['length']} steps, {state}; "
+        f"{summary['nodes']} nodes, {summary['rewrites']} rewrites"
+    )
+
+    if opts.json:
+        payload = {"format": REPORT_FORMAT, **summary}
+        try:
+            Path(opts.json).write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            raise ReproError(f"cannot write report {opts.json}: {exc}")
+        print(f"wrote {opts.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Direct entry point (``python -m repro.improve.cli ...``)."""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        return cmd_improve(argv)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

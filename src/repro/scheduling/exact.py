@@ -23,7 +23,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.errors import InfeasibleError
 from repro.ir.analysis import sink_distances
 from repro.ir.dfg import DataFlowGraph
-from repro.scheduling.base import Schedule
+from repro.scheduling.base import Schedule, validate_schedule
 from repro.scheduling.list_scheduler import ListPriority, list_schedule
 from repro.scheduling.resources import FuType, ResourceSet
 
@@ -212,12 +212,18 @@ def exact_schedule(
     initial_busy = {unit: 0 for unit in resources.instances()}
     search(0, initial_busy)
 
-    return Schedule(
+    schedule = Schedule(
         dfg=dfg,
         start_times=best_times,
         resources=resources,
         algorithm="exact-bnb",
     )
+    # Same exit discipline as the anytime solver: every schedule this
+    # module hands out is re-checked against precedence and unit
+    # capacity, so a search bug surfaces as a loud SchedulingError
+    # instead of an optimistic "optimum".
+    validate_schedule(schedule, resources, check_binding=False)
+    return schedule
 
 
 def _anything_running(busy: Dict[Tuple[FuType, int], int], step: int) -> bool:

@@ -27,8 +27,9 @@ import http.client
 import json
 import socket
 import time
+import urllib.parse
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.ir.dfg import DataFlowGraph
@@ -122,13 +123,16 @@ class ServeClient:
         artifacts: bool = False,
         gaps: bool = False,
         windows: Optional[Dict[str, Any]] = None,
+        budget: Optional[Dict[str, Any]] = None,
     ) -> RawResponse:
         """``POST /schedule``; returns the raw exchange (any status).
 
         ``windows`` is the optional per-op ``{op: [lo, hi]}`` start-pin
         mapping of window-constrained jobs (tuples are accepted and
-        serialized as JSON arrays).  Non-dict values are sent verbatim
-        so the server's strict validation stays exercisable.
+        serialized as JSON arrays).  ``budget`` is the optional search
+        budget of budget-capable algorithms (``{"nodes": ...,
+        "deadline_ms": ...}``).  Non-dict values are sent verbatim so
+        the server's strict validation stays exercisable.
         """
         if isinstance(graph, DataFlowGraph):
             graph = dfg_to_dict(graph)
@@ -150,6 +154,8 @@ class ServeClient:
                 }
             else:
                 body["windows"] = windows
+        if budget is not None:
+            body["budget"] = budget
         return self.request(
             "POST",
             "/schedule",
@@ -176,6 +182,70 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._checked(self.request("GET", "/metrics"))
+
+    def schedule_stream(
+        self,
+        graph: str,
+        resources: Optional[str] = None,
+        nodes: Optional[int] = None,
+        deadline_ms: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """``GET /schedule/stream``: yield improver events as dicts.
+
+        Blocks between events while the server's improver searches; the
+        iterator ends when the server closes the stream, which happens
+        right after the terminal ``optimal`` / ``exhausted`` event.
+        ``timeout`` is the per-read socket timeout (defaults to the
+        client's, which is sized for request/response exchanges — pass
+        something generous for long improvement runs).
+
+        Raises :class:`ServeError` for a pre-stream refusal (unknown
+        graph, draining server) and ``ValueError`` for frames that do
+        not parse — both indicate a bug or misuse, not a slow search.
+        """
+        params = {"graph": graph}
+        if resources is not None:
+            params["resources"] = resources
+        if nodes is not None:
+            params["nodes"] = str(nodes)
+        if deadline_ms is not None:
+            params["deadline_ms"] = str(deadline_ms)
+        path = "/schedule/stream?" + urllib.parse.urlencode(params)
+        conn = http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            conn.request("GET", path, headers={"Connection": "close"})
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = RawResponse(
+                    status=response.status,
+                    headers={
+                        name.lower(): value
+                        for name, value in response.getheaders()
+                    },
+                    body=response.read(),
+                )
+                self._checked(raw)  # raises ServeError
+            # SSE frames are blank-line separated; the data line holds
+            # the whole event as canonical JSON, so the event-name line
+            # is redundant and only sanity-checked.
+            data: Optional[str] = None
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").rstrip("\n")
+                if text.startswith("data: "):
+                    data = text[len("data: "):]
+                elif text == "" and data is not None:
+                    yield json.loads(data)
+                    data = None
+        finally:
+            conn.close()
 
     # ------------------------------------------------------------------
 

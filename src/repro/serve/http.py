@@ -51,8 +51,9 @@ REASONS = {
     503: "Service Unavailable",
 }
 
-#: A handler's body: a JSON-safe dict, or pre-encoded bytes to relay.
-Body = Union[Dict, bytes]
+#: A handler's body: a JSON-safe dict, pre-encoded bytes to relay, or
+#: a :class:`StreamBody` for incremental delivery.
+Body = Union[Dict, bytes, "StreamBody"]
 
 
 class BadRequest(Exception):
@@ -61,6 +62,36 @@ class BadRequest(Exception):
     def __init__(self, message: str, status: int = 400):
         super().__init__(message)
         self.status = status
+
+
+class StreamBody:
+    """A streaming response body: an async iterator of chunks.
+
+    The transport writes the response head with no ``Content-Length``
+    and ``Connection: close`` — this dialect has no chunked encoding,
+    so the end of the stream *is* the end of the connection.  Each
+    chunk (``bytes`` or ``str``) is flushed as soon as the producer
+    yields it, which is what makes live server-sent events possible
+    over the same core.  The iterator's ``aclose`` runs even when the
+    client disconnects mid-stream, so producers can release
+    subscriptions in a ``finally``.
+    """
+
+    def __init__(self, chunks, content_type: str = "text/event-stream"):
+        self.chunks = chunks
+        self.content_type = content_type
+
+
+def parse_query(query: str) -> Dict[str, str]:
+    """Decode a raw query string into a flat dict (last wins).
+
+    Minimal on purpose, like the rest of the dialect: ``+`` and
+    percent-escapes decode, repeated keys keep the last value, bare
+    keys map to ``""``.
+    """
+    from urllib.parse import parse_qsl
+
+    return dict(parse_qsl(query, keep_blank_values=True))
 
 
 class HttpServerCore:
@@ -121,9 +152,19 @@ class HttpServerCore:
     # Hooks.
 
     async def dispatch(
-        self, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        query: str = "",
     ) -> Tuple[int, Body, Dict[str, str]]:
-        """Answer one request; override in subclasses."""
+        """Answer one request; override in subclasses.
+
+        ``query`` is the raw query string (no leading ``?``, empty
+        when absent); decode it with :func:`parse_query` when a route
+        takes parameters.
+        """
         raise NotImplementedError
 
     def on_request_error(self) -> None:
@@ -142,14 +183,14 @@ class HttpServerCore:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, path, headers, body, query = request
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
                 try:
                     status, payload, extra = await self.dispatch(
-                        method, path, headers, body
+                        method, path, headers, body, query
                     )
                 except Exception as exc:
                     # Last resort: an unanticipated bug must answer 500,
@@ -159,7 +200,7 @@ class HttpServerCore:
                     payload = error_payload(
                         f"internal error: {exc}"
                     )
-                await self._write_response(
+                keep_alive = await self._write_response(
                     writer, status, payload, extra, keep_alive
                 )
                 if not keep_alive:
@@ -191,7 +232,7 @@ class HttpServerCore:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes, str]]:
         """One parsed request, or None on clean end-of-stream."""
         try:
             head = await reader.readuntil(b"\r\n\r\n")
@@ -226,8 +267,8 @@ class HttpServerCore:
         if length > MAX_BODY_BYTES:
             raise BadRequest("request body too large", 413)
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method, path, headers, body
+        path, _, query = target.partition("?")
+        return method, path, headers, body, query
 
     async def _write_response(
         self,
@@ -236,12 +277,42 @@ class HttpServerCore:
         payload: Body,
         extra_headers: Dict[str, str],
         keep_alive: bool,
-    ) -> None:
+    ) -> bool:
+        """Write one response; returns whether the connection may
+        continue serving requests (streamed responses always end it).
+        """
+        reason = REASONS.get(status, "Unknown")
+        if isinstance(payload, StreamBody):
+            headers = [
+                f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {payload.content_type}",
+                "Cache-Control: no-store",
+                "Connection: close",
+            ]
+            headers += [
+                f"{name}: {value}"
+                for name, value in extra_headers.items()
+            ]
+            writer.write(
+                "\r\n".join(headers).encode("latin-1") + b"\r\n\r\n"
+            )
+            await writer.drain()
+            chunks = payload.chunks
+            try:
+                async for chunk in chunks:
+                    if isinstance(chunk, str):
+                        chunk = chunk.encode("utf-8")
+                    writer.write(chunk)
+                    await writer.drain()
+            finally:
+                aclose = getattr(chunks, "aclose", None)
+                if aclose is not None:
+                    await aclose()
+            return False
         if isinstance(payload, (bytes, bytearray)):
             body = bytes(payload)
         else:
             body = encode_json(payload)
-        reason = REASONS.get(status, "Unknown")
         headers = [
             f"HTTP/1.1 {status} {reason}",
             "Content-Type: application/json",
@@ -255,3 +326,4 @@ class HttpServerCore:
             "\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body
         )
         await writer.drain()
+        return keep_alive

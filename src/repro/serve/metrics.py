@@ -66,6 +66,16 @@ class ServiceMetrics:
     ``hier_rounds_total`` / ``hier_partitions_total``
         Feedback rounds and graph parts those jobs reported, summed;
         divide by ``hier_jobs`` for the per-job averages.
+    ``improve_jobs``
+        Anytime improver runs started on this replica (stream requests
+        that attached to an already-running improver don't count).
+    ``improved_entries``
+        Cache rewrites the engine accepted from improver runs — each
+        one replaced the stored entry with a strictly better result.
+    ``proved_optimal``
+        Improver runs that terminated with an optimality proof.
+    ``sse_clients``
+        Gauge: ``GET /schedule/stream`` connections currently open.
 
     The cluster tier's *client-side* counters (``peer_hits``,
     ``peer_fetch_errors``, ``published``, ...) live on the
@@ -87,6 +97,10 @@ class ServiceMetrics:
         self.hier_jobs = 0
         self.hier_rounds_total = 0
         self.hier_partitions_total = 0
+        self.improve_jobs = 0
+        self.improved_entries = 0
+        self.proved_optimal = 0
+        self.sse_clients = 0
         self.in_flight = 0
         self.queued_jobs = 0
         self.compute_seconds_total = 0.0
@@ -134,6 +148,10 @@ class ServiceMetrics:
             "hier_jobs": self.hier_jobs,
             "hier_rounds_total": self.hier_rounds_total,
             "hier_partitions_total": self.hier_partitions_total,
+            "improve_jobs": self.improve_jobs,
+            "improved_entries": self.improved_entries,
+            "proved_optimal": self.proved_optimal,
+            "sse_clients": self.sse_clients,
             "in_flight": self.in_flight,
             "queue_depth": self.queued_jobs,
             "latency_p50_ms": percentile(window, 0.50) * 1000.0,

@@ -12,9 +12,13 @@ object::
                                        # schedule artifact in the body
       "gaps": false,                   # optional: include the
                                        # optimality gap (small graphs)
-      "windows": {"n3": [2, 5]}        # optional: per-op [lo, hi]
+      "windows": {"n3": [2, 5]},       # optional: per-op [lo, hi]
                                        # start-window pins (only on
                                        # window-capable algorithms)
+      "budget": {"nodes": 100000}      # optional: search budget
+                                       # (nodes and/or deadline_ms;
+                                       # only on budget-capable
+                                       # algorithms like bnb-anytime)
     }
 
 Validation is strict: unknown top-level keys, wrong field types,
@@ -49,7 +53,15 @@ DEFAULT_RESOURCES = "2+/-,2*"
 DEFAULT_ALGORITHM = "threaded(meta2)"
 
 _REQUEST_FIELDS = frozenset(
-    {"graph", "resources", "algorithm", "artifacts", "gaps", "windows"}
+    {
+        "graph",
+        "resources",
+        "algorithm",
+        "artifacts",
+        "gaps",
+        "windows",
+        "budget",
+    }
 )
 
 
@@ -199,12 +211,23 @@ def parse_request(body: bytes) -> ScheduleRequest:
                         f"window references unknown op {op!r} in the "
                         f"inline graph"
                     )
+    budget = None
+    if "budget" in data:
+        budget = data["budget"]
+        if not isinstance(budget, dict):
+            raise ProtocolError(
+                f"field 'budget' must be an object with 'nodes' and/or "
+                f"'deadline_ms', got {type(budget).__name__}"
+            )
     try:
-        # JobSpec.make runs the resource, algorithm, and window
-        # validation itself (ResourceSet.parse / canonical_algorithm /
-        # _normalize_windows); one pass, one place for the rules to
+        # JobSpec.make runs the resource, algorithm, window, and
+        # budget validation itself (ResourceSet.parse /
+        # canonical_algorithm / _normalize_windows /
+        # _normalize_budget); one pass, one place for the rules to
         # live.
-        spec = JobSpec.make(graph, resources, algorithm, windows=windows)
+        spec = JobSpec.make(
+            graph, resources, algorithm, windows=windows, budget=budget
+        )
     except ReproError as exc:
         raise ProtocolError(str(exc))
 

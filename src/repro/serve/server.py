@@ -44,6 +44,8 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.engine.batch import BatchEngine
 from repro.engine.cache import _is_key
+from repro.errors import ReproError
+from repro.improve import Improver
 from repro.serve import protocol
 from repro.store import (
     DEFAULT_PEER_TIMEOUT_S,
@@ -61,8 +63,11 @@ from repro.serve.http import (
     MAX_HEADER_BYTES,
     Body,
     HttpServerCore,
+    StreamBody,
+    parse_query,
 )
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.stream import DEFAULT_STREAM_NODES, ImproveTask, sse_frame
 
 __all__ = [
     "DEFAULT_DRAIN_TIMEOUT_S",
@@ -147,6 +152,10 @@ class ScheduleServer(HttpServerCore):
             batch_window_ms=batch_window_ms,
         )
         self._draining = False
+        # Improver runs keyed by canonical cache key; a stream request
+        # for a key whose improver is live attaches instead of
+        # starting a second search over the same graph.
+        self._improves: Dict[str, ImproveTask] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -188,9 +197,21 @@ class ScheduleServer(HttpServerCore):
         self.metrics.errors += 1
 
     async def dispatch(
-        self, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        query: str = "",
     ) -> Tuple[int, Body, Dict[str, str]]:
         self.metrics.requests += 1
+        if path == "/schedule/stream":
+            if method != "GET":
+                self.metrics.errors += 1
+                return 405, protocol.error_payload(
+                    "use GET /schedule/stream"
+                ), {}
+            return await self._handle_stream(query)
         if path == "/schedule":
             if method != "POST":
                 self.metrics.errors += 1
@@ -321,6 +342,148 @@ class ScheduleServer(HttpServerCore):
             "X-Repro-Source": protocol.source_of(result, coalesced),
             "X-Repro-Key": result.key,
         }
+
+    # ------------------------------------------------------------------
+    # Live improvement streams.
+
+    @staticmethod
+    def _stream_int(params: Dict[str, str], field: str) -> Optional[int]:
+        """A positive integer query parameter, or None when absent."""
+        raw = params.get(field)
+        if raw is None or raw == "":
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise protocol.ProtocolError(
+                f"query parameter {field!r} must be an integer, "
+                f"got {raw!r}"
+            )
+        if value <= 0:
+            raise protocol.ProtocolError(
+                f"query parameter {field!r} must be positive, got {value}"
+            )
+        return value
+
+    async def _handle_stream(
+        self, query: str
+    ) -> Tuple[int, Body, Dict[str, str]]:
+        """``GET /schedule/stream?graph=HAL[&resources=..][&nodes=..]``.
+
+        One improver run per canonical cache key: the first stream
+        request for a key starts a background run; concurrent and
+        late requests attach to it (history replay makes attachment
+        order invisible).  The response is a close-delimited SSE
+        stream ending in exactly one terminal event.
+        """
+        params = parse_query(query)
+        try:
+            unknown = sorted(
+                set(params) - {"graph", "resources", "nodes", "deadline_ms"}
+            )
+            if unknown:
+                raise protocol.ProtocolError(
+                    f"unknown query parameter(s): {', '.join(unknown)}"
+                )
+            graph = params.get("graph")
+            if not graph:
+                raise protocol.ProtocolError(
+                    "query parameter 'graph' is required"
+                )
+            resources = params.get(
+                "resources", protocol.DEFAULT_RESOURCES
+            )
+            nodes = self._stream_int(params, "nodes")
+            deadline_ms = self._stream_int(params, "deadline_ms")
+        except protocol.ProtocolError as exc:
+            self.metrics.errors += 1
+            return exc.status, protocol.error_payload(str(exc)), {}
+        if nodes is None and deadline_ms is None:
+            # An unbudgeted stream still terminates: the default node
+            # budget bounds one request's CPU, and the checkpoint left
+            # behind lets the next request continue the search.
+            nodes = DEFAULT_STREAM_NODES
+        if self._draining:
+            self.metrics.errors += 1
+            return 503, protocol.error_payload(
+                "server is draining; retry against a live replica"
+            ), {"Retry-After": "1"}
+
+        loop = asyncio.get_running_loop()
+        try:
+            # Construction seeds from the cache (disk reads, graph
+            # build) — executor, not the loop thread.
+            improver = await loop.run_in_executor(
+                None, lambda: Improver(self.engine, graph, resources)
+            )
+        except ReproError as exc:
+            self.metrics.errors += 1
+            return 400, protocol.error_payload(str(exc)), {}
+
+        task = self._improves.get(improver.key)
+        if task is None or task.done:
+            task = ImproveTask(improver.key)
+            self._improves[improver.key] = task
+            self.metrics.improve_jobs += 1
+            # Every subscriber's stream opens with the current
+            # incumbent, so a client knows the baseline its
+            # improvements are relative to.
+            task.broadcast(improver.solver.status_event("incumbent"))
+            asyncio.ensure_future(
+                self._drive(task, improver, nodes, deadline_ms)
+            )
+        queue = task.subscribe()
+
+        async def frames():
+            self.metrics.sse_clients += 1
+            try:
+                while True:
+                    event = await queue.get()
+                    if event is None:
+                        return
+                    yield sse_frame(event)
+            finally:
+                self.metrics.sse_clients -= 1
+                task.unsubscribe(queue)
+
+        return 200, StreamBody(frames()), {"X-Repro-Key": improver.key}
+
+    async def _drive(
+        self,
+        task: ImproveTask,
+        improver: Improver,
+        nodes: Optional[int],
+        deadline_ms: Optional[int],
+    ) -> None:
+        """Run one improver to its budget, fanning events to ``task``."""
+        loop = asyncio.get_running_loop()
+
+        def forward(event: Dict) -> None:
+            # Called from the executor thread; marshal onto the loop.
+            # A loop torn down mid-run just drops the event.
+            try:
+                loop.call_soon_threadsafe(task.broadcast, dict(event))
+            except RuntimeError:
+                pass
+
+        try:
+            summary = await loop.run_in_executor(
+                None,
+                lambda: improver.run(
+                    nodes=nodes,
+                    deadline_ms=deadline_ms,
+                    on_event=forward,
+                ),
+            )
+        except Exception as exc:
+            self.metrics.errors += 1
+            task.broadcast({"type": "error", "error": str(exc)})
+        else:
+            self.metrics.improved_entries += improver.rewrites
+            if summary["proved"]:
+                self.metrics.proved_optimal += 1
+        finally:
+            task.finish()
 
 
 async def _run_until_signal(server: ScheduleServer) -> bool:

@@ -1,0 +1,93 @@
+"""Live improvement streams: ``GET /schedule/stream`` as SSE.
+
+One improver run per canonical cache key, however many clients watch:
+the server keeps an :class:`ImproveTask` registry, a late subscriber
+replays the task's event history before going live, and a stream
+request for a key whose improver is already running simply attaches.
+The event dicts come straight from
+:meth:`repro.scheduling.bnb.AnytimeBnB.status_event` — ``incumbent``
+lengths are monotone non-increasing within a task, ``bound`` events
+only raise the lower bound, and the stream ends with exactly one
+terminal event: ``optimal`` (proof) or ``exhausted`` (budget expired).
+
+The wire format is standard server-sent events, one frame per event::
+
+    event: incumbent
+    data: {"bound":6,"length":7,...}
+
+so ``curl -N .../schedule/stream?graph=HAL`` is a usable client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = ["DEFAULT_STREAM_NODES", "ImproveTask", "sse_frame"]
+
+#: Node budget a stream request gets when it names none — enough to
+#: prove every tractable registry graph while bounding the CPU one
+#: request can claim (the improver checkpoints, so the next request
+#: resumes where this one stopped).
+DEFAULT_STREAM_NODES = 500_000
+
+
+def sse_frame(event: Dict[str, Any]) -> str:
+    """One server-sent-events frame for an improver event dict."""
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return f"event: {event.get('type', 'message')}\ndata: {data}\n\n"
+
+
+class ImproveTask:
+    """One running improver, fanned out to any number of subscribers.
+
+    Lives on the server's event loop: ``broadcast``/``finish`` must be
+    called from the loop thread (the improver's worker thread gets
+    there via ``call_soon_threadsafe``).  The event history is kept so
+    a subscriber attaching mid-run still sees the full monotone
+    incumbent sequence from the seed on.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self.history: List[Dict[str, Any]] = []
+        self.queues: Set[asyncio.Queue] = set()
+        self.done = False
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue that yields history, then live events, then None."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.history:
+            queue.put_nowait(event)
+        if self.done:
+            queue.put_nowait(None)
+        else:
+            self.queues.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        self.queues.discard(queue)
+
+    def broadcast(self, event: Dict[str, Any]) -> None:
+        self.history.append(event)
+        for queue in self.queues:
+            queue.put_nowait(event)
+
+    def finish(self) -> None:
+        """Mark the run over and release every live subscriber."""
+        self.done = True
+        for queue in self.queues:
+            queue.put_nowait(None)
+        self.queues.clear()
+
+    @property
+    def terminal(self) -> Optional[Dict[str, Any]]:
+        """The terminal event, once the run is over."""
+        if self.history and self.history[-1].get("type") in (
+            "optimal",
+            "exhausted",
+            "error",
+        ):
+            return self.history[-1]
+        return None

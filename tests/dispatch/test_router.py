@@ -177,6 +177,72 @@ class TestEdgeValidation:
         assert client.request("POST", "/metrics").status == 405
 
 
+class TestStreamRelay:
+    def test_stream_relays_verbatim_through_router(
+        self, replicas, router_factory
+    ):
+        """The SSE bytes arrive unmodified: monotone incumbents ending
+        in the proved-optimal terminal event, exactly as a replica
+        would serve them directly."""
+        router, _, client = router_factory(replicas.addresses())
+        events = list(client.schedule_stream("IIR3", timeout=120))
+        assert events, "stream relayed no events"
+        lengths = [
+            e["length"] for e in events if e["type"] == "incumbent"
+        ]
+        assert lengths == sorted(lengths, reverse=True)
+        assert events[-1]["type"] == "optimal"
+        assert events[-1]["length"] == 20
+        # Exactly one replica ran the improver: the ring routed the
+        # stream to the canonical key's owner.
+        jobs = [
+            replicas.client(i).metrics()["improve_jobs"]
+            for i in range(len(replicas.members))
+        ]
+        assert sum(jobs) >= 1 and min(jobs) == 0
+
+    def test_stream_carries_routing_headers(
+        self, replicas, router_factory
+    ):
+        import http.client
+
+        _, _, client = router_factory(replicas.addresses())
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=60
+        )
+        try:
+            conn.request("GET", "/schedule/stream?graph=FIG1")
+            response = conn.getresponse()
+            assert response.status == 200
+            headers = {
+                name.lower(): value
+                for name, value in response.getheaders()
+            }
+            assert headers["x-repro-replica"] in replicas.addresses()
+            assert len(headers["x-repro-key"]) == 64
+            assert "content-length" not in headers
+            assert "event: optimal" in response.read().decode()
+        finally:
+            conn.close()
+
+    def test_stream_errors_bounce_and_relay(
+        self, replicas, router_factory
+    ):
+        _, _, client = router_factory(replicas.addresses())
+        # Unknown graph: refused at the edge, no replica sees it.
+        raw = client.request("GET", "/schedule/stream?graph=NOSUCH")
+        assert raw.status == 400
+        assert "unknown benchmark" in raw.json()["error"]
+        # Missing graph: also an edge refusal.
+        assert client.request("GET", "/schedule/stream").status == 400
+        # Replica-side validation errors relay verbatim.
+        raw = client.request(
+            "GET", "/schedule/stream?graph=HAL&nodes=zero"
+        )
+        assert raw.status == 400
+        assert "integer" in raw.json()["error"]
+
+
 class TestAggregatedMetrics:
     def test_three_sections_and_cluster_sums(
         self, replicas, router_factory

@@ -19,6 +19,7 @@ import pytest
 from repro.dispatch.metrics import CLUSTER_SUM_FIELDS, DispatchMetrics
 from repro.engine.cli import build_dispatch_parser, build_serve_parser
 from repro.hier.cli import build_hier_parser
+from repro.improve.cli import build_improve_parser
 from repro.serve.server import ScheduleServer
 from repro.store import ClusterStore
 
@@ -98,6 +99,7 @@ def parser_flags(parser) -> set:
         ("repro serve", build_serve_parser),
         ("repro dispatch", build_dispatch_parser),
         ("repro hier", build_hier_parser),
+        ("repro improve", build_improve_parser),
     ],
 )
 def test_operations_flags_match_parser(heading, builder):
@@ -123,6 +125,7 @@ def test_every_doc_flag_is_accepted_somewhere():
         parser_flags(build_serve_parser())
         | parser_flags(build_dispatch_parser())
         | parser_flags(build_hier_parser())
+        | parser_flags(build_improve_parser())
     )
     for path in DOC_FILES:
         for flag in set(FLAG.findall(path.read_text(encoding="utf-8"))):

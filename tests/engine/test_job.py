@@ -8,7 +8,9 @@ from repro.engine.job import (
     GraphSpec,
     JobResult,
     JobSpec,
+    anytime_rank,
     canonical_algorithm,
+    improves_result,
 )
 from repro.errors import SchedulingError
 from repro.graphs import hal
@@ -62,6 +64,8 @@ class TestAlgorithms:
             ("meta4", "threaded(meta4)"),
             ("threaded(meta2)", "threaded(meta2)"),
             ("exact", "exact"),
+            ("anytime", "bnb-anytime"),
+            ("bnb-anytime", "bnb-anytime"),
         ],
     )
     def test_aliases(self, alias, canonical):
@@ -95,6 +99,112 @@ class TestJobSpec:
         # Same job spelled differently -> same key.
         same = JobSpec.make("HAL", "2+/,2*", "threaded-meta2")
         assert same.cache_key(graph_hash) == key
+
+
+class TestBudget:
+    GRAPH_HASH = "a" * 64
+
+    def test_budget_extends_the_cache_key(self):
+        plain = JobSpec.make("hal", "2+/-,2*", "bnb-anytime")
+        budgeted = JobSpec.make(
+            "hal", "2+/-,2*", "bnb-anytime", budget={"nodes": 5_000}
+        )
+        assert plain.cache_key(self.GRAPH_HASH) != budgeted.cache_key(
+            self.GRAPH_HASH
+        )
+        # Field order in the request must not matter.
+        same = JobSpec.make(
+            "hal",
+            "2+/-,2*",
+            "bnb-anytime",
+            budget={"deadline_ms": 100, "nodes": 5_000},
+        )
+        other = JobSpec.make(
+            "hal",
+            "2+/-,2*",
+            "bnb-anytime",
+            budget={"nodes": 5_000, "deadline_ms": 100},
+        )
+        assert same.cache_key(self.GRAPH_HASH) == other.cache_key(
+            self.GRAPH_HASH
+        )
+
+    def test_canonical_strips_the_budget(self):
+        budgeted = JobSpec.make(
+            "hal", "2+/-,2*", "bnb-anytime", budget={"nodes": 5_000}
+        )
+        canonical = budgeted.canonical()
+        assert canonical.budget == ()
+        plain = JobSpec.make("hal", "2+/-,2*", "bnb-anytime")
+        assert canonical == plain
+        assert plain.canonical() is plain
+
+    @pytest.mark.parametrize(
+        "budget",
+        [
+            {"nodes": 0},
+            {"nodes": -5},
+            {"nodes": True},
+            {"nodes": 1.5},
+            {"steps": 10},
+        ],
+    )
+    def test_bad_budgets_rejected(self, budget):
+        with pytest.raises(SchedulingError):
+            JobSpec.make("hal", "2+/-,2*", "bnb-anytime", budget=budget)
+
+    def test_empty_budget_means_no_budget(self):
+        spec = JobSpec.make("hal", "2+/-,2*", "bnb-anytime", budget={})
+        assert spec.budget == ()
+        assert spec == JobSpec.make("hal", "2+/-,2*", "bnb-anytime")
+
+    def test_budget_requires_a_budget_algorithm(self):
+        with pytest.raises(SchedulingError):
+            JobSpec.make("hal", "2+/-,2*", "meta2", budget={"nodes": 10})
+
+
+def _anytime_result(length, proved, nodes, *, failed=False):
+    meta = {"bnb": {"proved": proved, "nodes": nodes}}
+    return JobResult(
+        key="k" * 64,
+        graph="HAL",
+        graph_hash="h" * 64,
+        num_ops=11,
+        resources="2+/-,2*",
+        algorithm="bnb-anytime",
+        length=length,
+        runtime_s=0.001,
+        artifact=None if failed else {"meta": meta},
+        error="boom" if failed else None,
+    )
+
+
+class TestAnytimeRanking:
+    def test_rank_orders_length_then_proof_then_effort(self):
+        assert anytime_rank(_anytime_result(7, True, 10)) > anytime_rank(
+            _anytime_result(7, False, 10)
+        )
+        assert anytime_rank(_anytime_result(7, False, 0)) > anytime_rank(
+            _anytime_result(8, True, 10**9)
+        )
+        assert anytime_rank(_anytime_result(7, False, 20)) > anytime_rank(
+            _anytime_result(7, False, 10)
+        )
+
+    def test_improvement_is_strict(self):
+        better = _anytime_result(7, True, 10)
+        worse = _anytime_result(8, False, 10)
+        assert improves_result(better, worse)
+        assert not improves_result(worse, better)
+        # Equal rank never improves: idempotent peer publishes must
+        # not churn the stored entry.
+        assert not improves_result(better, _anytime_result(7, True, 10))
+
+    def test_failures_never_win(self):
+        ok = _anytime_result(9, False, 1)
+        failed = _anytime_result(7, True, 10, failed=True)
+        assert not improves_result(failed, ok)
+        assert improves_result(ok, failed)
 
 
 class TestJobResult:

@@ -1,0 +1,207 @@
+"""Live tests for ``GET /schedule/stream`` (SSE improvement streams)."""
+
+import asyncio
+import http.client
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ScheduleServer, metrics_snapshot
+from repro.serve.stream import ImproveTask, sse_frame
+
+
+@pytest.fixture()
+def serve_factory():
+    """Start servers on background event loops; tear them all down."""
+    started = []
+
+    def factory(**kwargs) -> tuple:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("batch_window_ms", 2.0)
+        server = ScheduleServer(**kwargs)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10), "server failed to start"
+        started.append((server, loop, thread))
+        return server, loop, ServeClient(port=server.port, timeout=60)
+
+    yield factory
+
+    for server, loop, thread in started:
+        try:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(20)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+class TestStreamEndpoint:
+    def test_stream_proves_hal_optimal(self, serve_factory):
+        server, _, client = serve_factory()
+        events = list(client.schedule_stream("HAL", timeout=120))
+        assert events[0]["type"] == "incumbent"
+        lengths = [
+            e["length"] for e in events if e["type"] == "incumbent"
+        ]
+        assert lengths == sorted(lengths, reverse=True)
+        assert events[-1]["type"] == "optimal"
+        assert events[-1]["length"] == 7
+        assert events[-1]["proved"] is True
+
+        snap = metrics_snapshot(server)
+        assert snap["improve_jobs"] == 1
+        assert snap["proved_optimal"] == 1
+        assert snap["improved_entries"] >= 1
+        assert snap["sse_clients"] == 0, "stream closed -> gauge back to 0"
+
+    def test_stream_writes_the_canonical_entry(self, serve_factory):
+        _, _, client = serve_factory()
+        events = list(client.schedule_stream("HAL", timeout=120))
+        assert events[-1]["type"] == "optimal"
+        # The canonical bnb-anytime entry now serves POST /schedule
+        # from cache, carrying the proof metadata.
+        raw = client.schedule_raw("HAL", algorithm="bnb-anytime", artifacts=True)
+        assert raw.status == 200
+        assert raw.source == "cache"
+        body = raw.json()
+        assert body["length"] == 7
+        assert body["artifact"]["meta"]["bnb"]["proved"] is True
+        key = raw.headers["x-repro-key"]
+        entry = client.cache_entry(key)
+        assert entry is not None and entry["length"] == 7
+
+    def test_second_stream_replays_the_proof(self, serve_factory):
+        server, _, client = serve_factory()
+        list(client.schedule_stream("HAL", timeout=120))
+        events = list(client.schedule_stream("HAL", timeout=60))
+        assert events[-1]["type"] == "optimal"
+        assert events[-1]["length"] == 7
+        snap = metrics_snapshot(server)
+        assert snap["improve_jobs"] == 2, "a finished task starts anew"
+        assert snap["proved_optimal"] == 2
+
+    def test_concurrent_streams_share_one_improver(self, serve_factory):
+        server, _, client = serve_factory()
+
+        def consume(_):
+            return list(client.schedule_stream("FIR", timeout=120))
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            runs = list(pool.map(consume, range(3)))
+        for events in runs:
+            assert events[-1]["type"] == "optimal"
+            assert events[-1]["length"] == 11
+            lengths = [
+                e["length"] for e in events if e["type"] == "incumbent"
+            ]
+            assert lengths == sorted(lengths, reverse=True)
+        snap = metrics_snapshot(server)
+        # At most one improver ran per completed task; 3 would mean
+        # no coalescing at all.  (Exactly 1 when all three attached
+        # before the first finished; a straggler may start a second.)
+        assert snap["improve_jobs"] <= 2
+
+    @pytest.mark.parametrize(
+        "query,fragment",
+        [
+            ("", "required"),
+            ("graph=NOPE", "unknown benchmark"),
+            ("graph=HAL&nodes=0", "positive"),
+            ("graph=HAL&nodes=soon", "integer"),
+            ("graph=HAL&bogus=1", "unknown query parameter"),
+        ],
+    )
+    def test_bad_requests_refused_with_400(
+        self, serve_factory, query, fragment
+    ):
+        _, _, client = serve_factory()
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=30
+        )
+        try:
+            conn.request("GET", f"/schedule/stream?{query}")
+            response = conn.getresponse()
+            assert response.status == 400
+            assert fragment in response.read().decode()
+        finally:
+            conn.close()
+
+    def test_post_refused_with_405(self, serve_factory):
+        _, _, client = serve_factory()
+        raw = client.request("POST", "/schedule/stream?graph=HAL", b"{}")
+        assert raw.status == 405
+
+    def test_stream_headers(self, serve_factory):
+        _, _, client = serve_factory()
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=60
+        )
+        try:
+            conn.request("GET", "/schedule/stream?graph=FIG1")
+            response = conn.getresponse()
+            assert response.status == 200
+            headers = {
+                name.lower(): value
+                for name, value in response.getheaders()
+            }
+            assert headers["content-type"] == "text/event-stream"
+            assert headers["connection"] == "close"
+            assert "content-length" not in headers
+            assert len(headers["x-repro-key"]) == 64
+            body = response.read().decode()
+            assert "event: optimal" in body
+        finally:
+            conn.close()
+
+
+class TestImproveTask:
+    def test_late_subscriber_replays_history(self):
+        async def scenario():
+            task = ImproveTask("k" * 64)
+            task.broadcast({"type": "incumbent", "length": 9})
+            task.broadcast({"type": "incumbent", "length": 8})
+            late = task.subscribe()
+            task.broadcast({"type": "optimal", "length": 7})
+            task.finish()
+            seen = []
+            while True:
+                event = late.get_nowait()
+                if event is None:
+                    break
+                seen.append(event)
+            return seen
+
+        seen = asyncio.run(scenario())
+        assert [e["length"] for e in seen] == [9, 8, 7]
+
+    def test_subscribe_after_finish_gets_history_and_sentinel(self):
+        async def scenario():
+            task = ImproveTask("k" * 64)
+            task.broadcast({"type": "optimal", "length": 7})
+            task.finish()
+            queue = task.subscribe()
+            assert queue.get_nowait()["type"] == "optimal"
+            assert queue.get_nowait() is None
+            assert task.terminal["type"] == "optimal"
+
+        asyncio.run(scenario())
+
+    def test_sse_frame_format(self):
+        frame = sse_frame({"type": "incumbent", "length": 7, "bound": 6})
+        assert frame == (
+            "event: incumbent\n"
+            'data: {"bound":6,"length":7,"type":"incumbent"}\n\n'
+        )
