@@ -1,0 +1,282 @@
+"""Chaos smoke: the serving invariants under injected faults.
+
+Two cluster runs, 1 router + 3 peer-meshed replicas each:
+
+1. a fault-free baseline that records the canonical response bytes
+   for a fixed workload;
+2. a chaos run with `repro.faultlab` armed — a poison job
+   (registry graph FIR) that kills every pool worker it touches,
+   plus a SIGKILLed replica mid-run and a same-port recovery.
+
+Asserts, under chaos: zero failed client requests, responses
+byte-identical to the fault-free baseline, the poison job answered as
+a structured never-cached `worker-crash` error while its siblings
+complete, worker-crash/quarantine counters visible in the router's
+aggregated /metrics, and the victim replica's circuit breaker
+observed opening on the kill and closing on the recovery.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.dispatch.testing import ReplicaSet, start_replica
+from repro.graphs.random_dags import random_layered_dag
+from repro.ir.serialize import dfg_to_dict
+from repro.serve.client import ServeClient
+
+ROUTER_PORT = 8797
+POISON = "FIR"  # registry graph; worker-exit fault matches its jobs
+GRAPHS = [
+    dfg_to_dict(random_layered_dag(10, seed=500 + s)) for s in range(8)
+]
+
+FAULT_ENV = {
+    "REPRO_FAULTLAB": "1",
+    "REPRO_FAULT_WORKER_EXIT": POISON,
+}
+
+SCRATCH = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+
+
+def boot_cluster(tag, extra_router_args=()):
+    replicas = ReplicaSet(
+        count=3,
+        batch_window_ms=5.0,
+        workers=2,
+        peer_mesh=True,
+        cache_root=SCRATCH / tag,
+    ).start()
+    args = [
+        "repro", "dispatch", "--port", str(ROUTER_PORT),
+        "--health-interval", "0.3", *extra_router_args,
+    ]
+    for address in replicas.addresses():
+        args += ["--replica", address]
+    router = subprocess.Popen(
+        args,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    client = ServeClient(port=ROUTER_PORT, timeout=120)
+    client.wait_ready(30)
+    return replicas, router, client
+
+
+def stop_router(router):
+    if router.poll() is None:
+        router.send_signal(signal.SIGTERM)
+        try:
+            router.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            router.kill()
+            router.communicate(timeout=10)
+
+
+def burst(client, duplicates=5):
+    """The workload: every graph `duplicates` times, concurrently.
+
+    Returns {graph index: response bytes}; asserts every request
+    answered 200 and duplicates answered byte-identically.
+    """
+    requests = [(i, g) for i, g in enumerate(GRAPHS)] * duplicates
+    with ThreadPoolExecutor(max_workers=12) as pool:
+        responses = list(pool.map(
+            lambda item: (
+                item[0],
+                client.schedule_raw(item[1], algorithm="list"),
+            ),
+            requests,
+        ))
+    by_graph = {}
+    for index, response in responses:
+        assert response.status == 200, (index, response.status)
+        by_graph.setdefault(index, set()).add(response.body)
+    assert all(len(bodies) == 1 for bodies in by_graph.values()), {
+        i: len(b) for i, b in by_graph.items()
+    }
+    return {i: bodies.pop() for i, bodies in by_graph.items()}
+
+
+def wait_for(predicate, what, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        assert time.monotonic() < deadline, f"timed out waiting: {what}"
+        time.sleep(0.2)
+
+
+def port_is_free(port):
+    """The dead replica's orphaned pool workers hold forked dups of
+    its listening socket for a beat; the port frees once their
+    orphan watchdogs fire.  SO_REUSEADDR mirrors the server's own
+    bind semantics: TIME_WAIT leftovers from the kill don't block
+    it, only a live listener does."""
+    sock = socket.socket()
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        sock.bind(("127.0.0.1", port))
+        return True
+    except OSError:
+        return False
+    finally:
+        sock.close()
+
+
+# --- Phase 1: fault-free baseline bytes. -------------------------------
+for variable in FAULT_ENV:
+    assert variable not in os.environ, f"{variable} already set"
+replicas, router, client = boot_cluster("baseline")
+try:
+    baseline = burst(client, duplicates=2)
+finally:
+    stop_router(router)
+    replicas.stop()
+print(f"baseline: {len(baseline)} graphs recorded")
+
+# --- Phase 2: chaos run. -----------------------------------------------
+os.environ.update(FAULT_ENV)  # inherited by every replica subprocess
+replicas, router, client = boot_cluster(
+    "chaos",
+    extra_router_args=[
+        "--breaker-threshold", "2",
+        "--breaker-reset", "1",
+        "--retry-base-ms", "5",
+        "--retry-max-ms", "50",
+    ],
+)
+restarted = None
+try:
+    # Determinism under an armed (but not yet triggered) harness: the
+    # chaos cluster serves the exact baseline bytes.
+    chaos_bytes = burst(client)
+    assert chaos_bytes == baseline, "chaos run diverged from baseline"
+    metrics = client.metrics()
+    assert metrics["router"]["failed"] == 0, metrics["router"]
+    assert metrics["cluster"]["computed"] == len(GRAPHS), \
+        metrics["cluster"]
+    assert metrics["cluster"]["worker_crashes"] == 0, \
+        metrics["cluster"]
+
+    # The poison job, concurrently with fresh siblings: FIR kills its
+    # worker on every attempt, is quarantined after two attributable
+    # kills, and answers a structured error — while every sibling
+    # (and the pool they share) survives.
+    siblings = [
+        dfg_to_dict(random_layered_dag(9, seed=900 + s))
+        for s in range(4)
+    ]
+    with ThreadPoolExecutor(max_workers=5) as pool:
+        poison_future = pool.submit(
+            client.schedule_raw, POISON, algorithm="list"
+        )
+        sibling_responses = list(pool.map(
+            lambda g: client.schedule_raw(g, algorithm="list"),
+            siblings,
+        ))
+    for response in sibling_responses:
+        assert response.status == 200, response.status
+        assert response.json().get("error") is None, response.json()
+    poison = poison_future.result()
+    assert poison.status == 200, (poison.status, poison.body)
+    poison_error = poison.json().get("error") or ""
+    assert "worker-crash" in poison_error, poison.json()
+
+    metrics = client.metrics()
+    print("after poison:",
+          json.dumps({k: metrics["cluster"][k] for k in
+                      ("computed", "worker_crashes",
+                       "quarantined_jobs")}, sort_keys=True))
+    assert metrics["cluster"]["worker_crashes"] >= 2, \
+        metrics["cluster"]
+    assert metrics["cluster"]["quarantined_jobs"] >= 1, \
+        metrics["cluster"]
+    assert metrics["router"]["failed"] == 0, metrics["router"]
+
+    # Never cached: a resubmission answers the same structured error
+    # from quarantine without feeding another worker.
+    crashes_before = client.metrics()["cluster"]["worker_crashes"]
+    again = client.schedule_raw(POISON, algorithm="list")
+    assert again.status == 200 and again.body == poison.body, (
+        again.status, again.body, poison.body)
+    assert client.metrics()["cluster"]["worker_crashes"] == \
+        crashes_before, "quarantined job reached a worker again"
+
+    # SIGKILL one replica mid-run: a hard crash, no drain.  The
+    # sustained burst must see zero failures, and the victim's
+    # breaker must open.
+    owner = client.schedule_raw(GRAPHS[0], algorithm="list")
+    victim = owner.headers["x-repro-replica"]
+    victim_index = replicas.addresses().index(victim)
+    victim_port = replicas.members[victim_index].port
+    replicas.kill(victim_index)
+    killed_bytes = burst(client)
+    assert killed_bytes == baseline, "bytes diverged after the kill"
+    metrics = wait_for(
+        lambda: (lambda m: m if (
+            m["cluster"]["replicas_up"] == 2
+            and m["router"]["breaker_opened"] >= 1
+        ) else None)(client.metrics()),
+        "victim ejection + breaker open",
+    )
+    assert metrics["router"]["failed"] == 0, metrics["router"]
+    snapshot = metrics["router"]["ring"]["breakers"][victim]
+    assert snapshot["opened"] >= 1, snapshot
+    print("after kill:", json.dumps(snapshot, sort_keys=True))
+
+    # Recovery: a fresh replica on the victim's port (same store,
+    # same peers).  Health probes readmit it and close its breaker.
+    replicas.members[victim_index].wait(20)
+    wait_for(
+        lambda: port_is_free(victim_port),
+        f"port {victim_port} released",
+    )
+    peer_args = []
+    for index, address in enumerate(replicas.addresses()):
+        if index != victim_index:
+            peer_args += ["--peer", address]
+    restarted = start_replica(
+        [
+            "--batch-window-ms", "5.0", "--workers", "2",
+            "--cache-dir",
+            str(SCRATCH / "chaos" / f"replica-{victim_index}"),
+            *peer_args,
+        ],
+        port=victim_port,
+    )
+    metrics = wait_for(
+        lambda: (lambda m: m if (
+            m["cluster"]["replicas_up"] == 3
+            and m["router"]["breaker_closed"] >= 1
+        ) else None)(client.metrics()),
+        "recovery readmission + breaker close",
+    )
+    snapshot = metrics["router"]["ring"]["breakers"][victim]
+    assert snapshot["state"] == "closed", snapshot
+    assert snapshot["closed"] >= 1, snapshot
+    print("after recovery:", json.dumps(snapshot, sort_keys=True))
+
+    # Full determinism after quarantine, kill, and recovery.
+    final_bytes = burst(client, duplicates=2)
+    assert final_bytes == baseline, "bytes diverged after recovery"
+    assert client.metrics()["router"]["failed"] == 0
+
+    # The router itself still drains clean.
+    router.send_signal(signal.SIGTERM)
+    out, _ = router.communicate(timeout=30)
+    assert router.returncode == 0, out
+    assert "shutdown clean" in out, out
+    print("chaos smoke ok")
+finally:
+    stop_router(router)
+    if restarted is not None:
+        restarted.terminate()
+        restarted.wait(20)
+    replicas.stop()

@@ -48,6 +48,11 @@ CLUSTER_SUM_FIELDS = (
     "improve_jobs",
     "improved_entries",
     "proved_optimal",
+    # Resilience counters: engine worker-crash recovery and the
+    # cluster-store publisher's load-shedding drops.
+    "worker_crashes",
+    "quarantined_jobs",
+    "publish_dropped",
 )
 
 
@@ -76,6 +81,14 @@ class DispatchMetrics:
         saw 502/503).
     ``ejected`` / ``readmitted``
         Ring membership flips, from health probes or live failures.
+    ``stream_broken``
+        Relayed SSE streams whose upstream replica disconnected before
+        a terminal event (the client got a synthesized ``error`` frame).
+    ``deadline_exhausted``
+        Requests answered 504 because their deadline budget ran out
+        before any replica produced an answer.
+    ``breaker_opened`` / ``breaker_closed``
+        Per-replica circuit-breaker transitions, summed over replicas.
     """
 
     def __init__(self) -> None:
@@ -89,6 +102,10 @@ class DispatchMetrics:
         self.errors = 0
         self.ejected = 0
         self.readmitted = 0
+        self.stream_broken = 0
+        self.deadline_exhausted = 0
+        self.breaker_opened = 0
+        self.breaker_closed = 0
         self.in_flight = 0
         self.per_replica: Dict[str, Dict[str, int]] = {}
         self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
@@ -124,6 +141,10 @@ class DispatchMetrics:
             "errors": self.errors,
             "ejected": self.ejected,
             "readmitted": self.readmitted,
+            "stream_broken": self.stream_broken,
+            "deadline_exhausted": self.deadline_exhausted,
+            "breaker_opened": self.breaker_opened,
+            "breaker_closed": self.breaker_closed,
             "in_flight": self.in_flight,
             "latency_p50_ms": percentile(window, 0.50) * 1000.0,
             "latency_p95_ms": percentile(window, 0.95) * 1000.0,

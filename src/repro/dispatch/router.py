@@ -30,14 +30,17 @@ headers (``X-Repro-Replica``, ``X-Repro-Attempts``).
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.job import JobSpec
 from repro.engine.keys import CacheKeyResolver
 from repro.errors import ReproError
+from repro.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.serve import protocol
 from repro.serve.http import Body, HttpServerCore, StreamBody, parse_query
+from repro.serve.stream import sse_frame
 from repro.dispatch import proxy
 from repro.dispatch.metrics import CLUSTER_SUM_FIELDS, DispatchMetrics
 from repro.dispatch.ring import DEFAULT_VNODES, HashRing
@@ -55,8 +58,38 @@ DEFAULT_REQUEST_TIMEOUT_S = 120.0
 #: How long a graceful shutdown waits for in-flight proxied requests.
 DEFAULT_DRAIN_TIMEOUT_S = 10.0
 
+#: Consecutive failures that open a replica's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open replica breaker waits before admitting a probe.
+DEFAULT_BREAKER_RESET_S = 5.0
+
+#: Base backoff between failover attempts within one routed request.
+DEFAULT_RETRY_BASE_S = 0.025
+
+#: Backoff cap for the failover walk (one walk, short waits).
+DEFAULT_RETRY_MAX_BACKOFF_S = 0.25
+
+#: Relayed-stream bytes kept to judge whether the replica's SSE stream
+#: reached a terminal frame before the connection ended.
+_STREAM_TAIL_BYTES = 512
+
+#: SSE event names that legitimately end an improvement stream.
+_TERMINAL_EVENTS = (b"optimal", b"exhausted", b"error")
+
 #: One routed answer: status, extra headers, raw body bytes to relay.
 Routed = Tuple[int, Dict[str, str], bytes]
+
+
+def _stream_terminal(tail: bytes) -> bool:
+    """Did ``tail`` end with a complete terminal SSE frame?"""
+    if not tail.endswith(b"\n\n"):
+        return False
+    start = tail.rfind(b"event: ")
+    if start < 0:
+        return False
+    name = tail[start + len(b"event: "):].split(b"\n", 1)[0].strip()
+    return name in _TERMINAL_EVENTS
 
 
 def parse_replica(text: str) -> Tuple[str, int]:
@@ -88,6 +121,10 @@ class DispatchRouter(HttpServerCore):
         probe_timeout_s: float = DEFAULT_PROBE_TIMEOUT_S,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+        retry: Optional[RetryPolicy] = None,
+        deadline_ms: Optional[float] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_reset_s: float = DEFAULT_BREAKER_RESET_S,
     ):
         super().__init__(host=host, port=port)
         if not replicas:
@@ -106,11 +143,27 @@ class DispatchRouter(HttpServerCore):
         self.probe_timeout_s = probe_timeout_s
         self.request_timeout_s = request_timeout_s
         self.drain_timeout_s = drain_timeout_s
+        # Failover-walk policy: max_attempts=0 means "walk the whole
+        # ring preference", preserving the pre-resilience semantics
+        # while still pacing attempts with jittered backoff.
+        self.retry = retry or RetryPolicy(
+            max_attempts=0,
+            base_s=DEFAULT_RETRY_BASE_S,
+            max_backoff_s=DEFAULT_RETRY_MAX_BACKOFF_S,
+        )
+        self.deadline_ms = deadline_ms
         self.metrics = DispatchMetrics()
         self._keys = CacheKeyResolver()
         self._down: Set[str] = set()
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                reset_timeout_s=breaker_reset_s,
+            )
+            for name in self.replicas
+        }
         self._inflight: Dict[protocol.ScheduleRequest, asyncio.Future] = {}
-        self._health_task: Optional[asyncio.Task] = None
+        self._health_tasks: List[asyncio.Task] = []
         self._draining = False
 
     # ------------------------------------------------------------------
@@ -118,9 +171,11 @@ class DispatchRouter(HttpServerCore):
 
     async def start(self) -> "DispatchRouter":
         await self.listen()
-        self._health_task = asyncio.get_running_loop().create_task(
-            self._health_loop()
-        )
+        loop = asyncio.get_running_loop()
+        self._health_tasks = [
+            loop.create_task(self._health_loop(name))
+            for name in self.replicas
+        ]
         return self
 
     async def stop(self) -> bool:
@@ -131,13 +186,14 @@ class DispatchRouter(HttpServerCore):
         """
         self._draining = True
         await self.close_listener()
-        if self._health_task is not None:
-            self._health_task.cancel()
+        for task in self._health_tasks:
+            task.cancel()
+        for task in self._health_tasks:
             try:
-                await self._health_task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._health_task = None
+        self._health_tasks = []
         drained = True
         deadline = (
             asyncio.get_running_loop().time() + self.drain_timeout_s
@@ -177,6 +233,28 @@ class DispatchRouter(HttpServerCore):
             self._down.discard(name)
             self.metrics.readmitted += 1
 
+    def _record_breaker(self, name: str, record) -> None:
+        """Run one breaker transition, folding deltas into metrics."""
+        breaker = self._breakers[name]
+        opened, closed = breaker.opened_total, breaker.closed_total
+        record()
+        self.metrics.breaker_opened += breaker.opened_total - opened
+        self.metrics.breaker_closed += breaker.closed_total - closed
+
+    def _candidates(self, key: str) -> List[str]:
+        """Ring preference filtered by membership and breaker state.
+
+        Falls back to the unfiltered preference walk when the filter
+        empties it: probes may simply not have noticed a recovery yet,
+        and trying everything beats refusing outright.
+        """
+        candidates = [
+            name
+            for name in self.ring.preference(key)
+            if name not in self._down and self._breakers[name].allow()
+        ]
+        return candidates or self.ring.preference(key)
+
     async def _probe(self, name: str) -> bool:
         """One health probe; True when the replica answered 200."""
         replica_host, replica_port = self.replicas[name]
@@ -192,6 +270,22 @@ class DispatchRouter(HttpServerCore):
             return False
         return status == 200
 
+    def _apply_probe(self, name: str, ok: bool) -> None:
+        """Fold one probe outcome into membership and breaker state.
+
+        Probe-driven readmission is unified: a healthy probe both
+        readmits the replica into the ring and feeds the breaker a
+        success, so an open breaker closes through the same evidence
+        that ends an ejection.
+        """
+        breaker = self._breakers[name]
+        if ok:
+            self._record_breaker(name, breaker.record_success)
+            self._readmit(name)
+        else:
+            self._record_breaker(name, breaker.record_failure)
+            self._eject(name)
+
     async def check_replicas(self) -> Dict[str, bool]:
         """Probe every replica once and update ring membership."""
         names = list(self.replicas)
@@ -201,21 +295,32 @@ class DispatchRouter(HttpServerCore):
         states: Dict[str, bool] = {}
         for name, ok in zip(names, healthy):
             states[name] = ok
-            if ok:
-                self._readmit(name)
-            else:
-                self._eject(name)
+            self._apply_probe(name, ok)
         return states
 
-    async def _health_loop(self) -> None:
+    def _probe_stagger_s(self, name: str) -> float:
+        """Deterministic per-replica phase offset within one interval.
+
+        Spreads probes across the health interval so N replicas are
+        not all hit at the same instant every period (a synchronized
+        probe burst looks like load to a struggling replica).  Hashing
+        the replica name keeps the offset stable across restarts.
+        """
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2**32
+        return fraction * self.health_interval_s
+
+    async def _health_loop(self, name: str) -> None:
+        await asyncio.sleep(self._probe_stagger_s(name))
         while True:
             try:
-                await self.check_replicas()
+                ok = await self._probe(name)
+                self._apply_probe(name, ok)
             except asyncio.CancelledError:
                 raise
             except Exception:
-                # A probe sweep must never kill the loop; individual
-                # probe failures are already folded into membership.
+                # A probe must never kill its loop; probe failures are
+                # already folded into membership.
                 pass
             await asyncio.sleep(self.health_interval_s)
 
@@ -240,14 +345,14 @@ class DispatchRouter(HttpServerCore):
                 return 405, protocol.error_payload(
                     "use GET /schedule/stream"
                 ), {}
-            return await self._handle_stream(query)
+            return await self._handle_stream(query, headers)
         if path == "/schedule":
             if method != "POST":
                 self.metrics.errors += 1
                 return 405, protocol.error_payload(
                     "use POST /schedule"
                 ), {}
-            return await self._handle_schedule(body)
+            return await self._handle_schedule(body, headers)
         if path == "/healthz":
             if method != "GET":
                 self.metrics.errors += 1
@@ -274,8 +379,23 @@ class DispatchRouter(HttpServerCore):
             "GET /healthz, GET /metrics"
         ), {}
 
+    def _deadline_for(self, headers: Dict[str, str]) -> Deadline:
+        """The request's deadline budget (header wins over the flag)."""
+        return Deadline.from_headers(
+            headers, default_ms=self.deadline_ms
+        )
+
+    def _deadline_expired(self) -> Routed:
+        self.metrics.deadline_exhausted += 1
+        self.metrics.failed += 1
+        return 504, {}, protocol.encode_json(
+            protocol.error_payload(
+                "deadline budget exhausted before a replica answered"
+            )
+        )
+
     async def _handle_schedule(
-        self, body: bytes
+        self, body: bytes, request_headers: Dict[str, str]
     ) -> Tuple[int, Body, Dict[str, str]]:
         try:
             request = protocol.parse_request(body)
@@ -287,6 +407,11 @@ class DispatchRouter(HttpServerCore):
             return 503, protocol.error_payload(
                 "dispatcher is draining; retry shortly"
             ), {"Retry-After": "1"}
+        deadline = self._deadline_for(request_headers)
+        if deadline.expired():
+            self.metrics.errors += 1
+            status, extra, payload = self._deadline_expired()
+            return status, payload, extra
 
         self.metrics.schedule_requests += 1
 
@@ -306,7 +431,7 @@ class DispatchRouter(HttpServerCore):
         self.metrics.in_flight += 1
         started = time.monotonic()
         try:
-            routed = await self._route(request, body)
+            routed = await self._route(request, body, deadline)
             if not future.done():
                 future.set_result(routed)
         except BaseException as exc:
@@ -325,20 +450,14 @@ class DispatchRouter(HttpServerCore):
         return status, payload, extra
 
     async def _route(
-        self, request: protocol.ScheduleRequest, body: bytes
+        self,
+        request: protocol.ScheduleRequest,
+        body: bytes,
+        deadline: Deadline,
     ) -> Routed:
         """Proxy one unique request along its ring preference walk."""
         key = self._keys.key(request.spec)
-        candidates = [
-            name
-            for name in self.ring.preference(key)
-            if name not in self._down
-        ]
-        if not candidates:
-            # Every replica is ejected: try them all anyway rather
-            # than refusing outright — probes may simply not have
-            # noticed a recovery yet.
-            candidates = self.ring.preference(key)
+        candidates = self._candidates(key)
         if not candidates:
             self.metrics.failed += 1
             return 503, {"Retry-After": "1"}, protocol.encode_json(
@@ -349,7 +468,15 @@ class DispatchRouter(HttpServerCore):
         for attempt, name in enumerate(candidates):
             replica_host, replica_port = self.replicas[name]
             if attempt > 0:
+                if not self.retry.allows(attempt + 1):
+                    failures.append("retry budget exhausted")
+                    break
                 self.metrics.retried += 1
+                await asyncio.sleep(
+                    deadline.clamp(self.retry.backoff_s(attempt))
+                )
+            if deadline.expired():
+                return self._deadline_expired()
             try:
                 status, headers, payload = await proxy.exchange(
                     replica_host,
@@ -357,7 +484,8 @@ class DispatchRouter(HttpServerCore):
                     "POST",
                     "/schedule",
                     body=body,
-                    timeout=self.request_timeout_s,
+                    headers=deadline.headers(),
+                    timeout=deadline.clamp(self.request_timeout_s),
                 )
             except (
                 OSError,
@@ -368,20 +496,31 @@ class DispatchRouter(HttpServerCore):
                 # wedged.  Eject it now instead of waiting a probe
                 # period, and walk on.
                 self.metrics.record_failure(name)
+                self._record_breaker(
+                    name, self._breakers[name].record_failure
+                )
                 self._eject(name)
                 failures.append(
                     f"{name}: {str(exc) or type(exc).__name__}"
                 )
+                if deadline.expired():
+                    return self._deadline_expired()
                 continue
             if status >= 500:
                 # 5xx and drain-in-progress 503s fail over; the next
                 # ring position computes the same deterministic answer.
                 self.metrics.record_failure(name)
+                self._record_breaker(
+                    name, self._breakers[name].record_failure
+                )
                 if status == 503:
                     self._eject(name)  # draining; probes readmit later
                 failures.append(f"{name}: HTTP {status}")
                 continue
             self.metrics.record_routed(name)
+            self._record_breaker(
+                name, self._breakers[name].record_success
+            )
             if attempt > 0:
                 self.metrics.failed_over += 1
             extra = {
@@ -406,8 +545,41 @@ class DispatchRouter(HttpServerCore):
             )
         )
 
+    async def _relay_stream(self, chunks) -> "asyncio.AsyncIterator":
+        """Relay replica SSE bytes verbatim, appending a terminal
+        ``error`` event if the replica dies mid-stream.
+
+        A healthy stream passes through untouched (byte-determinism:
+        the client sees exactly what the replica sent).  When the
+        upstream connection ends without a terminal frame — replica
+        crash, reset, timeout — the client gets one structured SSE
+        ``error`` event instead of a silent hangup, and the router
+        counts ``stream_broken``.
+        """
+        tail = b""
+        try:
+            async for chunk in chunks:
+                if isinstance(chunk, str):
+                    chunk = chunk.encode("utf-8")
+                tail = (tail + chunk)[-_STREAM_TAIL_BYTES:]
+                yield chunk
+        except (OSError, asyncio.TimeoutError):
+            tail = b"broken"  # force the non-terminal branch below
+        finally:
+            await chunks.aclose()
+        if not _stream_terminal(tail):
+            self.metrics.stream_broken += 1
+            yield sse_frame(
+                {
+                    "type": "error",
+                    "error": (
+                        "upstream replica disconnected mid-stream"
+                    ),
+                }
+            ).encode("utf-8")
+
     async def _handle_stream(
-        self, query: str
+        self, query: str, request_headers: Dict[str, str]
     ) -> Tuple[int, Body, Dict[str, str]]:
         """Relay ``GET /schedule/stream`` to the replica owning its key.
 
@@ -416,8 +588,8 @@ class DispatchRouter(HttpServerCore):
         the replica whose store already holds (and will keep) that
         graph's canonical entry.  Failover happens *before* the stream
         starts — once a replica answers 200 its SSE bytes are relayed
-        verbatim and a mid-stream death surfaces to the client as the
-        connection closing without a terminal event.
+        verbatim; a mid-stream death surfaces to the client as a
+        terminal structured ``error`` event (see ``_relay_stream``).
         """
         graph = parse_query(query).get("graph")
         if not graph:
@@ -441,14 +613,13 @@ class DispatchRouter(HttpServerCore):
             return 503, protocol.error_payload(
                 "dispatcher is draining; retry shortly"
             ), {"Retry-After": "1"}
+        deadline = self._deadline_for(request_headers)
+        if deadline.expired():
+            self.metrics.errors += 1
+            status, extra, payload = self._deadline_expired()
+            return status, payload, extra
 
-        candidates = [
-            name
-            for name in self.ring.preference(key)
-            if name not in self._down
-        ]
-        if not candidates:
-            candidates = self.ring.preference(key)
+        candidates = self._candidates(key)
         if not candidates:
             self.metrics.failed += 1
             return 503, {"error": "no replicas configured"}, {
@@ -460,13 +631,22 @@ class DispatchRouter(HttpServerCore):
         for attempt, name in enumerate(candidates):
             replica_host, replica_port = self.replicas[name]
             if attempt > 0:
+                if not self.retry.allows(attempt + 1):
+                    failures.append("retry budget exhausted")
+                    break
                 self.metrics.retried += 1
+                await asyncio.sleep(
+                    deadline.clamp(self.retry.backoff_s(attempt))
+                )
+            if deadline.expired():
+                status, extra, payload = self._deadline_expired()
+                return status, payload, extra
             try:
                 status, headers, payload, chunks = await proxy.open_stream(
                     replica_host,
                     replica_port,
                     target,
-                    timeout=self.request_timeout_s,
+                    timeout=deadline.clamp(self.request_timeout_s),
                 )
             except (
                 OSError,
@@ -474,6 +654,9 @@ class DispatchRouter(HttpServerCore):
                 proxy.ProxyProtocolError,
             ) as exc:
                 self.metrics.record_failure(name)
+                self._record_breaker(
+                    name, self._breakers[name].record_failure
+                )
                 self._eject(name)
                 failures.append(
                     f"{name}: {str(exc) or type(exc).__name__}"
@@ -483,11 +666,17 @@ class DispatchRouter(HttpServerCore):
                 if chunks is not None:
                     await chunks.aclose()
                 self.metrics.record_failure(name)
+                self._record_breaker(
+                    name, self._breakers[name].record_failure
+                )
                 if status == 503:
                     self._eject(name)
                 failures.append(f"{name}: HTTP {status}")
                 continue
             self.metrics.record_routed(name)
+            self._record_breaker(
+                name, self._breakers[name].record_success
+            )
             if attempt > 0:
                 self.metrics.failed_over += 1
             extra = {
@@ -501,7 +690,7 @@ class DispatchRouter(HttpServerCore):
                 # A pre-stream refusal (400, 429, ...): relay the JSON
                 # body verbatim, exactly like the /schedule path.
                 return status, payload, extra
-            return status, StreamBody(chunks), extra
+            return status, StreamBody(self._relay_stream(chunks)), extra
 
         self.metrics.failed += 1
         return 502, {"Retry-After": "1"}, protocol.encode_json(
@@ -574,6 +763,10 @@ class DispatchRouter(HttpServerCore):
                     "members": list(self.ring.members),
                     "vnodes": self.ring.vnodes,
                     "down": sorted(self._down),
+                    "breakers": {
+                        name: breaker.snapshot()
+                        for name, breaker in self._breakers.items()
+                    },
                 },
             },
             "replicas": replicas,

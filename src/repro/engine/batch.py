@@ -36,15 +36,18 @@ overlaps across batches.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from copy import deepcopy
 from dataclasses import replace
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import faultlab
 from repro.engine.cache import ResultCache
 from repro.engine.job import (
     ALGORITHMS,
@@ -63,6 +66,11 @@ from repro.scheduling.base import schedule_artifact
 #: when the engine is constructed with ``compute_gaps=True``.
 DEFAULT_GAP_OPS_LIMIT = 12
 
+#: A job that killed this many workers while running *alone* is
+#: quarantined: further submissions answer a structured ``worker-crash``
+#: error instead of feeding the job another worker.
+CRASH_STRIKE_LIMIT = 2
+
 
 def _pool_context(name: Optional[str]):
     """The requested start method, defaulting to fork-else-spawn."""
@@ -72,6 +80,54 @@ def _pool_context(name: Optional[str]):
         return get_context("fork")
     except ValueError:
         return get_context("spawn")
+
+
+def _orphan_watchdog(parent_pid: int) -> None:
+    """Exit the worker as soon as its parent process is gone.
+
+    A pool worker that outlives a hard-killed parent blocks on the
+    call queue forever: sibling workers hold forked duplicates of the
+    queue's write end, so EOF never arrives.  Worse, forked workers
+    also hold duplicates of every listening socket the parent had
+    open, which keeps the dead server's port bound and blocks a
+    replacement replica from binding it.  Reparenting (``getppid``
+    changing) is the portable death signal.
+    """
+    while os.getppid() == parent_pid:
+        time.sleep(1.0)
+    os._exit(1)
+
+
+def _worker_init() -> None:
+    """Detach a pool worker from its parent's lifecycle plumbing.
+
+    Forked workers inherit the parent's signal handlers *and* its
+    ``signal.set_wakeup_fd`` pipe — under asyncio that pipe is the
+    event loop's self-pipe, shared with the parent across the fork.
+    A worker that then receives SIGTERM (the executor terminates
+    survivors whenever a sibling hard-crashes the pool) would write
+    the signal byte into the *parent's* loop and shut the whole
+    server down as if the operator had sent it SIGTERM.  Resetting
+    both keeps worker-directed signals worker-local; the watchdog
+    thread handles the reverse direction (parent dies first).
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass  # not the main thread, or no fd was registered
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+    threading.Thread(
+        target=_orphan_watchdog,
+        args=(os.getppid(),),
+        name="orphan-watchdog",
+        daemon=True,
+    ).start()
 
 
 def execute_job(
@@ -93,6 +149,10 @@ def execute_job(
     carries ``error`` and ``length == -1`` instead of aborting the
     whole batch with an exception.  Programming errors still raise.
     """
+    if faultlab.enabled():
+        # Chaos harness: a matching job takes the whole worker down
+        # with os._exit — a faithful stand-in for a segfault/OOM kill.
+        faultlab.maybe_crash_worker(f"{key} {spec.graph.describe()}")
     dfg = spec.graph.build()
     resources = spec.resource_set()
     runner = ALGORITHMS[spec.algorithm]
@@ -226,6 +286,18 @@ class BatchEngine:
         # long-lived front end does not pay pool spin-up per batch.
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Worker-crash bookkeeping.  `_crash_lock` is a leaf lock (never
+        # held while taking `_lock` or `_pool_lock`): it guards the
+        # strike counts, the quarantine table, and the two counters the
+        # serving layer exports.  `_pool_lock` serializes persistent-
+        # pool rebuilds after a BrokenProcessPool, since two concurrent
+        # submit() threads can observe the same break.
+        self._crash_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._crash_strikes: Dict[str, int] = {}
+        self._quarantined: Dict[str, str] = {}
+        self.worker_crashes = 0
+        self.quarantined_jobs = 0
 
     # ------------------------------------------------------------------
 
@@ -357,6 +429,7 @@ class BatchEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=_pool_context(self.mp_context),
+                initializer=_worker_init,
             )
         return self
 
@@ -435,6 +508,17 @@ class BatchEngine:
 
             keyed: List[Tuple[str, JobSpec, str]] = []
             for key, spec, graph_hash in unique:
+                quarantine = self._quarantine_error(key)
+                if quarantine is not None:
+                    # A quarantined job never reaches another worker:
+                    # answer the structured failure immediately (and
+                    # never cache it — see the store-back phase).
+                    resolve(
+                        key,
+                        self._crash_result(key, spec, graph_hash,
+                                           quarantine),
+                    )
+                    continue
                 hit = self.cache.get(
                     key,
                     require=self._servable,
@@ -615,6 +699,7 @@ class BatchEngine:
         with ProcessPoolExecutor(
             max_workers=max_workers,
             mp_context=_pool_context(self.mp_context),
+            initializer=_worker_init,
         ) as pool:
             return self._collect(pool, keyed)
 
@@ -623,19 +708,174 @@ class BatchEngine:
         pool: ProcessPoolExecutor,
         keyed: List[Tuple[str, JobSpec, str]],
     ) -> List[Tuple[str, JobResult]]:
-        futures = {
-            pool.submit(
-                execute_job,
-                spec,
-                key,
-                graph_hash,
-                self.compute_gaps,
-                self.gap_ops_limit,
-                self.capture_schedules,
-            ): key
-            for key, spec, graph_hash in keyed
-        }
-        return [
-            (futures[future], future.result())
-            for future in as_completed(futures)
-        ]
+        """Run one batch through ``pool``, surviving worker crashes.
+
+        A pool worker dying (segfault, OOM kill, injected
+        ``os._exit``) breaks the *entire* executor: every unfinished
+        future raises :class:`BrokenProcessPool`.  Instead of losing
+        the batch, this keeps whatever finished before the break,
+        rebuilds the persistent pool for subsequent batches, and
+        re-dispatches the unfinished jobs one at a time in throwaway
+        single-worker pools — isolation makes a second crash
+        attributable to exactly one job, which is then quarantined as
+        a structured never-cached ``worker-crash`` error while every
+        sibling completes normally.  No future ever hangs.
+        """
+        done, crashed = self._run_round(pool, keyed)
+        if not crashed:
+            return done
+        with self._crash_lock:
+            self.worker_crashes += 1
+        self._rebuild_pool(pool)
+        if len(crashed) == 1:
+            # The break is attributable: only one job was in flight.
+            self._record_strike(crashed[0][0])
+        for key, spec, graph_hash in crashed:
+            done.append((key, self._retry_solo(key, spec, graph_hash)))
+        return done
+
+    def _run_round(
+        self,
+        pool: ProcessPoolExecutor,
+        keyed: List[Tuple[str, JobSpec, str]],
+    ) -> Tuple[
+        List[Tuple[str, JobResult]], List[Tuple[str, JobSpec, str]]
+    ]:
+        """Submit a batch; partition into (finished, crash-unfinished).
+        """
+        futures = {}
+        crashed: List[Tuple[str, JobSpec, str]] = []
+        for item in keyed:
+            key, spec, graph_hash = item
+            try:
+                future = pool.submit(
+                    execute_job,
+                    spec,
+                    key,
+                    graph_hash,
+                    self.compute_gaps,
+                    self.gap_ops_limit,
+                    self.capture_schedules,
+                )
+            except (BrokenProcessPool, RuntimeError):
+                # Pool already broken (or shut down by a concurrent
+                # rebuild): everything not yet submitted retries solo.
+                crashed.append(item)
+                continue
+            futures[future] = item
+        done: List[Tuple[str, JobResult]] = []
+        for future in as_completed(futures):
+            item = futures[future]
+            try:
+                done.append((item[0], future.result()))
+            except BrokenProcessPool:
+                crashed.append(item)
+        return done, crashed
+
+    def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace the persistent pool after a break (idempotent).
+
+        Identity-checked under ``_pool_lock``: when two submit threads
+        observe the same broken pool, exactly one rebuild happens.
+        Ad-hoc pools (no ``start()``) are owned by their ``with``
+        block and need no replacement.
+        """
+        with self._pool_lock:
+            if self._pool is not broken:
+                return
+            broken.shutdown(wait=False)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_pool_context(self.mp_context),
+                initializer=_worker_init,
+            )
+
+    def _retry_solo(
+        self, key: str, spec: JobSpec, graph_hash: str
+    ) -> JobResult:
+        """Re-run one crash-unfinished job in isolation.
+
+        Each attempt gets a fresh single-worker pool, so a crash here
+        is this job's doing beyond doubt — that is a strike.  At
+        :data:`CRASH_STRIKE_LIMIT` strikes the job is quarantined and
+        answered as a structured error forever after (a genuinely
+        poisonous job must not eat a worker per submission).
+        """
+        while True:
+            quarantine = self._quarantine_error(key)
+            if quarantine is not None:
+                return self._crash_result(key, spec, graph_hash,
+                                          quarantine)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=_pool_context(self.mp_context),
+                    initializer=_worker_init,
+                ) as solo:
+                    result = solo.submit(
+                        execute_job,
+                        spec,
+                        key,
+                        graph_hash,
+                        self.compute_gaps,
+                        self.gap_ops_limit,
+                        self.capture_schedules,
+                    ).result()
+            except BrokenProcessPool:
+                with self._crash_lock:
+                    self.worker_crashes += 1
+                self._record_strike(key)
+                continue
+            with self._crash_lock:
+                self._crash_strikes.pop(key, None)
+            return result
+
+    def _record_strike(self, key: str) -> None:
+        """One attributable worker kill for ``key``; maybe quarantine.
+        """
+        with self._crash_lock:
+            strikes = self._crash_strikes.get(key, 0) + 1
+            self._crash_strikes[key] = strikes
+            if (
+                strikes >= CRASH_STRIKE_LIMIT
+                and key not in self._quarantined
+            ):
+                self._quarantined[key] = (
+                    f"worker-crash: job killed {strikes} workers; "
+                    f"quarantined"
+                )
+                self.quarantined_jobs += 1
+
+    def _quarantine_error(self, key: str) -> Optional[str]:
+        with self._crash_lock:
+            return self._quarantined.get(key)
+
+    def _crash_result(
+        self, key: str, spec: JobSpec, graph_hash: str, error: str
+    ) -> JobResult:
+        """The structured answer for a quarantined job.
+
+        ``num_ops`` is 0 because the graph may be exactly what kills
+        workers — nothing here rebuilds it in the serving process.
+        """
+        return JobResult(
+            key=key,
+            graph=spec.graph.describe(),
+            graph_hash=graph_hash,
+            num_ops=0,
+            resources=spec.resources,
+            algorithm=spec.algorithm,
+            length=-1,
+            runtime_s=0.0,
+            gap=None,
+            artifact=None,
+            error=error,
+        )
+
+    def crash_stats(self) -> Dict[str, int]:
+        """Worker-crash counters for the serving layer's /metrics."""
+        with self._crash_lock:
+            return {
+                "worker_crashes": self.worker_crashes,
+                "quarantined_jobs": self.quarantined_jobs,
+            }

@@ -28,8 +28,8 @@ keeping the store at or under its bound at all times.
 >>> cache = ResultCache()
 >>> cache.get("0" * 64) is None
 True
->>> cache.stats()
-{'hits': 0, 'misses': 1, 'stored': 0, 'evictions': 0}
+>>> cache.stats()['misses']
+1
 """
 
 from __future__ import annotations
@@ -44,6 +44,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Optional, Set, Union
 
+from repro import faultlab
 from repro.engine.job import JobResult
 from repro.errors import ReproError
 
@@ -128,6 +129,7 @@ class ResultCache:
         self.misses = 0
         self.stored = 0
         self.evictions = 0
+        self.corrupt_dropped = 0
         if cache_dir is not None:
             self._dir = Path(cache_dir)
             try:
@@ -505,8 +507,10 @@ class ResultCache:
                     # a miss here, but not ours to delete.
                     pass
                 else:
-                    # Torn or corrupt entry: degrade to a miss and drop
-                    # the wreck so it stops occupying capacity.
+                    # Torn or corrupt entry: degrade to a miss, count
+                    # the quarantine, and drop the wreck so it stops
+                    # occupying capacity.
+                    self.corrupt_dropped += 1
                     self._drop(key)
         if result is not None and require is not None and not require(result):
             result = None
@@ -611,6 +615,12 @@ class ResultCache:
                 indent=2,
                 sort_keys=True,
             )
+            if faultlab.enabled():
+                # Chaos harness: persist only a prefix of the entry —
+                # a torn write that survives the atomic rename.
+                payload = faultlab.torn_write(
+                    payload.encode("utf-8"), result.key
+                ).decode("utf-8", "ignore")
             path = self._path(result.key)
             try:
                 path.parent.mkdir(exist_ok=True)
@@ -706,6 +716,7 @@ class ResultCache:
             "misses": self.misses,
             "stored": self.stored,
             "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
         }
 
     def index(self) -> Dict[str, Dict[str, int]]:

@@ -576,6 +576,61 @@ def build_dispatch_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="graceful-shutdown wait for in-flight requests (default 10s)",
     )
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "max replica attempts per request; 0 walks the whole "
+            "ring preference (default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-base-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="base backoff before the second attempt (default 25)",
+    )
+    parser.add_argument(
+        "--retry-max-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="backoff cap across the failover walk (default 250)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "default per-request deadline budget; requests carrying "
+            "an X-Repro-Deadline-Ms header override it (default: "
+            "no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "consecutive failures that open a replica's circuit "
+            "breaker (default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help=(
+            "seconds an open breaker waits before admitting a "
+            "half-open probe (default 5)"
+        ),
+    )
     return parser
 
 
@@ -598,11 +653,29 @@ def cmd_dispatch(args: Sequence[str]) -> int:
         ("--probe-timeout", opts.probe_timeout),
         ("--request-timeout", opts.request_timeout),
         ("--drain-timeout", opts.drain_timeout),
+        ("--retry-base-ms", opts.retry_base_ms),
+        ("--retry-max-ms", opts.retry_max_ms),
+        ("--breaker-reset", opts.breaker_reset),
     ):
         if value <= 0:
             raise ReproError(f"{flag} must be positive, got {value}")
+    if opts.retry_attempts < 0:
+        raise ReproError(
+            "--retry-attempts must be >= 0 (0 = walk the whole "
+            f"ring), got {opts.retry_attempts}"
+        )
+    if opts.breaker_threshold < 1:
+        raise ReproError(
+            "--breaker-threshold must be at least 1, got "
+            f"{opts.breaker_threshold}"
+        )
+    if opts.deadline_ms is not None and opts.deadline_ms <= 0:
+        raise ReproError(
+            f"--deadline-ms must be positive, got {opts.deadline_ms}"
+        )
 
     from repro.dispatch.router import run_router
+    from repro.resilience import RetryPolicy
 
     return run_router(
         replicas=opts.replica,
@@ -613,6 +686,14 @@ def cmd_dispatch(args: Sequence[str]) -> int:
         probe_timeout_s=opts.probe_timeout,
         request_timeout_s=opts.request_timeout,
         drain_timeout_s=opts.drain_timeout,
+        retry=RetryPolicy(
+            max_attempts=opts.retry_attempts,
+            base_s=opts.retry_base_ms / 1000.0,
+            max_backoff_s=opts.retry_max_ms / 1000.0,
+        ),
+        deadline_ms=opts.deadline_ms,
+        breaker_threshold=opts.breaker_threshold,
+        breaker_reset_s=opts.breaker_reset,
     )
 
 

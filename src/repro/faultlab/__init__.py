@@ -1,0 +1,258 @@
+"""Deterministic fault injection for chaos tests.
+
+The serving stack's headline invariants — zero failed client
+requests, byte-determinism, one compute per key cluster-wide — were
+only ever *proved* against clean SIGTERMs.  This package is the
+harness that proves them against the ugly failures: a pool worker
+dying mid-job, a peer that hangs or refuses or answers garbage, a
+cache entry torn mid-write, a replica that is merely slow.
+
+Faults are configured entirely through environment variables, which
+is exactly the channel that crosses every process boundary in the
+system for free: pool workers inherit the parent's environment, and
+:class:`~repro.dispatch.testing.ReplicaSet` boots replicas with the
+caller's ``os.environ``.  Nothing activates unless the master switch
+``REPRO_FAULTLAB=1`` is set — with it unset, every hook is a dead
+branch behind one cached boolean, so production code paths are
+provably unchanged (``tests/faultlab`` asserts this).
+
+Knobs (all matched as substrings; ``*`` matches everything):
+
+- ``REPRO_FAULT_WORKER_EXIT=<match>`` — a pool worker executing a job
+  whose key or graph description contains ``match`` dies with
+  ``os._exit(1)`` (a real crash: no exception, no cleanup).
+  ``REPRO_FAULT_WORKER_EXIT_LIMIT=<n>`` caps total crashes (counted
+  in ``REPRO_FAULT_DIR`` so the cap spans processes); unset = every
+  matching execution crashes.
+- ``REPRO_FAULT_PEER_DELAY_S=<seconds>`` [+ ``_MATCH``] — sleep
+  before every peer cache exchange whose ``host:port`` matches.
+- ``REPRO_FAULT_PEER_REFUSE=<match>`` — peer exchanges to matching
+  ``host:port`` raise ``ConnectionRefusedError`` instead of dialing.
+- ``REPRO_FAULT_PEER_CORRUPT=<match>`` — payloads fetched from
+  matching peers come back truncated and bit-flipped.
+- ``REPRO_FAULT_TORN_WRITE=<match>`` — cache-entry writes for
+  matching keys persist only the first half of the payload (a torn
+  write that survives the atomic rename).
+- ``REPRO_FAULT_REPLICA_LAG_S=<seconds>`` — every ``/schedule``
+  request on an affected replica sleeps first (a slow replica, not a
+  dead one).
+- ``REPRO_FAULT_RATE=<0..1>`` + ``REPRO_FAULT_SEED=<int>`` — apply
+  peer faults to only a seeded-deterministic fraction of calls.
+
+>>> config = FaultConfig.from_env({})
+>>> config.active
+False
+>>> config = FaultConfig.from_env({
+...     "REPRO_FAULTLAB": "1",
+...     "REPRO_FAULT_PEER_REFUSE": "127.0.0.1:9001",
+... })
+>>> config.active, config.peer_refuse
+(True, '127.0.0.1:9001')
+>>> _matches("*", "anything"), _matches("9001", "127.0.0.1:9002")
+(True, False)
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+ENV_SWITCH = "REPRO_FAULTLAB"
+
+_COUNTER_FILE = "worker_exit.count"
+
+
+def _matches(pattern: Optional[str], token: str) -> bool:
+    if not pattern:
+        return False
+    return pattern == "*" or pattern in token
+
+
+def _env_float(
+    env: Mapping[str, str], name: str, default: float
+) -> float:
+    try:
+        return float(env.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One immutable snapshot of the fault environment."""
+
+    active: bool = False
+    worker_exit: Optional[str] = None
+    worker_exit_limit: int = 0
+    fault_dir: Optional[str] = None
+    peer_delay_s: float = 0.0
+    peer_delay_match: str = "*"
+    peer_refuse: Optional[str] = None
+    peer_corrupt: Optional[str] = None
+    torn_write: Optional[str] = None
+    replica_lag_s: float = 0.0
+    rate: float = 1.0
+    seed: int = 0
+
+    @classmethod
+    def from_env(
+        cls, env: Optional[Mapping[str, str]] = None
+    ) -> "FaultConfig":
+        if env is None:
+            env = os.environ
+        if env.get(ENV_SWITCH, "") not in ("1", "true", "yes"):
+            return cls()
+        try:
+            limit = int(env.get("REPRO_FAULT_WORKER_EXIT_LIMIT", "0"))
+        except ValueError:
+            limit = 0
+        try:
+            seed = int(env.get("REPRO_FAULT_SEED", "0"))
+        except ValueError:
+            seed = 0
+        return cls(
+            active=True,
+            worker_exit=env.get("REPRO_FAULT_WORKER_EXIT") or None,
+            worker_exit_limit=max(0, limit),
+            fault_dir=env.get("REPRO_FAULT_DIR") or None,
+            peer_delay_s=max(
+                0.0, _env_float(env, "REPRO_FAULT_PEER_DELAY_S", 0.0)
+            ),
+            peer_delay_match=env.get(
+                "REPRO_FAULT_PEER_DELAY_MATCH", "*"
+            ),
+            peer_refuse=env.get("REPRO_FAULT_PEER_REFUSE") or None,
+            peer_corrupt=env.get("REPRO_FAULT_PEER_CORRUPT") or None,
+            torn_write=env.get("REPRO_FAULT_TORN_WRITE") or None,
+            replica_lag_s=max(
+                0.0,
+                _env_float(env, "REPRO_FAULT_REPLICA_LAG_S", 0.0),
+            ),
+            rate=min(
+                1.0, max(0.0, _env_float(env, "REPRO_FAULT_RATE", 1.0))
+            ),
+            seed=seed,
+        )
+
+
+_config = FaultConfig.from_env()
+_rng = random.Random(_config.seed)
+
+
+def refresh() -> FaultConfig:
+    """Re-read the environment (tests, pool-worker initializers)."""
+    global _config, _rng
+    _config = FaultConfig.from_env()
+    _rng = random.Random(_config.seed)
+    return _config
+
+
+def config() -> FaultConfig:
+    return _config
+
+
+def enabled() -> bool:
+    """The one check production call sites pay when faultlab is off.
+    """
+    return _config.active
+
+
+def _fires(config: FaultConfig) -> bool:
+    """Seeded-deterministic rate gate for peer faults."""
+    if config.rate >= 1.0:
+        return True
+    return _rng.random() < config.rate
+
+
+def _crash_budget_left(config: FaultConfig) -> bool:
+    """Cross-process crash cap via atomic 1-byte appends.
+
+    ``O_APPEND`` makes each single-byte write atomic, so the file
+    size *after our own write* is our global crash sequence number —
+    no locks, and the cap holds across pool workers and replicas
+    sharing one ``REPRO_FAULT_DIR``.
+    """
+    if config.worker_exit_limit <= 0:
+        return True  # unlimited
+    if config.fault_dir is None:
+        return True
+    path = os.path.join(config.fault_dir, _COUNTER_FILE)
+    try:
+        fd = os.open(
+            path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        try:
+            os.write(fd, b"x")
+            seq = os.fstat(fd).st_size
+        finally:
+            os.close(fd)
+    except OSError:
+        return True
+    return seq <= config.worker_exit_limit
+
+
+def maybe_crash_worker(token: str) -> None:
+    """Kill this process hard if ``token`` names an injected victim.
+
+    Called from ``execute_job`` inside pool workers with the job key
+    plus graph description, this is a faithful stand-in for a native
+    crash (segfault, OOM kill): ``os._exit`` skips all Python-level
+    cleanup, so the parent sees a broken pool, not an exception.
+    """
+    config = _config
+    if not config.active or not _matches(config.worker_exit, token):
+        return
+    if _crash_budget_left(config):
+        os._exit(1)
+
+
+def before_peer_exchange(host: str, port: int, key: str) -> None:
+    """Delay or refuse a peer cache exchange (fetch or publish)."""
+    config = _config
+    if not config.active:
+        return
+    target = f"{host}:{port}"
+    if config.peer_delay_s > 0 and _matches(
+        config.peer_delay_match, target
+    ):
+        if _fires(config):
+            time.sleep(config.peer_delay_s)
+    if _matches(config.peer_refuse, target) and _fires(config):
+        raise ConnectionRefusedError(
+            f"faultlab: refusing peer exchange with {target}"
+        )
+
+
+def corrupt_peer_payload(
+    payload: bytes, host: str, port: int
+) -> bytes:
+    """Truncate + bit-flip a payload fetched from a matching peer."""
+    config = _config
+    if not config.active:
+        return payload
+    if not _matches(config.peer_corrupt, f"{host}:{port}"):
+        return payload
+    if not _fires(config) or len(payload) < 2:
+        return payload
+    torn = bytearray(payload[: max(1, len(payload) // 2)])
+    torn[0] ^= 0xFF
+    return bytes(torn)
+
+
+def torn_write(data: bytes, key: str) -> bytes:
+    """Return the bytes that actually reach disk for ``key``."""
+    config = _config
+    if not config.active or not _matches(config.torn_write, key):
+        return data
+    return data[: len(data) // 2]
+
+
+def replica_lag_s() -> float:
+    """Seconds a slow replica should stall each schedule request."""
+    config = _config
+    if not config.active:
+        return 0.0
+    return config.replica_lag_s

@@ -142,6 +142,16 @@ def build_hier_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "max attempts per subgraph request against --target; "
+            "0 retries until the exchange succeeds (default 3)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -160,6 +170,11 @@ def cmd_hier(args: Sequence[str]) -> int:
         raise ReproError("pass either a benchmark name or --random, not both")
     if opts.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {opts.workers}")
+    if opts.retry_attempts < 0:
+        raise ReproError(
+            "--retry-attempts must be >= 0 (0 = retry until the "
+            f"exchange succeeds), got {opts.retry_attempts}"
+        )
 
     if opts.random is not None:
         dfg = random_hier_dag(opts.random, seed=opts.seed)
@@ -171,7 +186,13 @@ def cmd_hier(args: Sequence[str]) -> int:
     backend = None
     engine: Optional[BatchEngine] = None
     if opts.target is not None:
-        backend = ServeBackend(opts.target, workers=opts.workers)
+        from repro.resilience import RetryPolicy
+
+        backend = ServeBackend(
+            opts.target,
+            workers=opts.workers,
+            retry=RetryPolicy(max_attempts=opts.retry_attempts),
+        )
     elif opts.workers > 1:
         engine = BatchEngine(
             workers=opts.workers, capture_schedules=True

@@ -38,6 +38,7 @@ oracle the threaded-schedule hardening path uses.
 from __future__ import annotations
 
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -127,12 +128,31 @@ class ServeBackend:
     ``target`` is ``host:port`` (or just a port).  Jobs in one fan-out
     wave are posted concurrently from a thread pool; the service's
     coalescer and result cache deduplicate across replicas.
+
+    Transient target failures — connection refused/reset, timeouts,
+    and retryable statuses (429, 502, 503, 504) — are retried under
+    the unified :class:`repro.resilience.RetryPolicy` with jittered
+    backoff before a :class:`SchedulingError` surfaces; a replica
+    restart mid-run then costs latency, not the whole hierarchical
+    schedule.
     """
 
-    def __init__(self, target: str, workers: int = 8, timeout: float = 300.0):
+    #: HTTP statuses worth a retry: overload shedding, failover
+    #: exhaustion, drains, and deadline 504s — never 4xx contract
+    #: errors, which repeat deterministically.
+    RETRYABLE_STATUSES = (429, 502, 503, 504)
+
+    def __init__(
+        self,
+        target: str,
+        workers: int = 8,
+        timeout: float = 300.0,
+        retry: Optional["RetryPolicy"] = None,
+    ):
         # Local import: repro.serve pulls in the HTTP stack, which the
         # in-process backends never need.
         from repro.serve.client import ServeClient
+        from repro.resilience import RetryPolicy
 
         host, _, port_text = str(target).rpartition(":")
         try:
@@ -146,6 +166,41 @@ class ServeBackend:
         )
         self.target = f"{host or '127.0.0.1'}:{port}"
         self.workers = max(1, int(workers))
+        self.retry = retry or RetryPolicy(
+            max_attempts=3, base_s=0.2, max_backoff_s=2.0
+        )
+
+    def _post_with_retry(self, spec: JobSpec, graph):
+        """One schedule exchange under the backend's retry policy."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                raw = self.client.schedule_raw(
+                    graph,
+                    resources=spec.resources,
+                    algorithm=spec.algorithm,
+                    artifacts=True,
+                    windows=dict(spec.windows_dict()) or None,
+                )
+            except OSError as exc:
+                # Refused/reset/timeout: surface the structured error
+                # the CLI contract promises, not a socket traceback.
+                if self.retry.allows(attempt + 1):
+                    time.sleep(self.retry.backoff_s(attempt))
+                    continue
+                raise SchedulingError(
+                    f"serve target {self.target} unreachable for "
+                    f"subgraph job {spec.graph.describe()!r} after "
+                    f"{attempt} attempt(s): {exc}"
+                ) from None
+            if (
+                raw.status in self.RETRYABLE_STATUSES
+                and self.retry.allows(attempt + 1)
+            ):
+                time.sleep(self.retry.backoff_s(attempt))
+                continue
+            return raw
 
     def _one(self, spec: JobSpec) -> JobResult:
         graph = (
@@ -153,21 +208,7 @@ class ServeBackend:
             if spec.graph.source == "inline"
             else spec.graph.name
         )
-        try:
-            raw = self.client.schedule_raw(
-                graph,
-                resources=spec.resources,
-                algorithm=spec.algorithm,
-                artifacts=True,
-                windows=dict(spec.windows_dict()) or None,
-            )
-        except OSError as exc:
-            # Refused/reset/timeout: surface the structured error the
-            # CLI contract promises, not a socket traceback.
-            raise SchedulingError(
-                f"serve target {self.target} unreachable for subgraph "
-                f"job {spec.graph.describe()!r}: {exc}"
-            ) from None
+        raw = self._post_with_retry(spec, graph)
         if raw.status != 200:
             try:
                 message = raw.json().get("error", "")

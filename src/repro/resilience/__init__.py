@@ -1,0 +1,48 @@
+"""One failure model for the whole stack.
+
+Every networked layer of the system used to hand-roll its own failure
+handling: the dispatcher's ring failover retried instantly with no
+backoff, peer fetches gave each peer exactly one chance per request
+forever, and nothing bounded how long a request could keep burning
+retries after its client had already given up.  This package is the
+shared policy surface the layers now import instead:
+
+- :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  decorrelated jitter, so synchronized failures do not produce
+  synchronized retry storms.
+- :class:`Deadline` — a monotonic time budget minted once at the edge
+  and *threaded through* every hop (the ``X-Repro-Deadline-Ms``
+  header), so a router retry can never outlive the client's remaining
+  patience.
+- :class:`CircuitBreaker` — per-target failure accounting that stops
+  sending traffic at a target that keeps failing (closed -> open),
+  then readmits it through a single probe (half-open) rather than a
+  thundering herd.
+
+All three are plain synchronous objects with injectable clocks and
+RNGs: deterministic under test, zero dependencies, usable from both
+asyncio code (the router) and threaded code (the cluster store's
+publisher, the hier backend).
+
+>>> policy = RetryPolicy(max_attempts=3, base_s=0.1, jitter=False)
+>>> [policy.backoff_s(a) for a in range(1, 4)]
+[0.1, 0.2, 0.4]
+>>> breaker = CircuitBreaker(failure_threshold=2, clock=lambda: 0.0)
+>>> breaker.record_failure(); breaker.record_failure()
+>>> breaker.state
+'open'
+"""
+
+from repro.resilience.policy import (
+    DEADLINE_HEADER,
+    Deadline,
+    RetryPolicy,
+)
+from repro.resilience.breaker import CircuitBreaker
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DEADLINE_HEADER",
+    "RetryPolicy",
+]

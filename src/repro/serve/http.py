@@ -49,6 +49,7 @@ REASONS = {
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: A handler's body: a JSON-safe dict, pre-encoded bytes to relay, or

@@ -42,6 +42,7 @@ import json
 import time
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import faultlab
 from repro.engine.batch import BatchEngine
 from repro.engine.cache import _is_key
 from repro.errors import ReproError
@@ -251,6 +252,10 @@ class ScheduleServer(HttpServerCore):
             # Top-level merge (not nested) so the dispatcher's
             # cluster-wide aggregation sums them like any counter.
             snapshot.update(peer_stats())
+        crash_stats = getattr(self.engine, "crash_stats", None)
+        if callable(crash_stats):
+            # Same top-level merge for worker-crash recovery counters.
+            snapshot.update(crash_stats())
         return snapshot
 
     async def _handle_cache(
@@ -327,6 +332,13 @@ class ScheduleServer(HttpServerCore):
         self.metrics.in_flight += 1
         started = time.monotonic()
         try:
+            if faultlab.enabled():
+                # Chaos harness: a "slow replica" stalls here, after
+                # admission — the router's deadline/failover machinery
+                # sees a wedged upstream, not a refused connection.
+                lag = faultlab.replica_lag_s()
+                if lag > 0:
+                    await asyncio.sleep(lag)
             result, coalesced = await self.coalescer.schedule(
                 request.spec
             )

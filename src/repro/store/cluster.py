@@ -22,7 +22,13 @@ Failure policy, end to end: a peer that is down, slow, or talking
 garbage is *a miss plus a counter* (``peer_fetch_errors``), never an
 exception in a request path; a publish that cannot be delivered is a
 counter (``publish_errors``), never a failure of the originating
-request.
+request; a publish shed because the async queue is full is a
+``publish_dropped`` (logged once per store).  A per-peer
+:class:`~repro.resilience.CircuitBreaker` sits in front of both
+directions: a peer that keeps failing stops receiving traffic until a
+probe readmits it, and an optional :class:`~repro.resilience.RetryPolicy`
+adds backed-off per-peer retries to fetch walks (off by default — the
+ring walk is the first-line retry).
 
 Concurrency: the engine calls :meth:`get`/:meth:`put` under its
 submission lock, and calls :meth:`fetch_missing` *outside* it (network
@@ -42,6 +48,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
+import logging
 import queue
 import threading
 import time
@@ -51,8 +58,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 from repro.engine.cache import ENTRY_FORMAT, ResultCache
 from repro.engine.job import JobResult
 from repro.errors import ReproError
+from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.store import peers as peers_mod
 from repro.store.peers import DEFAULT_PEER_TIMEOUT_S, PeerError
+
+logger = logging.getLogger(__name__)
+
+#: Consecutive failures that open a peer's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open peer breaker waits before admitting a probe.
+DEFAULT_BREAKER_RESET_S = 5.0
 
 #: Publish deliveries queued but not yet attempted before the async
 #: publisher starts shedding (a shed delivery counts a publish_error).
@@ -146,6 +162,9 @@ class ClusterStore(ResultCache):
         vnodes: Optional[int] = None,
         fetch: Optional[Callable] = None,
         push: Optional[Callable] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_reset_s: float = DEFAULT_BREAKER_RESET_S,
     ):
         # Imported here, not at module level: repro.dispatch's package
         # init pulls in the router, which imports the serve layer,
@@ -193,7 +212,25 @@ class ClusterStore(ResultCache):
         self.peer_fetch_errors = 0
         self.published = 0
         self.publish_errors = 0
+        self.publish_dropped = 0
+        self._drop_logged = False
         self._pending = 0
+        # One attempt per peer per walk by default (`max_attempts=1`):
+        # the ring walk itself is the retry mechanism in steady state.
+        # A caller that wants per-peer retries passes a RetryPolicy.
+        self.retry = (
+            retry if retry is not None else RetryPolicy(max_attempts=1)
+        )
+        # Per-peer breakers, shared by fetch walks and publish
+        # deliveries: a peer that keeps failing stops receiving
+        # traffic for `breaker_reset_s`, then readmits via one probe.
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                reset_timeout_s=breaker_reset_s,
+            )
+            for name in self.peers
+        }
         self._queue: "queue.Queue" = queue.Queue(
             maxsize=PUBLISH_QUEUE_LIMIT
         )
@@ -224,29 +261,43 @@ class ClusterStore(ResultCache):
                 found[key] = result
         return found
 
+    def _breaker_allows(self, name: str) -> bool:
+        with self._peer_lock:
+            return self._breakers[name].allow()
+
     def _fetch_one(self, key: str) -> Optional[JobResult]:
         for name in self.ring.preference(key):
             host, port = self.peers[name]
-            try:
-                data = self._fetch(
-                    host, port, key, timeout=self.peer_timeout_s
-                )
-                if data is None:
-                    continue  # clean 404: this peer just lacks it
-                result = parse_entry(data, key)
-            except PeerError:
+            breaker = self._breakers[name]
+            attempt = 0
+            while self._breaker_allows(name):
+                attempt += 1
+                try:
+                    data = self._fetch(
+                        host, port, key, timeout=self.peer_timeout_s
+                    )
+                    # A clean 404 is a healthy answer: this peer just
+                    # lacks the entry.  PeerError and stub misbehavior
+                    # alike must degrade to a miss — the fallback is
+                    # always local compute.
+                    result = (
+                        None if data is None else parse_entry(data, key)
+                    )
+                except Exception:
+                    with self._peer_lock:
+                        self.peer_fetch_errors += 1
+                        breaker.record_failure()
+                    if not self.retry.allows(attempt + 1):
+                        break
+                    time.sleep(self.retry.backoff_s(attempt))
+                    continue
                 with self._peer_lock:
-                    self.peer_fetch_errors += 1
-                continue
-            except Exception:
-                # A transport stub misbehaving must still degrade to a
-                # miss: the fallback is always local compute.
-                with self._peer_lock:
-                    self.peer_fetch_errors += 1
-                continue
-            with self._peer_lock:
-                self.peer_hits += 1
-            return result
+                    breaker.record_success()
+                    if result is not None:
+                        self.peer_hits += 1
+                if result is not None:
+                    return result
+                break  # clean 404: walk on to the next ring position
         with self._peer_lock:
             self.peer_misses += 1
         return None
@@ -334,12 +385,15 @@ class ClusterStore(ResultCache):
         except Exception:
             # A dead or refusing peer must never fail the originating
             # request (or the publisher thread); the counter is the
-            # only trace.
+            # only trace.  The outcome still feeds the peer's breaker,
+            # so fetch walks learn from failed deliveries too.
             with self._peer_lock:
                 self.publish_errors += 1
+                self._breakers[name].record_failure()
             return
         with self._peer_lock:
             self.published += 1
+            self._breakers[name].record_success()
 
     def _enqueue(self, name: str, key: str, payload: bytes) -> None:
         self._ensure_publisher()
@@ -349,9 +403,24 @@ class ClusterStore(ResultCache):
             self._queue.put_nowait((name, key, payload))
         except queue.Full:
             # Shedding beats blocking a compute path on a wedged peer.
+            # Dropped entries are counted (they were never attempted,
+            # so they are not publish_errors) and logged exactly once
+            # per store — a full queue means every subsequent put
+            # would log too.
             with self._peer_lock:
                 self._pending -= 1
-                self.publish_errors += 1
+                self.publish_dropped += 1
+                log_now = not self._drop_logged
+                self._drop_logged = True
+            if log_now:
+                logger.warning(
+                    "publish queue full (%d pending); shedding entry "
+                    "%s... for peer %s (counted in publish_dropped; "
+                    "logged once per store)",
+                    PUBLISH_QUEUE_LIMIT,
+                    key[:12],
+                    name,
+                )
 
     def _ensure_publisher(self) -> None:
         if self._publisher is not None and self._publisher.is_alive():
@@ -417,5 +486,17 @@ class ClusterStore(ResultCache):
                 "peer_fetch_errors": self.peer_fetch_errors,
                 "published": self.published,
                 "publish_errors": self.publish_errors,
+                "publish_dropped": self.publish_dropped,
                 "publish_pending": max(0, self._pending),
+                "peer_breaker_opened": sum(
+                    b.opened_total for b in self._breakers.values()
+                ),
+                "peer_breaker_closed": sum(
+                    b.closed_total for b in self._breakers.values()
+                ),
+                "peer_breakers_open": sum(
+                    1
+                    for b in self._breakers.values()
+                    if b.state != "closed"
+                ),
             }

@@ -24,6 +24,7 @@ import http.client
 import json
 from typing import Dict, Optional, Tuple
 
+from repro import faultlab
 from repro.errors import ReproError
 
 #: Default per-exchange timeout for peer fetches and publishes.
@@ -67,6 +68,11 @@ def _exchange(
     """One request/response; every transport failure is a PeerError."""
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
+        if faultlab.enabled():
+            # Chaos harness: delay or refuse matching peer exchanges.
+            # A refusal raises ConnectionRefusedError (an OSError), so
+            # it degrades through the PeerError path like a real one.
+            faultlab.before_peer_exchange(host, port, key)
         headers = {"Connection": "close", "X-Repro-Key": key}
         if body is not None:
             headers["Content-Type"] = "application/json"
@@ -106,6 +112,9 @@ def fetch_entry(
             f"peer {host}:{port} answered HTTP {status} for key "
             f"{key[:12]}..."
         )
+    if faultlab.enabled():
+        # Chaos harness: a matching peer answers truncated garbage.
+        payload = faultlab.corrupt_peer_payload(payload, host, port)
     try:
         data = json.loads(payload.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:

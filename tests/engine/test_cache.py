@@ -45,6 +45,7 @@ class TestMemoryLayer:
         assert hit.cached is True
         assert cache.stats() == {
             "hits": 1, "misses": 1, "stored": 1, "evictions": 0,
+            "corrupt_dropped": 0,
         }
 
     def test_contains_and_len_agree(self):

@@ -1,0 +1,110 @@
+"""Worker-crash recovery: pool rebuild, sibling survival, and
+poison-job quarantine, driven by the faultlab harness.
+
+The fault environment is set (and the module snapshot refreshed)
+*before* the engine is built, so forked pool workers inherit an
+already-active configuration.
+"""
+
+import pytest
+
+from repro import faultlab
+from repro.engine.batch import BatchEngine
+from repro.engine.job import JobSpec
+
+POISON = "FIR"  # graph name; not a substring of the sibling names
+SIBLINGS = ("HAL", "FIG1")
+
+
+@pytest.fixture()
+def fault_env(monkeypatch, tmp_path):
+    def activate(**env):
+        for name, value in env.items():
+            monkeypatch.setenv(name, str(value))
+        monkeypatch.setenv(
+            "REPRO_FAULT_DIR", str(tmp_path / "faults")
+        )
+        (tmp_path / "faults").mkdir(exist_ok=True)
+        return faultlab.refresh()
+
+    yield activate
+    monkeypatch.undo()
+    faultlab.refresh()
+
+
+def jobs_for(names):
+    return [JobSpec.make(name, "2+/-,2*", "list") for name in names]
+
+
+def test_poison_job_quarantined_while_siblings_complete(
+    fault_env, tmp_path
+):
+    fault_env(REPRO_FAULTLAB="1", REPRO_FAULT_WORKER_EXIT=POISON)
+    with BatchEngine(
+        workers=2, cache_dir=tmp_path / "cache"
+    ).start() as engine:
+        poison, hal, fig1 = engine.run(jobs_for((POISON,) + SIBLINGS))
+
+        # The poison job killed a worker per attempt until quarantine.
+        assert poison.error is not None
+        assert "worker-crash" in poison.error
+        assert poison.length == -1
+        stats = engine.crash_stats()
+        assert stats["worker_crashes"] >= 2
+        assert stats["quarantined_jobs"] == 1
+
+        # Every sibling in the same batch completed normally.
+        for sibling in (hal, fig1):
+            assert sibling.error is None
+            assert sibling.length > 0
+
+        # The structured failure is answered, never cached.
+        assert engine.cache.get(poison.key) is None
+        assert engine.cache.stats()["stored"] == len(SIBLINGS)
+
+        # Resubmission answers from quarantine without feeding the
+        # job to another worker.
+        crashes_before = engine.crash_stats()["worker_crashes"]
+        (again,) = engine.run(jobs_for((POISON,)))
+        assert again.error is not None and "worker-crash" in again.error
+        assert engine.crash_stats()["worker_crashes"] == crashes_before
+
+
+def test_single_crash_recovers_without_quarantine(
+    fault_env, tmp_path
+):
+    # A budget of one crash models a transient kill (OOM blip), not a
+    # poisonous job: the solo re-dispatch must succeed and cache.
+    fault_env(
+        REPRO_FAULTLAB="1",
+        REPRO_FAULT_WORKER_EXIT=POISON,
+        REPRO_FAULT_WORKER_EXIT_LIMIT="1",
+    )
+    with BatchEngine(
+        workers=2, cache_dir=tmp_path / "cache"
+    ).start() as engine:
+        (result,) = engine.run(jobs_for((POISON,)))
+        assert result.error is None
+        assert result.length > 0
+        stats = engine.crash_stats()
+        assert stats["worker_crashes"] == 1
+        assert stats["quarantined_jobs"] == 0
+        assert engine.cache.get(result.key) is not None
+
+
+def test_pool_survives_for_later_batches(fault_env, tmp_path):
+    fault_env(
+        REPRO_FAULTLAB="1",
+        REPRO_FAULT_WORKER_EXIT=POISON,
+        REPRO_FAULT_WORKER_EXIT_LIMIT="1",
+    )
+    with BatchEngine(
+        workers=2, cache_dir=tmp_path / "cache"
+    ).start() as engine:
+        engine.run(jobs_for((POISON,)))
+        assert engine.crash_stats()["worker_crashes"] == 1
+        # The persistent pool was rebuilt: an unrelated batch runs
+        # normally through it.
+        results = engine.run(jobs_for(SIBLINGS))
+        assert [r.error for r in results] == [None, None]
+        assert all(r.length > 0 for r in results)

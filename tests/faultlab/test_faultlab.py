@@ -1,0 +1,219 @@
+"""Fault-injection harness tests: configuration, hooks, and — most
+importantly — verifiable inertness when the master switch is off."""
+
+import os
+
+import pytest
+
+from repro import faultlab
+from repro.engine.cache import ResultCache
+from repro.engine.job import JobResult
+
+
+def result_for(key: str) -> JobResult:
+    return JobResult(
+        key=key,
+        graph="HAL",
+        graph_hash="h" * 64,
+        num_ops=11,
+        resources="4+/-,4*",
+        algorithm="list",
+        length=8,
+        runtime_s=0.0,
+    )
+
+
+@pytest.fixture()
+def fault_env(monkeypatch, tmp_path):
+    """Set fault env vars, refresh the snapshot, restore afterwards."""
+
+    def activate(**env):
+        for name, value in env.items():
+            monkeypatch.setenv(name, str(value))
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        return faultlab.refresh()
+
+    yield activate
+    monkeypatch.undo()
+    faultlab.refresh()
+
+
+class TestConfig:
+    def test_inactive_without_master_switch(self, fault_env):
+        config = fault_env(REPRO_FAULT_TORN_WRITE="*")
+        assert not config.active
+        assert not faultlab.enabled()
+
+    def test_active_config_reads_all_knobs(self, fault_env):
+        config = fault_env(
+            REPRO_FAULTLAB="1",
+            REPRO_FAULT_WORKER_EXIT="FIR",
+            REPRO_FAULT_WORKER_EXIT_LIMIT="2",
+            REPRO_FAULT_PEER_DELAY_S="0.5",
+            REPRO_FAULT_PEER_REFUSE="127.0.0.1:9001",
+            REPRO_FAULT_PEER_CORRUPT="9002",
+            REPRO_FAULT_TORN_WRITE="abc",
+            REPRO_FAULT_REPLICA_LAG_S="1.5",
+            REPRO_FAULT_RATE="0.25",
+            REPRO_FAULT_SEED="42",
+        )
+        assert config.active
+        assert config.worker_exit == "FIR"
+        assert config.worker_exit_limit == 2
+        assert config.peer_delay_s == 0.5
+        assert config.peer_refuse == "127.0.0.1:9001"
+        assert config.peer_corrupt == "9002"
+        assert config.torn_write == "abc"
+        assert config.replica_lag_s == 1.5
+        assert config.rate == 0.25
+        assert config.seed == 42
+
+    def test_malformed_numbers_degrade_to_defaults(self, fault_env):
+        config = fault_env(
+            REPRO_FAULTLAB="1",
+            REPRO_FAULT_WORKER_EXIT_LIMIT="lots",
+            REPRO_FAULT_RATE="2.0",
+            REPRO_FAULT_REPLICA_LAG_S="-3",
+        )
+        assert config.worker_exit_limit == 0
+        assert config.rate == 1.0
+        assert config.replica_lag_s == 0.0
+
+
+class TestInertWhenOff:
+    """With REPRO_FAULTLAB unset, every hook is verifiably a no-op
+    even when every fault knob is armed."""
+
+    @pytest.fixture(autouse=True)
+    def armed_but_off(self, fault_env, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTLAB", raising=False)
+        fault_env(
+            REPRO_FAULT_WORKER_EXIT="*",
+            REPRO_FAULT_PEER_DELAY_S="30",
+            REPRO_FAULT_PEER_REFUSE="*",
+            REPRO_FAULT_PEER_CORRUPT="*",
+            REPRO_FAULT_TORN_WRITE="*",
+            REPRO_FAULT_REPLICA_LAG_S="30",
+        )
+
+    def test_every_hook_is_a_no_op(self):
+        assert not faultlab.enabled()
+        # Would os._exit(1) if active.
+        faultlab.maybe_crash_worker("anything FIR whatever")
+        # Would sleep 30s then refuse if active.
+        faultlab.before_peer_exchange("127.0.0.1", 9001, "k" * 64)
+        payload = b'{"key": "value"}'
+        assert (
+            faultlab.corrupt_peer_payload(payload, "127.0.0.1", 9001)
+            == payload
+        )
+        data = b"x" * 100
+        assert faultlab.torn_write(data, "k" * 64) == data
+        assert faultlab.replica_lag_s() == 0.0
+
+    def test_cache_round_trips_despite_armed_torn_write(self, tmp_path):
+        """The behavioral proof: an armed-but-off torn-write knob
+        changes nothing about what reaches disk."""
+        key = "c" * 64
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(result_for(key))
+        reader = ResultCache(tmp_path / "cache")
+        hit = reader.get(key)
+        assert hit is not None and hit.length == 8
+        assert reader.stats()["corrupt_dropped"] == 0
+
+
+class TestCrashBudget:
+    def test_counter_file_caps_crashes_across_processes(
+        self, fault_env, tmp_path
+    ):
+        config = fault_env(
+            REPRO_FAULTLAB="1",
+            REPRO_FAULT_WORKER_EXIT="FIR",
+            REPRO_FAULT_WORKER_EXIT_LIMIT="2",
+        )
+        assert faultlab._crash_budget_left(config)
+        assert faultlab._crash_budget_left(config)
+        # Two crashes spent: the third is refused.
+        assert not faultlab._crash_budget_left(config)
+        counter = tmp_path / "worker_exit.count"
+        assert counter.stat().st_size == 3
+
+    def test_zero_limit_means_unlimited(self, fault_env):
+        config = fault_env(
+            REPRO_FAULTLAB="1", REPRO_FAULT_WORKER_EXIT="*"
+        )
+        for _ in range(5):
+            assert faultlab._crash_budget_left(config)
+
+
+class TestActiveHooks:
+    def test_torn_write_halves_matching_keys_only(self, fault_env):
+        fault_env(REPRO_FAULTLAB="1", REPRO_FAULT_TORN_WRITE="abc")
+        data = b"0123456789"
+        assert faultlab.torn_write(data, "abcdef") == b"01234"
+        assert faultlab.torn_write(data, "xyz") == data
+
+    def test_corrupt_payload_truncates_and_flips(self, fault_env):
+        fault_env(REPRO_FAULTLAB="1", REPRO_FAULT_PEER_CORRUPT="9001")
+        payload = b'{"format": "entry"}'
+        torn = faultlab.corrupt_peer_payload(payload, "127.0.0.1", 9001)
+        assert len(torn) == len(payload) // 2
+        assert torn[0] == payload[0] ^ 0xFF
+        # Non-matching peers pass through untouched.
+        assert (
+            faultlab.corrupt_peer_payload(payload, "127.0.0.1", 9002)
+            == payload
+        )
+
+    def test_peer_refuse_raises_connection_refused(self, fault_env):
+        fault_env(
+            REPRO_FAULTLAB="1", REPRO_FAULT_PEER_REFUSE="127.0.0.1:9001"
+        )
+        with pytest.raises(ConnectionRefusedError):
+            faultlab.before_peer_exchange("127.0.0.1", 9001, "k")
+        # Other targets dial normally.
+        faultlab.before_peer_exchange("127.0.0.1", 9002, "k")
+
+    def test_rate_gate_is_seeded_deterministic(self, fault_env):
+        def refusals(seed):
+            fault_env(
+                REPRO_FAULTLAB="1",
+                REPRO_FAULT_PEER_REFUSE="*",
+                REPRO_FAULT_RATE="0.5",
+                REPRO_FAULT_SEED=str(seed),
+            )
+            outcomes = []
+            for _ in range(20):
+                try:
+                    faultlab.before_peer_exchange("h", 1, "k")
+                    outcomes.append(False)
+                except ConnectionRefusedError:
+                    outcomes.append(True)
+            return outcomes
+
+        first = refusals(11)
+        assert refusals(11) == first
+        assert any(first) and not all(first)
+
+    def test_env_propagates_to_subprocesses(self, fault_env):
+        """The activation channel is the environment, which every
+        process boundary in the stack inherits for free."""
+        import subprocess
+        import sys
+
+        fault_env(REPRO_FAULTLAB="1", REPRO_FAULT_TORN_WRITE="zzz")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro import faultlab; "
+                "print(faultlab.enabled(), "
+                "faultlab.config().torn_write)",
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": src},
+        )
+        assert out.stdout.strip() == "True zzz"

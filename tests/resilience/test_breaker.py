@@ -1,0 +1,100 @@
+"""Unit tests for the circuit breaker's state machine."""
+
+import pytest
+
+from repro.resilience import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, reset=10.0, clock=None):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout_s=reset,
+        clock=clock or FakeClock(),
+    )
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_and_success_resets_failures(self):
+        breaker = make()
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        # Two failures after the reset: still under the threshold.
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_threshold_and_blocks(self):
+        clock = FakeClock()
+        breaker = make(threshold=2, reset=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 1
+        assert not breaker.allow()
+        clock.now = 4.9
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, reset=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+        # The probe is in flight: nobody else gets through.
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, reset=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.closed_total == 1
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_quiet_period(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, reset=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 2
+        # The quiet period restarts from the re-open.
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        breaker = make(threshold=1)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "state": "open",
+            "failures": 1,
+            "opened": 1,
+            "closed": 0,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the retry/deadline halves of the resilience layer."""
+
+import random
+
+import pytest
+
+from repro.resilience import DEADLINE_HEADER, Deadline, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_attempts_are_one_based_and_bounded(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1)
+        assert policy.allows(3)
+        assert not policy.allows(4)
+
+    def test_zero_means_unbounded(self):
+        policy = RetryPolicy(max_attempts=0)
+        assert policy.allows(1)
+        assert policy.allows(10_000)
+
+    def test_backoff_envelope_without_jitter(self):
+        policy = RetryPolicy(
+            base_s=0.1, max_backoff_s=0.5, jitter=False
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        # Capped: 0.8 would exceed max_backoff_s.
+        assert policy.backoff_s(4) == pytest.approx(0.5)
+        assert policy.backoff_s(50) == pytest.approx(0.5)
+
+    def test_jitter_draws_stay_inside_the_envelope(self):
+        policy = RetryPolicy(
+            base_s=0.05,
+            max_backoff_s=1.0,
+            jitter=True,
+            rng=random.Random(7),
+        )
+        for attempt in range(1, 12):
+            delay = policy.backoff_s(attempt)
+            assert 0.05 <= delay <= 1.0
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        a = RetryPolicy(rng=random.Random(123))
+        b = RetryPolicy(rng=random.Random(123))
+        assert [a.backoff_s(n) for n in range(1, 6)] == [
+            b.backoff_s(n) for n in range(1, 6)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=0.0)
+
+    def test_max_backoff_never_below_base(self):
+        policy = RetryPolicy(base_s=0.5, max_backoff_s=0.1, jitter=False)
+        assert policy.backoff_s(9) == pytest.approx(0.5)
+
+
+class TestDeadline:
+    def test_unbounded_deadline_is_inert(self):
+        deadline = Deadline(None)
+        assert not deadline.bounded
+        assert deadline.remaining_s() is None
+        assert not deadline.expired()
+        assert deadline.clamp(7.5) == 7.5
+        assert deadline.header_value() is None
+        assert deadline.headers() == {}
+
+    def test_budget_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.from_ms(1000, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(1.0)
+        clock.now = 0.4
+        assert deadline.remaining_s() == pytest.approx(0.6)
+        assert deadline.clamp(10.0) == pytest.approx(0.6)
+        assert not deadline.expired()
+        clock.now = 1.0
+        assert deadline.expired()
+        assert deadline.remaining_s() == 0.0
+
+    def test_header_round_trip_forwards_remaining_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.from_ms(500, clock=clock)
+        clock.now = 0.2
+        headers = deadline.headers()
+        assert headers == {DEADLINE_HEADER: "300"}
+        # The next hop parses the lowercased wire form.
+        downstream = Deadline.from_headers(
+            {DEADLINE_HEADER.lower(): headers[DEADLINE_HEADER]},
+            clock=clock,
+        )
+        assert downstream.remaining_s() == pytest.approx(0.3)
+
+    def test_from_headers_falls_back_to_default(self):
+        clock = FakeClock()
+        assert not Deadline.from_headers({}, clock=clock).bounded
+        defaulted = Deadline.from_headers(
+            {}, default_ms=250, clock=clock
+        )
+        assert defaulted.remaining_s() == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("raw", ["soon", "", "-5", "nan"])
+    def test_malformed_header_degrades_to_default(self, raw):
+        clock = FakeClock()
+        deadline = Deadline.from_headers(
+            {DEADLINE_HEADER.lower(): raw},
+            default_ms=100,
+            clock=clock,
+        )
+        # Garbled values never refuse the request; NaN compares false
+        # against >= 0 and so also lands on the default.
+        assert deadline.remaining_s() == pytest.approx(0.1)
+
+    def test_exact_case_header_also_accepted(self):
+        clock = FakeClock()
+        deadline = Deadline.from_headers(
+            {DEADLINE_HEADER: "150"}, clock=clock
+        )
+        assert deadline.remaining_s() == pytest.approx(0.15)

@@ -1,0 +1,177 @@
+"""Cluster-store resilience: publish-queue shedding and the per-peer
+circuit breaker's effect on fetch walks and deliveries."""
+
+import logging
+import threading
+
+import pytest
+
+from repro.engine.job import JobResult
+from repro.store import cluster
+from repro.store.cluster import ClusterStore
+
+PEER = "127.0.0.1:9001"
+
+
+def result_for(key: str) -> JobResult:
+    return JobResult(
+        key=key,
+        graph="HAL",
+        graph_hash="a" * 64,
+        num_ops=11,
+        resources="4+/-,4*",
+        algorithm="list",
+        length=8,
+        runtime_s=0.0,
+    )
+
+
+def keys(count):
+    return [format(n, "x").rjust(64, "0") for n in range(count)]
+
+
+class TestPublishShedding:
+    def test_full_queue_sheds_counted_and_logged_once(
+        self, monkeypatch, tmp_path, caplog
+    ):
+        monkeypatch.setattr(cluster, "PUBLISH_QUEUE_LIMIT", 1)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def wedged_push(host, port, key, payload, timeout=None):
+            entered.set()
+            release.wait(10)
+
+        store = ClusterStore(
+            [PEER],
+            cache_dir=tmp_path / "cache",
+            publish="async",
+            push=wedged_push,
+        )
+        try:
+            batch = keys(4)
+            with caplog.at_level(
+                logging.WARNING, logger="repro.store.cluster"
+            ):
+                # First put: drained immediately by the publisher,
+                # which then wedges inside the peer exchange.
+                store.put(result_for(batch[0]))
+                assert entered.wait(5)
+                # Second put fills the 1-slot queue; the rest shed.
+                for key in batch[1:]:
+                    store.put(result_for(key))
+            stats = store.peer_stats()
+            assert stats["publish_dropped"] >= 2
+            # Shed entries were never attempted, so they are not
+            # publish errors.
+            assert stats["publish_errors"] == 0
+            warnings = [
+                r
+                for r in caplog.records
+                if "publish queue full" in r.getMessage()
+            ]
+            assert len(warnings) == 1
+            # Shedding never touches the local tiers: every result is
+            # still served locally.
+            for key in batch:
+                assert store.get(key) is not None
+        finally:
+            release.set()
+            store.close()
+
+    def test_unwedged_queue_drops_nothing(self, tmp_path):
+        delivered = []
+
+        def push(host, port, key, payload, timeout=None):
+            delivered.append(key)
+
+        store = ClusterStore(
+            [PEER],
+            cache_dir=tmp_path / "cache",
+            publish="async",
+            push=push,
+        )
+        try:
+            for key in keys(8):
+                store.put(result_for(key))
+            assert store.flush()
+            stats = store.peer_stats()
+            assert stats["publish_dropped"] == 0
+            assert stats["published"] == 8
+            assert sorted(delivered) == keys(8)
+        finally:
+            store.close()
+
+
+class TestPeerBreaker:
+    def make_store(self, tmp_path, push=None, fetch=None):
+        return ClusterStore(
+            [PEER],
+            cache_dir=tmp_path / "cache",
+            publish="sync",
+            push=push,
+            fetch=fetch,
+            breaker_threshold=3,
+            breaker_reset_s=60.0,
+        )
+
+    def test_failed_deliveries_open_the_breaker(self, tmp_path):
+        def dead_push(host, port, key, payload, timeout=None):
+            raise ConnectionRefusedError("down")
+
+        fetches = []
+
+        def spy_fetch(host, port, key, timeout=None):
+            fetches.append(key)
+            raise ConnectionRefusedError("down")
+
+        store = self.make_store(tmp_path, push=dead_push, fetch=spy_fetch)
+        try:
+            for key in keys(3):
+                store.put(result_for(key))
+            stats = store.peer_stats()
+            assert stats["publish_errors"] == 3
+            assert stats["peer_breakers_open"] == 1
+            assert stats["peer_breaker_opened"] == 1
+            # The open breaker now gates fetch walks too: the dead
+            # peer is skipped without dialing.
+            missing = "f" * 64
+            assert store.fetch_missing([missing]) == {}
+            assert fetches == []
+            assert store.peer_stats()["peer_fetch_errors"] == 0
+        finally:
+            store.close()
+
+    def test_probe_success_closes_the_breaker(self, tmp_path):
+        clock = {"now": 0.0}
+        answers = {"fail": True}
+
+        def fetch(host, port, key, timeout=None):
+            if answers["fail"]:
+                raise ConnectionRefusedError("down")
+            return None  # healthy peer, clean 404
+
+        store = self.make_store(tmp_path, fetch=fetch)
+        # Swap the breaker clock for a fake one so the quiet period
+        # elapses without sleeping.
+        breaker = store._breakers[PEER]
+        breaker._clock = lambda: clock["now"]
+        try:
+            missing = "e" * 64
+            for _ in range(3):
+                store.fetch_missing([missing])
+            assert store.peer_stats()["peer_breakers_open"] == 1
+            # Quiet period passes; the peer recovers; one probe
+            # readmits it.
+            clock["now"] = 120.0
+            answers["fail"] = False
+            store.fetch_missing([missing])
+            stats = store.peer_stats()
+            assert stats["peer_breakers_open"] == 0
+            assert stats["peer_breaker_closed"] == 1
+        finally:
+            store.close()
+
+
+def test_queue_limit_documented_value_is_sane():
+    assert cluster.PUBLISH_QUEUE_LIMIT >= 1
