@@ -243,6 +243,88 @@ def bench_anytime(graph_name: str, resources_text: str):
     }
 
 
+def bench_scenarios():
+    """One job per constraint-scenario mode, on its registry workload.
+
+    Times a memory-banked, an I/O-pinned, and a reliability-hardened
+    job through a fresh engine and records the machine-independent
+    facts next to the wall times: the banked-over-flat length stretch
+    (banking can only delay memory traffic), the bnb proof of the
+    pinned schedule, and the op count the TMR transform inserted.
+    """
+    from repro.engine.batch import BatchEngine
+    from repro.engine.job import JobSpec
+    from repro.graphs.scenario import IOPIN_PINS, TMRMARK_OPS
+
+    engine = BatchEngine(capture_schedules=True)
+
+    flat = engine.run(
+        [JobSpec.make("MEMBANK", "2+/-,2*,2mem", "list")]
+    )[0]
+    memory_s, memory = _timed(
+        lambda: engine.run(
+            [
+                JobSpec.make(
+                    "MEMBANK",
+                    "2+/-,2*,2mem",
+                    "list",
+                    scenario={"mode": "memory", "banks": 2, "ports": 1},
+                )
+            ]
+        )[0]
+    )
+    io_s, io = _timed(
+        lambda: engine.run(
+            [
+                JobSpec.make(
+                    "IOPIN",
+                    DEFAULT_RESOURCES,
+                    "bnb-anytime",
+                    scenario={"mode": "io", "pins": dict(IOPIN_PINS)},
+                )
+            ]
+        )[0]
+    )
+    reliability_s, reliability = _timed(
+        lambda: engine.run(
+            [
+                JobSpec.make(
+                    "TMRMARK",
+                    DEFAULT_RESOURCES,
+                    "list",
+                    scenario={
+                        "mode": "reliability",
+                        "ops": list(TMRMARK_OPS),
+                    },
+                )
+            ]
+        )[0]
+    )
+    for result in (flat, memory, io, reliability):
+        assert result.error is None, (
+            f"scenario bench job failed: {result.error}"
+        )
+    io_meta = (io.artifact or {}).get("meta", {})
+    return {
+        "memory": {
+            "length": memory.length,
+            "flat_length": flat.length,
+            "stretch": memory.length / flat.length,
+            "seconds": memory_s,
+        },
+        "io": {
+            "length": io.length,
+            "proved": bool(io_meta.get("bnb", {}).get("proved")),
+            "seconds": io_s,
+        },
+        "reliability": {
+            "length": reliability.length,
+            "inserted": len((reliability.artifact or {})["inserted"]),
+            "seconds": reliability_s,
+        },
+    }
+
+
 def bench_list(dfg, resources):
     ready_s, ready = _timed(
         lambda: list_schedule(dfg, resources, ListPriority.READY_ORDER)
@@ -325,6 +407,13 @@ def main(argv=None) -> int:
         "generous floor: the proof must never be worse than the seed)",
     )
     parser.add_argument(
+        "--max-memory-stretch", type=float, default=None, metavar="X",
+        help="exit 1 when the banked-memory scenario schedule is more "
+        "than X times the flat-memory length (lengths are "
+        "deterministic, so this gate is machine-independent; 3 is a "
+        "generous floor)",
+    )
+    parser.add_argument(
         "--hier-nodes", type=int, default=None, metavar="N",
         help="also time hierarchical scheduling on an N-op blocky DAG "
         "(off by default; this cell is the slow one)",
@@ -357,6 +446,7 @@ def main(argv=None) -> int:
         "fds": bench_fds(dfg, resources, latency),
         "list": bench_list(dfg, resources),
         "anytime": bench_anytime(opts.anytime_graph, DEFAULT_RESOURCES),
+        "scenarios": bench_scenarios(),
     }
     for kernel in ("graph_view", "frames", "fds"):
         data = entry[kernel]
@@ -380,6 +470,15 @@ def main(argv=None) -> int:
         f"({anytime['improvement']:.2f}x) in {anytime['nodes']} nodes / "
         f"{anytime['total_s'] * 1000:.2f} ms, "
         f"{len(anytime['trajectory'])} trajectory points"
+    )
+    scenarios = entry["scenarios"]
+    print(
+        f"  scenarios : memory {scenarios['memory']['length']} "
+        f"({scenarios['memory']['stretch']:.2f}x of flat), "
+        f"io {scenarios['io']['length']}"
+        f"{' proved' if scenarios['io']['proved'] else ''}, "
+        f"reliability {scenarios['reliability']['length']} "
+        f"(+{scenarios['reliability']['inserted']} inserted ops)"
     )
     if opts.hier_nodes is not None:
         entry["hier"] = hier = bench_hier(
@@ -427,6 +526,20 @@ def main(argv=None) -> int:
         failures.append(
             f"anytime improvement {entry['anytime']['improvement']:.2f}x "
             f"below the {opts.min_anytime_improvement:g}x floor"
+        )
+    if not entry["scenarios"]["io"]["proved"]:
+        failures.append(
+            "bnb failed to prove the I/O-pinned scenario schedule"
+        )
+    if (
+        opts.max_memory_stretch is not None
+        and entry["scenarios"]["memory"]["stretch"]
+        > opts.max_memory_stretch
+    ):
+        failures.append(
+            f"banked-memory stretch "
+            f"{entry['scenarios']['memory']['stretch']:.2f}x above the "
+            f"{opts.max_memory_stretch:g}x gate"
         )
     if (
         opts.max_hier_overhead is not None

@@ -53,6 +53,11 @@ CLUSTER_SUM_FIELDS = (
     "worker_crashes",
     "quarantined_jobs",
     "publish_dropped",
+    # Constraint-scenario computes, per mode (memory-banked, I/O
+    # pinned, reliability-hardened).
+    "scenario_memory_jobs",
+    "scenario_io_jobs",
+    "scenario_reliability_jobs",
 )
 
 

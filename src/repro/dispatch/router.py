@@ -8,7 +8,10 @@ One asyncio process that fronts N ``repro serve`` replicas:
   cache key is computed via :class:`repro.engine.keys.CacheKeyResolver`,
   and the request is proxied to the replica that owns that key on a
   consistent-hash ring — so each replica's sharded result store stays
-  hot and a unique job is computed once *cluster-wide*.
+  hot and a unique job is computed once *cluster-wide*.  Constraint
+  scenarios (``scenario`` / ``io_schedule`` fields) need no routing
+  special-casing: they are part of the spec's cache key, so two
+  requests differing only in scenario shard to their own owners.
 * Duplicate in-flight requests coalesce at the router: twins attach to
   the owner exchange's future and never open a connection of their own.
 * Replica failures fail over: connection refused, a 5xx, and a

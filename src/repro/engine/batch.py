@@ -59,6 +59,7 @@ from repro.engine.job import (
     validated_windows,
 )
 from repro.engine.keys import FINGERPRINT_MEMO_LIMIT, CacheKeyResolver
+from repro.engine.scenario import lower_scenario
 from repro.errors import SchedulingError
 from repro.scheduling.base import schedule_artifact
 
@@ -167,24 +168,36 @@ def execute_job(
     started = time.perf_counter()
     error: Optional[str] = None
     schedule = None
+    scenario_meta: Optional[Dict] = None
     try:
-        if spec.windows:
-            # Window pins ride only on WINDOW_ALGORITHMS runners (the
-            # spec constructor enforces membership); the windowless
-            # call stays two-positional so algorithm stubs in tests
-            # keep working.  A window naming an op the graph does not
-            # have is a structured failure like any other infeasible
-            # job, not a batch abort.
-            schedule = runner(
-                dfg, resources, windows=validated_windows(dfg, spec)
+        # Constraint kwargs are combinable: a windowed anytime spec
+        # carries both `windows` and `budget` to its runner.  Each
+        # kwarg rides only on runners whose algorithm family accepts
+        # it (the spec constructor enforces WINDOW_ALGORITHMS /
+        # BUDGET_ALGORITHMS membership); an unconstrained spec still
+        # runs two-positional so algorithm stubs in tests keep
+        # working.  A window naming an op the graph does not have is
+        # a structured failure like any other infeasible job, not a
+        # batch abort.
+        windows = validated_windows(dfg, spec) if spec.windows else None
+        if spec.scenario:
+            # Lowered *after* the input-graph facts were sampled: the
+            # reliability transform grows the graph in place, so its
+            # replicas and voters land in the artifact's `inserted`
+            # list exactly like spill code.
+            resources, windows, scenario_meta = lower_scenario(
+                spec.scenario, dfg, resources, windows
             )
-        elif spec.budget:
-            # Budgets likewise ride only on BUDGET_ALGORITHMS runners;
-            # a budget-free anytime spec still runs two-positional and
-            # the runner applies its own default node cap.
-            schedule = runner(dfg, resources, budget=spec.budget_dict())
-        else:
-            schedule = runner(dfg, resources)
+        kwargs = {}
+        if windows:
+            kwargs["windows"] = windows
+        if spec.budget:
+            kwargs["budget"] = spec.budget_dict()
+        schedule = runner(dfg, resources, **kwargs)
+        if schedule is not None and scenario_meta is not None:
+            meta = dict(schedule.meta or {})
+            meta["scenario"] = scenario_meta
+            schedule.meta = meta
     except SchedulingError as exc:
         error = f"{type(exc).__name__}: {exc}"
     runtime_s = time.perf_counter() - started
@@ -194,6 +207,7 @@ def execute_job(
         schedule is not None
         and compute_gap
         and not spec.windows
+        and not spec.scenario
         and spec.algorithm != "exact"
         and num_input_ops <= gap_ops_limit
     ):
@@ -309,15 +323,26 @@ class BatchEngine:
         """Content hash of the spec's graph (memoized, bounded)."""
         return self._keys.graph_hash(spec)
 
-    def _gap_eligible(self, result: JobResult) -> bool:
-        """Would *this* engine compute a gap for this job?"""
+    def _gap_eligible(
+        self, result: JobResult, spec: Optional[JobSpec] = None
+    ) -> bool:
+        """Would *this* engine compute a gap for this job?
+
+        Constrained jobs (windows or a scenario) never get a gap — the
+        unconstrained exact length is not their baseline — so when the
+        spec is known they are ineligible regardless of engine config.
+        """
+        if spec is not None and (spec.windows or spec.scenario):
+            return False
         return (
             self.compute_gaps
             and result.algorithm != "exact"
             and result.num_ops <= self.gap_ops_limit
         )
 
-    def _servable(self, result: JobResult) -> bool:
+    def _servable(
+        self, result: JobResult, spec: Optional[JobSpec] = None
+    ) -> bool:
         """Can a cached entry satisfy this engine's configuration?
 
         Entries recorded by a leaner engine may lack a payload this one
@@ -327,7 +352,7 @@ class BatchEngine:
         """
         if self.capture_schedules and result.artifact is None:
             return False
-        if self._gap_eligible(result) and result.gap is None:
+        if self._gap_eligible(result, spec) and result.gap is None:
             return False
         return True
 
@@ -521,7 +546,7 @@ class BatchEngine:
                     continue
                 hit = self.cache.get(
                     key,
-                    require=self._servable,
+                    require=lambda r, spec=spec: self._servable(r, spec),
                     strip_artifact=not self.capture_schedules,
                 )
                 if hit is None:
@@ -589,7 +614,7 @@ class BatchEngine:
                     continue
                 merged = self._store_candidate(result, self._peek_entry(key))
                 install(merged)
-                if not self._servable(merged):
+                if not self._servable(merged, spec):
                     still.append((key, spec, graph_hash))
                     continue
                 artifact = (

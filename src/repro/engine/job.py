@@ -26,6 +26,11 @@ from repro.graphs.random_dags import (
     random_hier_dag,
     random_layered_dag,
 )
+from repro.engine.scenario import (
+    Scenario,
+    normalize_scenario,
+    scenario_key_text,
+)
 from repro.graphs.registry import get_graph
 from repro.ir.analysis import diameter
 from repro.ir.dfg import DataFlowGraph
@@ -214,9 +219,10 @@ def _run_bnb(
     dfg: DataFlowGraph,
     resources: ResourceSet,
     budget: Optional[Dict[str, int]] = None,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
 ) -> Schedule:
     run = dict(budget) if budget else {"nodes": DEFAULT_BNB_NODE_BUDGET}
-    return bnb_anytime_schedule(dfg, resources, budget=run)
+    return bnb_anytime_schedule(dfg, resources, budget=run, windows=windows)
 
 
 def _make_threaded(meta: str):
@@ -242,9 +248,12 @@ ALGORITHMS: Dict[str, Callable[[DataFlowGraph, ResourceSet], Schedule]] = {
 
 #: Algorithms whose runners accept per-op window constraints (a
 #: ``windows=`` keyword).  ``JobSpec.make`` rejects windows on any
-#: other algorithm before a job is built.
+#: other algorithm before a job is built.  ``bnb-anytime`` treats the
+#: window bounds as hard (prunes branches that violate them), the
+#: list/FDS heuristics treat ``lo`` as hard release and ``hi`` as
+#: advisory — same contract as hierarchical boundary windows.
 WINDOW_ALGORITHMS = frozenset(
-    {"list(ready)", "list(critical-path)", "force-directed"}
+    {"list(ready)", "list(critical-path)", "force-directed", "bnb-anytime"}
 )
 
 #: Algorithms whose runners accept a search budget (a ``budget=``
@@ -412,6 +421,12 @@ class JobSpec:
     are different results — while the budget-free spec is the
     *canonical* key that improver jobs rewrite in place as they tighten
     the incumbent.
+
+    ``scenario`` optionally selects a richer constraint model (see
+    :mod:`repro.engine.scenario`): banked memory ports, pinned I/O
+    timing, or reliability hardening.  Stored in the same sorted-tuple
+    discipline as ``windows``/``budget``; scenario-free specs keep
+    byte-identical historical cache keys.
     """
 
     graph: GraphSpec
@@ -419,10 +434,17 @@ class JobSpec:
     algorithm: str
     windows: Windows = ()
     budget: Budget = ()
+    scenario: Scenario = ()
 
     @classmethod
     def make(
-        cls, graph, resources, algorithm: str, windows=None, budget=None
+        cls,
+        graph,
+        resources,
+        algorithm: str,
+        windows=None,
+        budget=None,
+        scenario=None,
     ) -> "JobSpec":
         if isinstance(graph, DataFlowGraph):
             graph = GraphSpec.inline(graph)
@@ -439,6 +461,9 @@ class JobSpec:
             algorithm=algorithm_id,
             windows=_normalize_windows(windows, algorithm_id),
             budget=_normalize_budget(budget, algorithm_id),
+            scenario=normalize_scenario(
+                scenario, algorithm_id, WINDOW_ALGORITHMS
+            ),
         )
 
     def resource_set(self) -> ResourceSet:
@@ -452,6 +477,15 @@ class JobSpec:
         """The budget as a ``{field: value}`` mapping."""
         return dict(self.budget)
 
+    def scenario_dict(self) -> Dict[str, Any]:
+        """The scenario as a plain JSON-safe mapping (``{}`` if none)."""
+        data = dict(self.scenario)
+        if data.get("mode") == "io":
+            data["pins"] = dict(data["pins"])
+        elif data.get("mode") == "reliability":
+            data["ops"] = list(data["ops"])
+        return data
+
     def canonical(self) -> "JobSpec":
         """The budget-free spec whose cache entry improvers rewrite."""
         if not self.budget:
@@ -461,14 +495,16 @@ class JobSpec:
             resources=self.resources,
             algorithm=self.algorithm,
             windows=self.windows,
+            scenario=self.scenario,
         )
 
     def cache_key(self, graph_hash: str) -> str:
         """Content-addressed key: graph hash × resources × algorithm.
 
-        Window pins and budgets append extra components; specs without
-        them keep the exact historical key text, so existing cache
-        entries (and cross-version clusters) stay addressable.
+        Window pins, budgets, and scenarios append extra components;
+        specs without them keep the exact historical key text, so
+        existing cache entries (and cross-version clusters) stay
+        addressable.
         """
         text = f"{graph_hash}|{self.resources}|{self.algorithm}"
         if self.windows:
@@ -479,6 +515,8 @@ class JobSpec:
         if self.budget:
             caps = ";".join(f"{k}={v}" for k, v in self.budget)
             text += f"|budget:{caps}"
+        if self.scenario:
+            text += f"|scenario:{scenario_key_text(self.scenario)}"
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

@@ -1,0 +1,281 @@
+"""The scenario constraint model: one JobSpec field, three modes.
+
+A *scenario* enriches the flat ``(graph, resources, algorithm)`` job
+with one of three constraint models from the retrieved HLS literature,
+all riding a single normalized, hashable spec field:
+
+``memory``
+    Banked memories with per-bank port limits (memory-aware HLS).
+    ``{"mode": "memory", "banks": B, "ports": P}`` lowers the spec's
+    resource set through
+    :meth:`~repro.scheduling.resources.ResourceSet.with_banked_mem`,
+    so the schedulers see ``B`` banks of ``P`` ports and account
+    per-bank access conflicts (list scheduler enforces, FDS
+    distribution graphs balance, the validator and simulator check).
+
+``io``
+    Fixed I/O timing (HLS under I/O timing constraints).
+    ``{"mode": "io", "pins": {op: step}}`` lowers onto the existing
+    ``JobSpec.windows`` machinery as degenerate ``lo == hi`` pins, so
+    serve/dispatch/hier reuse the window plumbing verbatim.
+
+``reliability``
+    Selective triple-modular redundancy (reliability-centric HLS).
+    ``{"mode": "reliability", "ops": [...]}`` applies
+    :func:`repro.ir.reliability.apply_reliability` to the built graph
+    before scheduling; replicas and voters land in the artifact's
+    ``inserted`` list and the hardening summary in its meta.
+
+Normalization (:func:`normalize_scenario`) follows the
+``windows``/``budget`` discipline exactly: the canonical form is a
+sorted tuple of pairs (hashable, so the coalescer can key on the
+spec), validation raises :class:`~repro.errors.SchedulingError`, and
+an absent scenario contributes *nothing* to the cache key — historical
+keys stay byte-identical (golden-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.reliability import apply_reliability
+from repro.scheduling.resources import ResourceSet, bank_assignment
+
+#: Scenario in its canonical hashable form: sorted ``(field, value)``
+#: pairs; nested collections (io pins, reliability ops) are sorted
+#: tuples too.
+Scenario = Tuple[Tuple[str, Any], ...]
+
+#: Every recognized scenario mode (the ``/metrics`` counter namespace).
+SCENARIO_MODES = ("io", "memory", "reliability")
+
+#: Algorithms whose runners honour banked-memory conflicts.  The list
+#: scheduler allocates ports within the op's bank; force-directed
+#: balances per-bank distribution graphs.  Search-based runners
+#: (exact, bnb) bound work by total unit counts and would silently
+#: ignore banking, so the spec refuses them up front.
+MEMORY_SCENARIO_ALGORITHMS = frozenset(
+    {"list(ready)", "list(critical-path)", "force-directed"}
+)
+
+_MODE_FIELDS = {
+    "memory": frozenset({"mode", "banks", "ports"}),
+    "io": frozenset({"mode", "pins"}),
+    "reliability": frozenset({"mode", "ops"}),
+}
+
+
+def _positive_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchedulingError(
+            f"scenario field {what!r} must be an integer, got {value!r}"
+        )
+    if value < 1:
+        raise SchedulingError(
+            f"scenario field {what!r} must be >= 1, got {value}"
+        )
+    return value
+
+
+def normalize_scenario(
+    scenario, algorithm: str, window_algorithms
+) -> Scenario:
+    """Validate and canonicalize a scenario for a spec.
+
+    Accepts a ``{"mode": ..., ...}`` mapping or an iterable of pairs
+    (the already-normalized tuple form round-trips) and returns the
+    sorted, hashable tuple form.  Raises :class:`SchedulingError` on
+    unknown modes/fields, malformed values, or an algorithm the mode
+    does not support — ``io`` needs a window-capable algorithm
+    (``window_algorithms`` is passed in by the spec layer to avoid an
+    import cycle), ``memory`` one of
+    :data:`MEMORY_SCENARIO_ALGORITHMS`; ``reliability`` is a pure
+    graph transform and rides any algorithm.
+    """
+    if not scenario:
+        return ()
+    try:
+        data = dict(scenario)
+    except (TypeError, ValueError):
+        raise SchedulingError(
+            f"scenario must be a mapping with a 'mode' field, "
+            f"got {scenario!r}"
+        ) from None
+    mode = data.get("mode")
+    if mode not in SCENARIO_MODES:
+        known = ", ".join(SCENARIO_MODES)
+        raise SchedulingError(
+            f"unknown scenario mode {mode!r}; known: {known}"
+        )
+    allowed = _MODE_FIELDS[mode]
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise SchedulingError(
+            f"unknown scenario field(s) for mode {mode!r}: "
+            f"{', '.join(unknown)}; known: {', '.join(sorted(allowed))}"
+        )
+
+    if mode == "memory":
+        if algorithm not in MEMORY_SCENARIO_ALGORITHMS:
+            known = ", ".join(sorted(MEMORY_SCENARIO_ALGORITHMS))
+            raise SchedulingError(
+                f"algorithm {algorithm!r} does not account banked-"
+                f"memory conflicts; memory-capable algorithms: {known}"
+            )
+        banks = _positive_int(data.get("banks"), "banks")
+        ports = _positive_int(data.get("ports"), "ports")
+        return (("banks", banks), ("mode", "memory"), ("ports", ports))
+
+    if mode == "io":
+        if algorithm not in window_algorithms:
+            known = ", ".join(sorted(window_algorithms))
+            raise SchedulingError(
+                f"algorithm {algorithm!r} does not support window "
+                f"constraints, which the io scenario lowers onto; "
+                f"window-capable algorithms: {known}"
+            )
+        raw = data.get("pins")
+        try:
+            pin_items = list(
+                raw.items() if isinstance(raw, dict) else raw or ()
+            )
+        except TypeError:
+            raise SchedulingError(
+                f"scenario field 'pins' must map op ids to steps, "
+                f"got {raw!r}"
+            ) from None
+        if not pin_items:
+            raise SchedulingError("io scenario pinned no ops")
+        pins = []
+        for op, step in pin_items:
+            if isinstance(step, bool) or not isinstance(step, int):
+                raise SchedulingError(
+                    f"io pin for {op!r} must be an integer step, "
+                    f"got {step!r}"
+                )
+            if step < 0:
+                raise SchedulingError(
+                    f"io pin for {op!r} must be >= 0, got {step}"
+                )
+            pins.append((str(op), step))
+        pins.sort()
+        for prev, cur in zip(pins, pins[1:]):
+            if prev[0] == cur[0]:
+                raise SchedulingError(
+                    f"duplicate io pin for op {cur[0]!r}"
+                )
+        return (("mode", "io"), ("pins", tuple(pins)))
+
+    # mode == "reliability"
+    raw = data.get("ops")
+    if isinstance(raw, (str, bytes)):
+        raise SchedulingError(
+            f"scenario field 'ops' must be a list of op ids, "
+            f"got {raw!r}"
+        )
+    try:
+        ops = [str(op) for op in raw or ()]
+    except TypeError:
+        raise SchedulingError(
+            f"scenario field 'ops' must be a list of op ids, "
+            f"got {raw!r}"
+        ) from None
+    if not ops:
+        raise SchedulingError("reliability scenario marked no ops")
+    ops.sort()
+    for prev, cur in zip(ops, ops[1:]):
+        if prev == cur:
+            raise SchedulingError(
+                f"duplicate reliability op {cur!r}"
+            )
+    return (("mode", "reliability"), ("ops", tuple(ops)))
+
+
+def scenario_mode(scenario: Scenario) -> Optional[str]:
+    """The mode of a normalized scenario (``None`` when absent)."""
+    return dict(scenario).get("mode") if scenario else None
+
+
+def scenario_key_text(scenario: Scenario) -> str:
+    """The deterministic cache-key component of a normalized scenario.
+
+    Appended by :meth:`JobSpec.cache_key` as ``|scenario:<this>`` —
+    only when a scenario is present, so scenario-free specs keep their
+    byte-identical historical key text.
+    """
+    data = dict(scenario)
+    mode = data["mode"]
+    if mode == "memory":
+        return f"memory;banks={data['banks']};ports={data['ports']}"
+    if mode == "io":
+        pins = ",".join(f"{op}@{step}" for op, step in data["pins"])
+        return f"io;pins={pins}"
+    return "reliability;ops=" + ",".join(data["ops"])
+
+
+def lower_scenario(
+    scenario: Scenario,
+    dfg: DataFlowGraph,
+    resources: ResourceSet,
+    windows: Optional[Dict[str, Tuple[int, int]]],
+) -> Tuple[
+    ResourceSet, Optional[Dict[str, Tuple[int, int]]], Dict[str, Any]
+]:
+    """Lower a normalized scenario onto a built job.
+
+    Runs in the executing worker, after the input op set was sampled
+    and before the runner: the graph is mutated in place (reliability
+    replication), the resource set and window map are returned
+    possibly replaced.  The third return is the JSON-safe scenario
+    meta recorded on the schedule artifact (the source of the
+    per-mode ``/metrics`` counters).
+
+    Raises :class:`SchedulingError` on semantic conflicts — a
+    structured per-job failure, never a batch abort.
+    """
+    data = dict(scenario)
+    mode = data["mode"]
+
+    if mode == "memory":
+        if resources.banked_fu() is not None:
+            raise SchedulingError(
+                f"memory scenario conflicts with resources "
+                f"{resources.notation()!r} that already declare "
+                f"banked mem; use one or the other"
+            )
+        banks, ports = data["banks"], data["ports"]
+        lowered = resources.with_banked_mem(banks, ports)
+        mem_ops = len(bank_assignment(dfg, banks))
+        meta = {
+            "mode": "memory",
+            "banks": banks,
+            "ports": ports,
+            "mem_ops": mem_ops,
+        }
+        return lowered, windows, meta
+
+    if mode == "io":
+        merged = dict(windows or {})
+        for op, step in data["pins"]:
+            if op not in dfg:
+                raise SchedulingError(
+                    f"io pin references unknown op {op!r}"
+                )
+            lo, hi = merged.get(op, (step, step))
+            if not (lo <= step <= hi):
+                raise SchedulingError(
+                    f"io pin {op}@{step} falls outside the spec's "
+                    f"window [{lo}, {hi}] for the same op"
+                )
+            merged[op] = (step, step)
+        meta = {
+            "mode": "io",
+            "pins": {op: step for op, step in data["pins"]},
+        }
+        return resources, merged, meta
+
+    # mode == "reliability"
+    meta = apply_reliability(dfg, data["ops"])
+    return resources, windows, meta

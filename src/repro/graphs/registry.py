@@ -23,6 +23,7 @@ from repro.graphs.hal import hal
 from repro.graphs.iir import iir_biquad_cascade
 from repro.graphs.paper_fig1 import paper_fig1
 from repro.graphs.random_dags import random_hier_dag
+from repro.graphs.scenario import io_pinned, mem_traffic, tmr_marked
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,41 @@ _register(
         factory=fft,
         description=(
             "8-point radix-2 FFT butterfly network (extra workload)"
+        ),
+        in_paper=False,
+    )
+)
+_register(
+    GraphInfo(
+        name="MEMBANK",
+        factory=mem_traffic,
+        description=(
+            "4 mul/store/load lanes plus adder tree: the banked-memory "
+            "scenario workload (half the lanes @bank-tagged)"
+        ),
+        in_paper=False,
+    )
+)
+_register(
+    GraphInfo(
+        name="IOPIN",
+        factory=io_pinned,
+        description=(
+            "8-op pipeline with protocol-pinned sample/emit ops: the "
+            "I/O-timing scenario workload (pins in "
+            "repro.graphs.scenario.IOPIN_PINS)"
+        ),
+        in_paper=False,
+    )
+)
+_register(
+    GraphInfo(
+        name="TMRMARK",
+        factory=tmr_marked,
+        description=(
+            "multiply/add kernel with triplication-worthy root "
+            "multiplies: the reliability scenario workload (marks in "
+            "repro.graphs.scenario.TMRMARK_OPS)"
         ),
         in_paper=False,
     )

@@ -1,0 +1,104 @@
+"""Benchmark graphs for the three constraint-scenario modes.
+
+These are extra workloads (not from the paper) shaped to exercise the
+scenario constraint model end to end:
+
+* :func:`mem_traffic` — memory-heavy store/load traffic for the
+  banked-memory mode.  Half the memory ops carry explicit ``@bank<k>``
+  name tags, the other half are left untagged, so one graph exercises
+  both paths of :func:`repro.scheduling.resources.bank_assignment`.
+* :func:`io_pinned` — a small pipeline with protocol-facing ops whose
+  canonical I/O timing is exported as :data:`IOPIN_PINS`, ready to pass
+  as an ``io_schedule`` request field or an ``io`` scenario.
+* :func:`tmr_marked` — a multiply/add kernel with the ops worth
+  hardening exported as :data:`TMRMARK_OPS`, ready to pass as a
+  ``reliability`` scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import GraphError
+from repro.ir.builder import GraphBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import DelayModel
+
+#: The canonical protocol timing for :func:`io_pinned`: feasible as
+#: hard ``lo == hi`` pins under the default ``"2+/-,2*"`` resources
+#: (the bnb tier proves it), with one step of slack on the output.
+IOPIN_PINS = {"in1": 0, "in2": 1, "out2": 6}
+
+#: The ops :func:`tmr_marked` marks for triplication — the two root
+#: multiplies whose faults would corrupt every downstream value.
+TMRMARK_OPS = ("m1", "m2")
+
+
+def mem_traffic(
+    pairs: int = 4, delay_model: Optional[DelayModel] = None
+) -> DataFlowGraph:
+    """``pairs`` independent compute/store/load lanes plus an adder tree.
+
+    Each lane is ``mul -> store -> load``; the loads reduce through a
+    balanced adder tree.  Lanes in the first half tag their memory ops
+    ``@bank<lane mod 2>``; the rest rely on round-robin assignment.
+    """
+    if pairs < 2:
+        raise GraphError(f"mem_traffic needs at least 2 pairs, got {pairs}")
+    b = GraphBuilder(f"mem_traffic{pairs}", delay_model=delay_model)
+    loads: List[str] = []
+    for i in range(pairs):
+        tag = f"@bank{i % 2}" if i < pairs // 2 else ""
+        m = b.mul(f"m{i}", name=f"x{i}*h{i}")
+        s = b.store(f"s{i}", m, name=f"buf{i}{tag}")
+        loads.append(b.load(f"l{i}", s, name=f"buf{i}{tag}"))
+    counter = 0
+    level = loads
+    while len(level) > 1:
+        next_level: List[str] = []
+        index = 0
+        while index + 1 < len(level):
+            counter += 1
+            next_level.append(
+                b.add(f"a{counter}", level[index], level[index + 1])
+            )
+            index += 2
+        if index < len(level):
+            next_level.append(level[index])
+        level = next_level
+    return b.graph()
+
+
+def io_pinned(delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+    """An 8-op pipeline with protocol-pinned inputs and output.
+
+    The graph itself is ordinary; what makes it the I/O benchmark is
+    :data:`IOPIN_PINS` — the sample/emit steps its environment fixes.
+    """
+    b = GraphBuilder("io_pinned", delay_model=delay_model)
+    in1 = b.add("in1", name="sample_a")
+    in2 = b.add("in2", name="sample_b")
+    m1 = b.mul("m1", in1, in2)
+    m2 = b.mul("m2", in1)
+    a1 = b.add("a1", in2)
+    m3 = b.mul("m3", a1)
+    out1 = b.add("out1", m1, m2)
+    b.add("out2", m3, out1, name="emit")
+    return b.graph()
+
+
+def tmr_marked(delay_model: Optional[DelayModel] = None) -> DataFlowGraph:
+    """A multiply/add kernel whose root multiplies merit triplication.
+
+    Pair with ``{"mode": "reliability", "ops": list(TMRMARK_OPS)}``:
+    the transform grows each marked op into three replicas feeding a
+    majority voter before scheduling.
+    """
+    b = GraphBuilder("tmr_marked", delay_model=delay_model)
+    m1 = b.mul("m1", name="gain_a")
+    m2 = b.mul("m2", name="gain_b")
+    a1 = b.add("a1", m1, m2)
+    m3 = b.mul("m3", a1)
+    a2 = b.add("a2", m3, a1)
+    b.sub("s1", a2, m1)
+    return b.graph()

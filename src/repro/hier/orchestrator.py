@@ -33,6 +33,12 @@ The stitched schedule is re-validated from scratch: a full dependence
 check (:func:`~repro.scheduling.base.validate_schedule`) plus a
 frame-engine fixing sweep at the stitched length, the same consistency
 oracle the threaded-schedule hardening path uses.
+
+The per-op window mechanism here is the same one I/O-timing scenarios
+lower onto (:func:`repro.engine.scenario.lower_scenario` turns
+protocol pins into degenerate ``lo == hi`` windows), so subgraph jobs
+fanned out to a serve/dispatch target carry their pins through the
+ordinary ``windows`` request field — no scenario-specific plumbing.
 """
 
 from __future__ import annotations

@@ -1,0 +1,125 @@
+"""Reliability hardening: triple-modular redundancy on marked ops.
+
+Reliability-centric HLS (Tosun et al.) trades area/latency for fault
+coverage by selectively replicating operations and voting on their
+results.  :func:`apply_reliability` is that transform at the IR level:
+each marked operation is triplicated (the original plus two copies fed
+by the same operands) and a voter node joins the three results; every
+former consumer of the original reads the voter instead.
+
+The voter is an :class:`~repro.ir.ops.OpKind.PHI` node — it occupies
+an ALU (a real majority vote costs hardware) and the cycle simulator's
+PHI semantics forward its first operand, so a hardened graph computes
+exactly the values of the original (the integration tests pin this).
+The transform runs *before* scheduling, inside the engine's job
+executor, after the input op set is sampled — so the inserted replicas
+and voters show up in the artifact's ``inserted`` list like any other
+soft-scheduling insertion, and the artifact meta records what was
+hardened.
+
+Memory operations cannot be marked: a replicated STORE would own its
+own memory cell and break the LOAD-reads-its-store dependence the
+simulator (and spill semantics) rely on.  Structural ops never occupy
+hardware, so duplicating them buys no fault coverage — also rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.ops import OpKind
+
+#: Replicas added per marked op (TMR: original + 2 copies, 1 voter).
+RELIABILITY_REPLICAS = 2
+
+#: Suffixes of the nodes the transform inserts for a marked op ``v``.
+REPLICA_SUFFIXES = ("__r1", "__r2")
+VOTER_SUFFIX = "__vote"
+
+
+def reliability_targets(dfg: DataFlowGraph, ops: Iterable[str]) -> List[str]:
+    """Validate the marked op ids against ``dfg``; return them sorted.
+
+    Raises :class:`SchedulingError` (a structured per-job failure, not
+    a batch abort) on unknown ids, structural ops, memory ops, or ids
+    that collide with the transform's reserved ``__r<i>``/``__vote``
+    suffixes.
+    """
+    targets = sorted(set(str(op) for op in ops))
+    if not targets:
+        raise SchedulingError("reliability scenario marked no ops")
+    for op in targets:
+        if op not in dfg:
+            raise SchedulingError(
+                f"reliability scenario marks unknown op {op!r}"
+            )
+        kind = dfg.node(op).op
+        if kind.is_structural:
+            raise SchedulingError(
+                f"reliability scenario cannot mark structural op "
+                f"{op!r} ({kind.name}): it occupies no hardware"
+            )
+        if kind in (OpKind.LOAD, OpKind.STORE):
+            raise SchedulingError(
+                f"reliability scenario cannot mark memory op {op!r}: "
+                f"replicated stores break load/store cell semantics"
+            )
+        for suffix in REPLICA_SUFFIXES + (VOTER_SUFFIX,):
+            if f"{op}{suffix}" in dfg:
+                raise SchedulingError(
+                    f"reliability transform would collide with "
+                    f"existing node {op}{suffix!r}"
+                )
+    return targets
+
+
+def apply_reliability(
+    dfg: DataFlowGraph, ops: Iterable[str]
+) -> Dict[str, Any]:
+    """Triplicate the marked ops in place; return the artifact meta.
+
+    For each marked op ``v``: two replicas ``v__r1``/``v__r2`` are
+    added with ``v``'s op kind, delay, and in-edges; a voter
+    ``v__vote`` (PHI, ALU-class, reading ``v``, ``v__r1``, ``v__r2``
+    on ports 0/1/2) takes over every out-edge of ``v`` with the
+    original port and wire weight.  Marked ops are processed in sorted
+    order, so the grown graph — and every schedule of it — is
+    deterministic.
+
+    Returns the JSON-safe meta recorded on the schedule artifact::
+
+        {"mode": "reliability", "ops": [...], "replicas": 2,
+         "voters": <count>}
+    """
+    targets = reliability_targets(dfg, ops)
+    for op in targets:
+        node = dfg.node(op)
+        in_edges = [
+            (e.src, e.port, e.weight) for e in dfg.in_edges(op)
+        ]
+        out_edges = [
+            (e.dst, e.port, e.weight) for e in dfg.out_edges(op)
+        ]
+        replicas = [f"{op}{suffix}" for suffix in REPLICA_SUFFIXES]
+        for replica in replicas:
+            dfg.add_node(
+                replica, node.op, delay=node.delay, name=node.name
+            )
+            for src, port, weight in in_edges:
+                dfg.add_edge(src, replica, port=port, weight=weight)
+        voter = f"{op}{VOTER_SUFFIX}"
+        dfg.add_node(voter, OpKind.PHI, name=f"vote({op})")
+        for dst, port, weight in out_edges:
+            dfg.remove_edge(op, dst)
+            dfg.add_edge(voter, dst, port=port, weight=weight)
+        dfg.add_edge(op, voter, port=0)
+        dfg.add_edge(replicas[0], voter, port=1)
+        dfg.add_edge(replicas[1], voter, port=2)
+    return {
+        "mode": "reliability",
+        "ops": targets,
+        "replicas": RELIABILITY_REPLICAS,
+        "voters": len(targets),
+    }

@@ -14,7 +14,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.ir.dfg import DataFlowGraph
-from repro.scheduling.resources import FuType, ResourceSet
+from repro.scheduling.resources import FuType, ResourceSet, bank_assignment
 
 #: Format tag of the JSON-safe schedule artifact (see
 #: :func:`schedule_artifact`).
@@ -180,9 +180,12 @@ def validate_schedule(
     1. every graph operation has a start time >= 0,
     2. every dependence ``p -> q`` satisfies
        ``start(q) >= start(p) + delay(p) + weight(p, q)``,
-    3. per-step usage never exceeds the resource constraint, and
+    3. per-step usage never exceeds the resource constraint (for a
+       banked memory type, additionally per *bank*: concurrent accesses
+       to one bank never exceed its port count), and
     4. the binding (if present and ``check_binding``) maps each op to a
-       compatible unit and never double-books a unit in a step.
+       compatible unit and never double-books a unit in a step — for a
+       banked type the bound unit must also belong to the op's bank.
     """
     problems: List[str] = []
     dfg = schedule.dfg
@@ -223,8 +226,16 @@ def validate_schedule(
                         f"step {step}: {used} {fu_type.name} ops in flight, "
                         f"only {available} units"
                     )
+        banked = resources.banked_fu()
+        if banked is not None:
+            problems.extend(_bank_overflows(schedule, resources, banked))
 
     if check_binding and schedule.binding:
+        banked = resources.banked_fu() if resources is not None else None
+        bank_of = (
+            bank_assignment(dfg, banked.banking[0])
+            if banked is not None else {}
+        )
         occupancy: Dict[Tuple[str, int, int], str] = {}
         for node_id, (fu_type, index) in schedule.binding.items():
             node = dfg.node(node_id)
@@ -238,6 +249,14 @@ def validate_schedule(
                     f"op {node_id} bound to {fu_type.name}[{index}] but only "
                     f"{resources.count(fu_type)} units exist"
                 )
+            if node_id in bank_of and fu_type.banking is not None:
+                bound_bank = resources.bank_of_unit(fu_type, index)
+                if bound_bank != bank_of[node_id]:
+                    problems.append(
+                        f"op {node_id} belongs to mem bank "
+                        f"{bank_of[node_id]} but is bound to "
+                        f"{fu_type.name}[{index}] (bank {bound_bank})"
+                    )
             if node_id not in schedule.start_times:
                 continue
             start = schedule.start_times[node_id]
@@ -254,3 +273,25 @@ def validate_schedule(
     if problems and raise_on_error:
         raise SchedulingError("; ".join(problems))
     return problems
+
+
+def _bank_overflows(
+    schedule: Schedule, resources: ResourceSet, banked: FuType
+) -> List[str]:
+    """Per-step, per-bank access counts that exceed the port limit."""
+    banks, ports = banked.banking
+    bank_of = bank_assignment(schedule.dfg, banks)
+    usage: Dict[Tuple[int, int], int] = {}
+    for node in schedule.dfg.node_objects():
+        if node.id not in bank_of or node.id not in schedule.start_times:
+            continue
+        start = schedule.start_times[node.id]
+        for step in range(start, start + max(1, node.delay)):
+            key = (step, bank_of[node.id])
+            usage[key] = usage.get(key, 0) + 1
+    return [
+        f"step {step}: {used} accesses to mem bank {bank}, "
+        f"only {ports} ports"
+        for (step, bank), used in sorted(usage.items())
+        if used > ports
+    ]

@@ -129,6 +129,7 @@ class _CoreSearch:
         ub_times: Dict[str, int],
         rds: Sequence[int] = (),
         lo: Optional[Dict[str, int]] = None,
+        hi: Optional[Dict[str, int]] = None,
         memo_limit: int = DEFAULT_MEMO_LIMIT,
     ):
         self.dfg = dfg
@@ -142,6 +143,10 @@ class _CoreSearch:
             lo = {n: frame[0] for n, frame
                   in FrameEngine(dfg).frames_dict().items()}
         self.lo = lo
+        # Hard per-op latest-start bound (window constraints); None means
+        # unconstrained.  ``lo`` folds into readiness (see ``_ready_at``),
+        # ``hi`` prunes branches in ``_expand``.
+        self.hi = hi
         self.fu_of = {
             n: (None if dfg.node(n).op.is_structural
                 else resources.fu_for_op(dfg.node(n).op))
@@ -177,8 +182,14 @@ class _CoreSearch:
     # -- state helpers --------------------------------------------------
 
     def _ready_at(self, node_id: str) -> Tuple[bool, int]:
-        """(all predecessors finished, data-ready step so far)."""
-        ready = 0
+        """(all predecessors finished, earliest legal start so far).
+
+        Readiness folds in the hard release bound ``lo`` — without
+        window constraints ``lo`` is the plain ASAP step, which any
+        reachable state already satisfies, so the clamp is a no-op and
+        historical searches are untouched.
+        """
+        ready = self.lo[node_id]
         complete = True
         finish = self._finish
         for src, weight in self._preds[node_id]:
@@ -277,6 +288,13 @@ class _CoreSearch:
         """
         self._closure(frame)
         step = frame.step
+        if self.hi is not None:
+            hi = self.hi
+            start = self._start
+            for n in frame.owned:
+                if start[n] > hi[n]:
+                    self._pop()
+                    return None
         if len(self._start) == self.n_ops:
             length = max(self._finish.values(), default=0)
             improved = None
@@ -290,13 +308,16 @@ class _CoreSearch:
         readys, startable = self._survey(frame)
         bound = max(self._finish.values(), default=0)
         work: Dict = {}
-        lo, tdist, fu_of = self.lo, self.tdist, self.fu_of
+        hi, tdist, fu_of = self.hi, self.tdist, self.fu_of
         occupy = self._occupy
         for n, ready in readys.items():
             if ready < step:
                 ready = step
-            if lo[n] > ready:
-                ready = lo[n]
+            if hi is not None and ready > hi[n]:
+                # An unstarted op can no longer meet its hard latest
+                # start: the whole branch is window-infeasible.
+                self._pop()
+                return None
             if ready + tdist[n] > bound:
                 bound = ready + tdist[n]
             ft = fu_of[n]
@@ -430,6 +451,7 @@ class _CoreSearch:
         data: Dict[str, Any],
         rds: Sequence[int] = (),
         lo: Optional[Dict[str, int]] = None,
+        hi: Optional[Dict[str, int]] = None,
         memo_limit: int = DEFAULT_MEMO_LIMIT,
     ) -> "_CoreSearch":
         """Rebuild a search from :meth:`checkpoint` output.
@@ -441,7 +463,7 @@ class _CoreSearch:
         """
         best_times = {op: int(s) for op, s in data["best_times"].items()}
         search = cls(dfg, resources, int(data["best_length"]), best_times,
-                     rds=rds, lo=lo, memo_limit=memo_limit)
+                     rds=rds, lo=lo, hi=hi, memo_limit=memo_limit)
         search.nodes = int(data["nodes"])
         if data.get("exhausted"):
             search.exhausted = True
@@ -490,6 +512,7 @@ class AnytimeBnB:
         rds_suffix_cap: int = DEFAULT_RDS_SUFFIX_CAP,
         memo_limit: int = DEFAULT_MEMO_LIMIT,
         checkpoint: Optional[Dict[str, Any]] = None,
+        windows: Optional[Dict[str, Tuple[int, int]]] = None,
     ):
         self.dfg = dfg
         self.resources = resources
@@ -499,9 +522,31 @@ class AnytimeBnB:
         self.probe_nodes = probe_nodes
         self.rds_suffix_cap = rds_suffix_cap
         self.memo_limit = memo_limit
-        self._lo = {n: frame[0] for n, frame
-                    in FrameEngine(dfg).frames_dict().items()} \
-            if self.n_ops else {}
+        self.windows = dict(windows) if windows else None
+        self._hi: Optional[Dict[str, int]] = None
+        self._feasible = True
+        if not self.n_ops:
+            self._lo: Dict[str, int] = {}
+            self._horizon = 0
+        elif self.windows:
+            # Hard windows: frames under a generous horizon so the
+            # ALAP side only reflects the window pins (and their
+            # backward closure), never an artificial latency cap.
+            # The horizon safely exceeds any optimal feasible length:
+            # release everything at the latest pin, then run serially.
+            occupancy = sum(max(1, dfg.delay(n)) for n in self.order)
+            max_hi = max(hi for _lo, hi in self.windows.values())
+            self._horizon = max_hi + occupancy + 1
+            latency = self._horizon + max(self.tdist.values(), default=0) + 1
+            frames = FrameEngine(
+                dfg, latency=latency, windows=self.windows
+            ).frames_dict()
+            self._lo = {n: frame[0] for n, frame in frames.items()}
+            self._hi = {n: frame[1] for n, frame in frames.items()}
+        else:
+            self._lo = {n: frame[0] for n, frame
+                        in FrameEngine(dfg).frames_dict().items()}
+            self._horizon = 0
         self.static_bound = self._static_bound()
         self.search: Optional[_CoreSearch] = None
         if checkpoint is not None:
@@ -543,6 +588,14 @@ class AnytimeBnB:
             bound = max(bound, -(-rem // self.resources.count(ft)))
         return bound
 
+    def _window_feasible(self, times: Dict[str, int]) -> bool:
+        """True when every start meets its hard window bounds."""
+        if self._hi is None:
+            return True
+        return all(
+            self._lo[op] <= s <= self._hi[op] for op, s in times.items()
+        )
+
     def _resolve_seed(
         self, seed_times: Optional[Dict[str, int]]
     ) -> Tuple[int, Dict[str, int]]:
@@ -551,7 +604,13 @@ class AnytimeBnB:
         A supplied seed (typically the cached FDS artifact) is used
         only when it validates under the constraint — force-directed
         schedules are *time*-constrained and may overbook units, and
-        an infeasible upper bound would poison every proof.
+        an infeasible upper bound would poison every proof.  Under
+        hard windows a candidate must also meet every window bound
+        (the list heuristics treat ``hi`` as advisory, so their output
+        may be rejected here); with no feasible candidate the search
+        starts from an above-horizon sentinel and only branch-and-bound
+        discoveries — window-feasible by construction — become
+        incumbents.
         """
         candidates: List[Tuple[int, Dict[str, int]]] = []
         if seed_times:
@@ -561,15 +620,20 @@ class AnytimeBnB:
             problems = validate_schedule(
                 schedule, self.resources, check_binding=False,
                 raise_on_error=False)
-            if not problems:
+            if not problems and self._window_feasible(times):
                 candidates.append((schedule.length, times))
         if self.n_ops:
             for priority in (ListPriority.SINK_DISTANCE,
                              ListPriority.MOBILITY):
-                fallback = list_schedule(self.dfg, self.resources, priority)
-                candidates.append(
-                    (fallback.length, dict(fallback.start_times)))
+                fallback = list_schedule(self.dfg, self.resources, priority,
+                                         windows=self.windows)
+                times = dict(fallback.start_times)
+                if self._window_feasible(times):
+                    candidates.append((fallback.length, times))
         if not candidates:
+            if self.windows:
+                self._feasible = False
+                return self._horizon + 1, {}
             return 0, {}
         return min(candidates, key=lambda c: c[0])
 
@@ -597,6 +661,7 @@ class AnytimeBnB:
             if length < self.best_length:
                 self.best_length = length
                 self.best_times = dict(self.search.best_times)
+                self._feasible = True
                 self._record(length)
                 events.append(self.status_event("incumbent"))
         if not self.done and self.best_length <= self.lower_bound:
@@ -618,13 +683,14 @@ class AnytimeBnB:
 
     def _open_search(self, dfg: DataFlowGraph, rds: Sequence[int],
                      lo: Optional[Dict[str, int]],
-                     ub: Optional[Tuple[int, Dict[str, int]]]) -> _CoreSearch:
+                     ub: Optional[Tuple[int, Dict[str, int]]],
+                     hi: Optional[Dict[str, int]] = None) -> _CoreSearch:
         if ub is None:
             seed = list_schedule(dfg, self.resources,
                                  ListPriority.SINK_DISTANCE)
             ub = (seed.length, dict(seed.start_times))
         return _CoreSearch(dfg, self.resources, ub[0], ub[1], rds=rds,
-                           lo=lo, memo_limit=self.memo_limit)
+                           lo=lo, hi=hi, memo_limit=self.memo_limit)
 
     def advance(self, max_nodes: int) -> List[Dict[str, Any]]:
         """Spend up to ``max_nodes`` expansions; return new events."""
@@ -643,7 +709,8 @@ class AnytimeBnB:
                        events: List[Dict[str, Any]]) -> int:
         if self.search is None:
             self.search = self._open_search(
-                self.dfg, (), self._lo, (self.best_length, self.best_times))
+                self.dfg, (), self._lo, (self.best_length, self.best_times),
+                hi=self._hi)
         allowance = min(remaining, self.probe_left)
         improvements, used = self.search.advance(allowance)
         self.nodes_total += used
@@ -698,7 +765,7 @@ class AnytimeBnB:
         if self.search is None:
             self.search = self._open_search(
                 self.dfg, tuple(self.rds_table), self._lo,
-                (self.best_length, self.best_times))
+                (self.best_length, self.best_times), hi=self._hi)
         improvements, used = self.search.advance(remaining)
         self.nodes_total += used
         remaining -= used
@@ -755,12 +822,14 @@ class AnytimeBnB:
             search_data = data["search"]
         except (KeyError, TypeError, ValueError) as exc:
             raise SchedulingError(f"corrupt bnb checkpoint: {exc}")
+        if self.windows:
+            self._feasible = self.best_length <= self._horizon
         if search_data is None:
             self.search = None
         elif self.phase == "probe":
             self.search = _CoreSearch.restore(
                 self.dfg, self.resources, search_data, rds=(),
-                lo=self._lo, memo_limit=self.memo_limit)
+                lo=self._lo, hi=self._hi, memo_limit=self.memo_limit)
         elif self.phase == "rds":
             self.search = _CoreSearch.restore(
                 self._suffix_graph(self.rds_k), self.resources,
@@ -769,7 +838,7 @@ class AnytimeBnB:
         elif self.phase == "main":
             self.search = _CoreSearch.restore(
                 self.dfg, self.resources, search_data,
-                rds=tuple(self.rds_table), lo=self._lo,
+                rds=tuple(self.rds_table), lo=self._lo, hi=self._hi,
                 memo_limit=self.memo_limit)
         else:
             self.search = None
@@ -777,7 +846,20 @@ class AnytimeBnB:
     # -- results ----------------------------------------------------------
 
     def best_schedule(self) -> Schedule:
-        """Best-known schedule, with proof state and checkpoint meta."""
+        """Best-known schedule, with proof state and checkpoint meta.
+
+        Under hard windows, raises :class:`SchedulingError` when no
+        window-feasible schedule is known — either the constraints are
+        unsatisfiable (search exhausted) or the budget ran out before
+        the first feasible incumbent.
+        """
+        if not self._feasible:
+            detail = ("the window constraints are unsatisfiable"
+                      if self.done else
+                      "no window-feasible schedule found within budget")
+            raise SchedulingError(
+                f"bnb-anytime: {detail} "
+                f"(explored {self.nodes_total} nodes)")
         meta: Dict[str, Any] = {
             "proved": self.proved,
             "lower_bound": self.lower_bound,
@@ -806,14 +888,21 @@ def bnb_anytime_schedule(
     checkpoint: Optional[Dict[str, Any]] = None,
     slice_nodes: int = DEFAULT_SLICE_NODES,
     on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    windows: Optional[Dict[str, Tuple[int, int]]] = None,
 ) -> Schedule:
     """Run the anytime B&B under an optional budget; return the best.
 
     ``budget`` accepts ``{"nodes": N, "deadline_ms": M}`` (both
-    optional; omitted means unlimited).  The returned schedule's
+    optional; omitted means unlimited).  ``windows`` optionally pins
+    per-op ``(lo, hi)`` start bounds, enforced *hard* — branches that
+    cannot meet a bound are pruned, so a proved optimum is optimal
+    among window-feasible schedules (and an unsatisfiable window set
+    raises once the search exhausts).  The returned schedule's
     ``meta["bnb"]`` carries ``proved``, ``lower_bound``, ``nodes``,
     the incumbent trajectory, and — when the search was interrupted —
-    a resumable ``checkpoint``.
+    a resumable ``checkpoint``.  A checkpoint must be resumed with the
+    same windows it was taken under (the engine keys cache entries on
+    the window set, so this holds by construction there).
     """
     budget = budget or {}
     node_budget = budget.get("nodes")
@@ -821,7 +910,7 @@ def bnb_anytime_schedule(
     deadline = (time.monotonic() + deadline_ms / 1000.0
                 if deadline_ms else None)
     solver = AnytimeBnB(dfg, resources, seed_times=seed_times,
-                        checkpoint=checkpoint)
+                        checkpoint=checkpoint, windows=windows)
     while not solver.done:
         if node_budget is not None and solver.nodes_total >= node_budget:
             break

@@ -39,13 +39,56 @@ from repro.ir.dfg import DataFlowGraph
 from repro.ir.analysis import diameter
 from repro.scheduling.base import Schedule
 from repro.scheduling.frames import FrameEngine
-from repro.scheduling.resources import FuType, ResourceSet
+from repro.scheduling.resources import ResourceSet, bank_assignment
 
 #: Candidates whose prefix-sum force lies within this of the minimum are
 #: re-scored with the reference kernels before the winner is picked.
 #: Must exceed the float drift between the two summation orders (~1e-10
 #: on benchmark-sized graphs) for the fast path to stay bit-compatible.
 FORCE_TIE_EPS = 1e-6
+
+#: A distribution-graph group: a plain :class:`FuType` for flat units,
+#: ``(FuType, bank)`` for memory ops under a banked resource set —
+#: balancing per *bank* is what makes FDS memory-aware (each bank's
+#: ports are the contended resource, not the total port pool).
+Group = object
+
+
+def _group_map(
+    dfg: DataFlowGraph, resources: ResourceSet
+) -> Dict[str, Optional[Group]]:
+    """Distribution-graph group of every node (``None`` = structural).
+
+    Without a banked unit type this is exactly
+    ``resources.fu_for_op(node.op)`` per node, so flat resource sets
+    build byte-identical distribution graphs to the historical code
+    (pinned by the fast/reference equivalence tests).
+    """
+    banked = resources.banked_fu()
+    banks = (
+        bank_assignment(dfg, banked.banking[0]) if banked is not None
+        else {}
+    )
+    groups: Dict[str, Optional[Group]] = {}
+    for node in dfg.node_objects():
+        fu = resources.fu_for_op(node.op)
+        if fu is not None and fu == banked and node.id in banks:
+            groups[node.id] = (fu, banks[node.id])
+        else:
+            groups[node.id] = fu
+    return groups
+
+
+def _group_keys(resources: ResourceSet) -> List[Group]:
+    """Every distribution-graph key for ``resources``, stable order."""
+    keys: List[Group] = []
+    for fu in resources.fu_types:
+        banking = fu.banking
+        if banking is None:
+            keys.append(fu)
+        else:
+            keys.extend((fu, bank) for bank in range(banking[0]))
+    return keys
 
 
 def _frames(
@@ -105,13 +148,20 @@ def _distribution(
     resources: ResourceSet,
     frames: Dict[str, Tuple[int, int]],
     latency: int,
-) -> Dict[FuType, List[float]]:
-    """Expected per-step occupancy per unit type (the classic DG)."""
-    dist: Dict[FuType, List[float]] = {
-        fu: [0.0] * latency for fu in resources.fu_types
+    groups: Optional[Dict[str, Optional[Group]]] = None,
+) -> Dict[Group, List[float]]:
+    """Expected per-step occupancy per group (the classic DG).
+
+    Groups are unit types, except banked memories contribute one DG
+    per bank (see :func:`_group_map`).
+    """
+    if groups is None:
+        groups = _group_map(dfg, resources)
+    dist: Dict[Group, List[float]] = {
+        key: [0.0] * latency for key in _group_keys(resources)
     }
     for node in dfg.node_objects():
-        fu_type = resources.fu_for_op(node.op)
+        fu_type = groups[node.id]
         if fu_type is None:
             continue
         lo, hi = frames[node.id]
@@ -186,7 +236,8 @@ def force_directed_schedule(
     ids = view.ids
     delays = view.delays
     nodes = dfg.node_objects()
-    fu_of = [resources.fu_for_op(node.op) for node in nodes]
+    groups = _group_map(dfg, resources)
+    fu_of = [groups[node.id] for node in nodes]
     spans = [max(1, d) for d in delays]
     in_list = [view.predecessors(i) for i in range(n)]
     out_list = [view.successors(i) for i in range(n)]
@@ -225,12 +276,12 @@ def force_directed_schedule(
         # frame): the rebuild reproduces the reference implementation's
         # float summation order exactly, which the near-tie refinement
         # below needs to stay bit-compatible with it.
-        dist = _distribution(dfg, resources, frames, latency)
+        dist = _distribution(dfg, resources, frames, latency, groups)
 
-        # Per-type prefix sums: SP[k] = sum(dist[:k]), SSP[k] =
+        # Per-group prefix sums: SP[k] = sum(dist[:k]), SSP[k] =
         # sum(SP[:k]).  They turn each candidate force into O(degree).
-        prefix: Dict[FuType, List[float]] = {}
-        double_prefix: Dict[FuType, List[float]] = {}
+        prefix: Dict[Group, List[float]] = {}
+        double_prefix: Dict[Group, List[float]] = {}
         for fu, arr in dist.items():
             sp_arr = [0.0] * (L + 1)
             acc = 0.0
@@ -320,7 +371,8 @@ def force_directed_schedule(
                     delays[i], dist[fu_of[i]], (lo[i], hi[i]), start, latency
                 )
             force += _neighbour_forces(
-                dfg, resources, frames, dist, node_id, start, latency
+                dfg, resources, frames, dist, node_id, start, latency,
+                groups,
             )
             key = (force, node_id, start)
             if best is None or key < best:
@@ -361,10 +413,11 @@ def force_directed_schedule_reference(
 
     fixed: Dict[str, int] = {}
     pending = [n for n in dfg.nodes()]
+    groups = _group_map(dfg, resources)
 
     while pending:
         frames = _frames(dfg, latency, fixed, windows)
-        dist = _distribution(dfg, resources, frames, latency)
+        dist = _distribution(dfg, resources, frames, latency, groups)
 
         # Ops whose frame is already a single step are fixed for free.
         trivially_fixed = [
@@ -379,7 +432,7 @@ def force_directed_schedule_reference(
         best: Optional[Tuple[float, str, int]] = None
         for node_id in pending:
             node = dfg.node(node_id)
-            fu_type = resources.fu_for_op(node.op)
+            fu_type = groups[node_id]
             lo, hi = frames[node_id]
             for start in range(lo, hi + 1):
                 force = 0.0
@@ -388,7 +441,8 @@ def force_directed_schedule_reference(
                         node.delay, dist[fu_type], (lo, hi), start, latency
                     )
                 force += _neighbour_forces(
-                    dfg, resources, frames, dist, node_id, start, latency
+                    dfg, resources, frames, dist, node_id, start, latency,
+                    groups,
                 )
                 key = (force, node_id, start)
                 if best is None or key < best:
@@ -410,10 +464,11 @@ def _neighbour_forces(
     dfg: DataFlowGraph,
     resources: ResourceSet,
     frames: Dict[str, Tuple[int, int]],
-    dist: Dict[FuType, List[float]],
+    dist: Dict[Group, List[float]],
     node_id: str,
     start: int,
     latency: int,
+    groups: Optional[Dict[str, Optional[Group]]] = None,
 ) -> float:
     """Predecessor/successor forces of pinning ``node_id`` at ``start``.
 
@@ -421,13 +476,15 @@ def _neighbour_forces(
     successors; each clipped neighbour contributes its self force under
     the narrowed frame.
     """
+    if groups is None:
+        groups = _group_map(dfg, resources)
     total = 0.0
     for edge in dfg.in_edges(node_id):
         pred = dfg.node(edge.src)
         lo, hi = frames[edge.src]
         new_hi = min(hi, start - edge.weight - pred.delay)
         if new_hi < hi:
-            fu_type = resources.fu_for_op(pred.op)
+            fu_type = groups[edge.src]
             if fu_type is not None and new_hi >= lo:
                 total += _avg_self_force(
                     pred.delay, dist[fu_type], (lo, hi), (lo, new_hi), latency
@@ -437,7 +494,7 @@ def _neighbour_forces(
         lo, hi = frames[edge.dst]
         new_lo = max(lo, start + dfg.delay(node_id) + edge.weight)
         if new_lo > lo:
-            fu_type = resources.fu_for_op(succ.op)
+            fu_type = groups[edge.dst]
             if fu_type is not None and new_lo <= hi:
                 total += _avg_self_force(
                     succ.delay, dist[fu_type], (lo, hi), (new_lo, hi), latency

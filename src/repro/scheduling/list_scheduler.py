@@ -30,7 +30,7 @@ from repro.ir.analysis import sink_distances
 from repro.ir.dfg import DataFlowGraph
 from repro.scheduling.base import Schedule
 from repro.scheduling.frames import FrameEngine
-from repro.scheduling.resources import FuType, ResourceSet
+from repro.scheduling.resources import FuType, ResourceSet, bank_assignment
 
 
 class ListPriority(enum.Enum):
@@ -62,6 +62,16 @@ def list_schedule(
         raise InfeasibleError(
             f"no functional unit can execute: {', '.join(missing)}"
         )
+
+    # Banked memory: each memory op may only use the ports of its own
+    # bank (ports are numbered bank-major, so bank b owns indices
+    # [b*P, (b+1)*P)).  Flat resource sets have no banked type and the
+    # map stays empty — allocation is untouched.
+    banked = resources.banked_fu()
+    bank_of_op = (
+        bank_assignment(dfg, banked.banking[0]) if banked is not None
+        else {}
+    )
 
     order_index = {node_id: i for i, node_id in enumerate(dfg.nodes())}
     keys = _priority_keys(dfg, priority, order_index)
@@ -136,7 +146,10 @@ def list_schedule(
 
         for node_id in startable:
             fu_type = resources.fu_for_op(dfg.node(node_id).op)
-            unit = _free_unit(busy_until, resources, fu_type, step)
+            unit = _free_unit(
+                busy_until, resources, fu_type, step,
+                bank=bank_of_op.get(node_id),
+            )
             if unit is None:
                 continue
             del ready[node_id]
@@ -188,11 +201,21 @@ def _free_unit(
     resources: ResourceSet,
     fu_type: Optional[FuType],
     step: int,
+    bank: Optional[int] = None,
 ) -> Optional[Tuple[FuType, int]]:
-    """First free instance of ``fu_type`` at ``step``, or ``None``."""
+    """First free instance of ``fu_type`` at ``step``, or ``None``.
+
+    ``bank`` restricts the scan to that bank's port slice of a banked
+    type; ``None`` (flat types, or a banked op on an unbanked set)
+    scans every instance.
+    """
     if fu_type is None:
         return None
-    for index in range(resources.count(fu_type)):
+    lo, hi = 0, resources.count(fu_type)
+    if bank is not None and fu_type.banking is not None:
+        ports = fu_type.banking[1]
+        lo, hi = bank * ports, (bank + 1) * ports
+    for index in range(lo, hi):
         unit = (fu_type, index)
         if busy_until[unit] <= step:
             return unit

@@ -11,16 +11,23 @@ Memory operations are modelled faithfully for spill code: STORE puts
 its operand into a memory cell keyed by the store op, LOAD retrieves
 the cell of the store it depends on.  WIRE and MOVE forward their
 operand; PHI with a single remaining input forwards it too.
+
+When the schedule was produced under a *banked* memory constraint
+(:func:`repro.scheduling.resources.banked_mem`), the simulator also
+counts concurrent accesses per bank per step and raises
+:class:`SchedulingError` on port overflow — the dynamic check the
+memory scenario's acceptance relies on.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.ir.dfg import DataFlowGraph
 from repro.ir.ops import OpKind
 from repro.scheduling.base import Schedule
+from repro.scheduling.resources import bank_assignment
 
 _BINARY: Dict[OpKind, Callable[[int, int], int]] = {
     OpKind.ADD: lambda a, b: a + b,
@@ -138,7 +145,9 @@ def simulate_schedule(
     Raises :class:`SchedulingError` if an operation would read a value
     that is not yet available at its start step (i.e. the schedule is
     semantically broken) — this makes the simulator double as a dynamic
-    schedule validator.
+    schedule validator.  Under a banked memory constraint (the
+    schedule's own ``resources`` carry a banked ``mem`` type) it also
+    raises when concurrent accesses to one bank exceed its ports.
     """
     inputs = inputs or {}
     dfg = schedule.dfg
@@ -146,11 +155,34 @@ def simulate_schedule(
     memory: Dict[str, int] = {}
     available_at: Dict[str, int] = {}
 
+    banked = (
+        schedule.resources.banked_fu()
+        if schedule.resources is not None else None
+    )
+    bank_of: Dict[str, int] = {}
+    ports = 0
+    bank_load: Dict[Tuple[int, int], int] = {}
+    if banked is not None:
+        banks, ports = banked.banking
+        bank_of = bank_assignment(dfg, banks)
+
     order = sorted(
         schedule.start_times, key=lambda n: (schedule.start(n), n)
     )
     for node_id in order:
         start = schedule.start(node_id)
+        bank = bank_of.get(node_id)
+        if bank is not None:
+            span = max(1, dfg.delay(node_id))
+            for step in range(start, start + span):
+                used = bank_load.get((step, bank), 0) + 1
+                if used > ports:
+                    raise SchedulingError(
+                        f"mem bank {bank} port overflow at step {step}: "
+                        f"{used} concurrent accesses, {ports} ports "
+                        f"(op {node_id})"
+                    )
+                bank_load[(step, bank)] = used
         for edge in dfg.in_edges(node_id):
             if edge.src not in schedule.start_times:
                 continue

@@ -124,6 +124,8 @@ class ServeClient:
         gaps: bool = False,
         windows: Optional[Dict[str, Any]] = None,
         budget: Optional[Dict[str, Any]] = None,
+        scenario: Optional[Dict[str, Any]] = None,
+        io_schedule: Optional[Dict[str, Any]] = None,
     ) -> RawResponse:
         """``POST /schedule``; returns the raw exchange (any status).
 
@@ -131,8 +133,12 @@ class ServeClient:
         mapping of window-constrained jobs (tuples are accepted and
         serialized as JSON arrays).  ``budget`` is the optional search
         budget of budget-capable algorithms (``{"nodes": ...,
-        "deadline_ms": ...}``).  Non-dict values are sent verbatim so
-        the server's strict validation stays exercisable.
+        "deadline_ms": ...}``).  ``scenario`` is the optional
+        constraint-scenario document (``{"mode": "memory"|"io"|
+        "reliability", ...}``); ``io_schedule`` is the ``{op: step}``
+        shorthand for an ``io`` scenario — the server refuses both at
+        once.  Non-dict values are sent verbatim so the server's
+        strict validation stays exercisable.
         """
         if isinstance(graph, DataFlowGraph):
             graph = dfg_to_dict(graph)
@@ -156,6 +162,10 @@ class ServeClient:
                 body["windows"] = windows
         if budget is not None:
             body["budget"] = budget
+        if scenario is not None:
+            body["scenario"] = scenario
+        if io_schedule is not None:
+            body["io_schedule"] = io_schedule
         return self.request(
             "POST",
             "/schedule",

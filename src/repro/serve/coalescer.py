@@ -216,6 +216,11 @@ class RequestCoalescer:
                         meta["hier_rounds"],
                         meta.get("hier_partitions", 0),
                     )
+                # Scenario jobs record their mode in the artifact meta
+                # the same way; surface per-mode counts on /metrics.
+                scenario = meta.get("scenario") or {}
+                if "mode" in scenario:
+                    self.metrics.record_scenario(scenario["mode"])
             if not future.done():
                 future.set_result(result)
 

@@ -66,6 +66,11 @@ class ServiceMetrics:
     ``hier_rounds_total`` / ``hier_partitions_total``
         Feedback rounds and graph parts those jobs reported, summed;
         divide by ``hier_jobs`` for the per-job averages.
+    ``scenario_memory_jobs`` / ``scenario_io_jobs`` /
+    ``scenario_reliability_jobs``
+        Freshly computed jobs whose spec carried a constraint scenario
+        of that mode (the artifact's ``meta.scenario.mode`` — cache
+        hits and coalesced twins add nothing).
     ``improve_jobs``
         Anytime improver runs started on this replica (stream requests
         that attached to an already-running improver don't count).
@@ -97,6 +102,9 @@ class ServiceMetrics:
         self.hier_jobs = 0
         self.hier_rounds_total = 0
         self.hier_partitions_total = 0
+        self.scenario_memory_jobs = 0
+        self.scenario_io_jobs = 0
+        self.scenario_reliability_jobs = 0
         self.improve_jobs = 0
         self.improved_entries = 0
         self.proved_optimal = 0
@@ -131,6 +139,17 @@ class ServiceMetrics:
         self.hier_rounds_total += int(rounds)
         self.hier_partitions_total += int(partitions)
 
+    def record_scenario(self, mode: str) -> None:
+        """Account one fresh computation under a constraint scenario.
+
+        Unknown modes are ignored rather than crashing the flush
+        callback: the counter exists to make scenario traffic visible,
+        not to re-validate artifacts the engine already produced.
+        """
+        field = f"scenario_{mode}_jobs"
+        if hasattr(self, field):
+            setattr(self, field, getattr(self, field) + 1)
+
     def snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` payload (plain JSON-safe dict)."""
         window = list(self._latencies)
@@ -148,6 +167,9 @@ class ServiceMetrics:
             "hier_jobs": self.hier_jobs,
             "hier_rounds_total": self.hier_rounds_total,
             "hier_partitions_total": self.hier_partitions_total,
+            "scenario_memory_jobs": self.scenario_memory_jobs,
+            "scenario_io_jobs": self.scenario_io_jobs,
+            "scenario_reliability_jobs": self.scenario_reliability_jobs,
             "improve_jobs": self.improve_jobs,
             "improved_entries": self.improved_entries,
             "proved_optimal": self.proved_optimal,

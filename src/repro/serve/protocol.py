@@ -15,10 +15,18 @@ object::
       "windows": {"n3": [2, 5]},       # optional: per-op [lo, hi]
                                        # start-window pins (only on
                                        # window-capable algorithms)
-      "budget": {"nodes": 100000}      # optional: search budget
+      "budget": {"nodes": 100000},     # optional: search budget
                                        # (nodes and/or deadline_ms;
                                        # only on budget-capable
                                        # algorithms like bnb-anytime)
+      "scenario": {"mode": "memory",   # optional: constraint scenario
+                   "banks": 2,         # ("memory" | "io" |
+                   "ports": 2},        # "reliability"; see
+                                       # repro.engine.scenario)
+      "io_schedule": {"in1": 0}        # optional sugar: op -> step
+                                       # protocol pins, shorthand for
+                                       # an "io" scenario (mutually
+                                       # exclusive with "scenario")
     }
 
 Validation is strict: unknown top-level keys, wrong field types,
@@ -61,6 +69,8 @@ _REQUEST_FIELDS = frozenset(
         "gaps",
         "windows",
         "budget",
+        "scenario",
+        "io_schedule",
     }
 )
 
@@ -150,6 +160,55 @@ def _parse_windows(value: Any) -> Dict[str, tuple]:
     return windows
 
 
+def _parse_scenario(value: Any) -> Dict[str, Any]:
+    """Validate the optional scenario object's *shape* strictly.
+
+    The protocol layer checks only what makes the object well-formed
+    as a request field: a JSON object with a string ``mode``.  Field
+    names, value types, and mode/algorithm compatibility are validated
+    by :func:`repro.engine.scenario.normalize_scenario` inside
+    :meth:`JobSpec.make` — its errors also answer 400, never 500.
+    """
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            f"field 'scenario' must be an object with a 'mode' key, "
+            f"got {type(value).__name__}"
+        )
+    mode = value.get("mode")
+    if not isinstance(mode, str):
+        raise ProtocolError(
+            f"scenario 'mode' must be a string "
+            f"('memory', 'io', or 'reliability'), got {mode!r}"
+        )
+    return value
+
+
+def _parse_io_schedule(value: Any) -> Dict[str, Any]:
+    """Lower the ``io_schedule`` sugar into an ``io`` scenario.
+
+    ``{"op": step, ...}`` with non-negative integer steps; the
+    equivalent of ``{"scenario": {"mode": "io", "pins": ...}}``.
+    """
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            f"field 'io_schedule' must be an object mapping op ids to "
+            f"integer steps, got {type(value).__name__}"
+        )
+    pins: Dict[str, int] = {}
+    for op, step in value.items():
+        if isinstance(step, bool) or not isinstance(step, int):
+            raise ProtocolError(
+                f"io_schedule step for {op!r} must be an integer, "
+                f"got {step!r}"
+            )
+        if step < 0:
+            raise ProtocolError(
+                f"io_schedule step for {op!r} must be >= 0, got {step}"
+            )
+        pins[op] = step
+    return {"mode": "io", "pins": pins}
+
+
 def _parse_flag(data: Dict[str, Any], field: str) -> bool:
     value = data.get(field, False)
     if not isinstance(value, bool):
@@ -219,14 +278,43 @@ def parse_request(body: bytes) -> ScheduleRequest:
                 f"field 'budget' must be an object with 'nodes' and/or "
                 f"'deadline_ms', got {type(budget).__name__}"
             )
+    scenario = None
+    if "scenario" in data and "io_schedule" in data:
+        raise ProtocolError(
+            "fields 'scenario' and 'io_schedule' are mutually "
+            "exclusive: 'io_schedule' is shorthand for an 'io' scenario"
+        )
+    if "scenario" in data:
+        scenario = _parse_scenario(data["scenario"])
+    elif "io_schedule" in data:
+        scenario = _parse_io_schedule(data["io_schedule"])
+    if scenario is not None and isinstance(graph, DataFlowGraph):
+        # Same policy as windows: pins/targets into an inline graph
+        # are in hand, so dangling references are refused now instead
+        # of as a per-job structured failure.
+        pins = scenario.get("pins")
+        ops = scenario.get("ops")
+        referenced = list(pins) if isinstance(pins, dict) else []
+        referenced += list(ops) if isinstance(ops, (list, tuple)) else []
+        for op in referenced:
+            if isinstance(op, str) and op not in graph:
+                raise ProtocolError(
+                    f"scenario references unknown op {op!r} in the "
+                    f"inline graph"
+                )
     try:
-        # JobSpec.make runs the resource, algorithm, window, and
-        # budget validation itself (ResourceSet.parse /
+        # JobSpec.make runs the resource, algorithm, window, budget,
+        # and scenario validation itself (ResourceSet.parse /
         # canonical_algorithm / _normalize_windows /
-        # _normalize_budget); one pass, one place for the rules to
-        # live.
+        # _normalize_budget / normalize_scenario); one pass, one
+        # place for the rules to live.
         spec = JobSpec.make(
-            graph, resources, algorithm, windows=windows, budget=budget
+            graph,
+            resources,
+            algorithm,
+            windows=windows,
+            budget=budget,
+            scenario=scenario,
         )
     except ReproError as exc:
         raise ProtocolError(str(exc))

@@ -9,7 +9,11 @@ multi-replica dispatcher — exposing three endpoints:
     onto any identical in-flight computation, micro-batch it into the
     shared :class:`~repro.engine.batch.BatchEngine`, and answer with
     the canonical result JSON.  Volatile provenance travels in
-    headers: ``X-Repro-Source: computed|coalesced|cache``.
+    headers: ``X-Repro-Source: computed|coalesced|cache``.  Constraint
+    scenarios (``scenario`` / ``io_schedule`` request fields, see
+    :mod:`repro.engine.scenario`) ride the same path: they are part of
+    the spec, hence of the cache key, and fresh scenario computes bump
+    the per-mode ``scenario_*_jobs`` counters on ``/metrics``.
 ``GET /healthz``
     Liveness plus a tiny status summary.
 ``GET /metrics``

@@ -1,0 +1,112 @@
+"""Tests for the TMR reliability transform."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.scenario import TMRMARK_OPS, mem_traffic, tmr_marked
+from repro.ir.builder import GraphBuilder
+from repro.ir.reliability import (
+    RELIABILITY_REPLICAS,
+    apply_reliability,
+    reliability_targets,
+)
+from repro.ir.validate import validate_dfg
+from repro.scheduling.simulator import evaluate_dfg
+
+
+class TestTargets:
+    def test_sorted_and_deduplicated(self):
+        dfg = tmr_marked()
+        assert reliability_targets(dfg, ["m2", "m1", "m2"]) == ["m1", "m2"]
+
+    def test_empty_marks_rejected(self):
+        with pytest.raises(SchedulingError):
+            reliability_targets(tmr_marked(), [])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SchedulingError) as excinfo:
+            reliability_targets(tmr_marked(), ["ghost"])
+        assert "ghost" in str(excinfo.value)
+
+    def test_memory_ops_rejected(self):
+        with pytest.raises(SchedulingError) as excinfo:
+            reliability_targets(mem_traffic(4), ["s0"])
+        assert "memory op" in str(excinfo.value)
+
+    def test_structural_ops_rejected(self):
+        b = GraphBuilder("wired")
+        a = b.add("a1")
+        b.wire("w1", a)
+        with pytest.raises(SchedulingError) as excinfo:
+            reliability_targets(b.graph(), ["w1"])
+        assert "structural" in str(excinfo.value)
+
+    def test_suffix_collision_rejected(self):
+        b = GraphBuilder("clash")
+        b.add("a1")
+        b.add("a1__vote")
+        with pytest.raises(SchedulingError):
+            reliability_targets(b.graph(), ["a1"])
+
+
+class TestTransform:
+    def test_grows_replicas_and_voter_per_op(self):
+        dfg = tmr_marked()
+        before = dfg.num_nodes
+        meta = apply_reliability(dfg, list(TMRMARK_OPS))
+        per_op = RELIABILITY_REPLICAS + 1
+        assert dfg.num_nodes == before + per_op * len(TMRMARK_OPS)
+        assert meta == {
+            "mode": "reliability",
+            "ops": sorted(TMRMARK_OPS),
+            "replicas": RELIABILITY_REPLICAS,
+            "voters": len(TMRMARK_OPS),
+        }
+        validate_dfg(dfg)
+
+    def test_consumers_rerouted_to_voter(self):
+        dfg = tmr_marked()
+        apply_reliability(dfg, ["m1"])
+        # m1's former consumers (a1 and s1) now read the voter.
+        a1_sources = {e.src for e in dfg.in_edges("a1")}
+        assert "m1__vote" in a1_sources and "m1" not in a1_sources
+        # The voter reads the original on port 0 and replicas after.
+        voter_in = sorted(
+            (e.port, e.src) for e in dfg.in_edges("m1__vote")
+        )
+        assert voter_in == [(0, "m1"), (1, "m1__r1"), (2, "m1__r2")]
+
+    def test_replicas_share_operands_and_delay(self):
+        dfg = tmr_marked()
+        apply_reliability(dfg, ["m3"])
+        original = dfg.node("m3")
+        for suffix in ("__r1", "__r2"):
+            replica = dfg.node(f"m3{suffix}")
+            assert replica.op is original.op
+            assert replica.delay == original.delay
+            assert {e.src for e in dfg.in_edges(f"m3{suffix}")} == {
+                e.src for e in dfg.in_edges("m3")
+            }
+
+    def test_hardened_graph_computes_original_values(self):
+        # The semantic acceptance: PHI voters forward their first
+        # operand, so every original node's value is unchanged.
+        baseline = evaluate_dfg(tmr_marked(), default_input=3)
+        hardened = tmr_marked()
+        apply_reliability(hardened, list(TMRMARK_OPS))
+        values = evaluate_dfg(hardened, default_input=3)
+        for node_id, expected in baseline.items():
+            assert values[node_id] == expected
+        for op in TMRMARK_OPS:
+            assert values[f"{op}__vote"] == baseline[op]
+
+    def test_transform_is_deterministic(self):
+        def grown():
+            dfg = tmr_marked()
+            apply_reliability(dfg, ["m2", "m1"])
+            return (
+                sorted(dfg.nodes()),
+                sorted((e.src, e.dst, e.port) for e in dfg.edges()),
+            )
+
+        assert grown() == grown()

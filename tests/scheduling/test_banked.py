@@ -1,0 +1,138 @@
+"""Banked-memory constraints through every scheduler-layer check."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.scenario import mem_traffic
+from repro.scheduling.base import Schedule, validate_schedule
+from repro.scheduling.force_directed import (
+    force_directed_schedule,
+    force_directed_schedule_reference,
+)
+from repro.scheduling.list_scheduler import ListPriority, list_schedule
+from repro.scheduling.resources import ResourceSet, bank_assignment
+from repro.scheduling.simulator import evaluate_dfg, simulate_schedule
+
+BANKED = ResourceSet.parse("2+/-,2*,2mem[2x1]")
+WIDE = ResourceSet.parse("2+/-,2*,4mem[2x2]")
+
+
+def _per_bank_load(schedule, banks):
+    bank_of = bank_assignment(schedule.dfg, banks)
+    load = {}
+    for node_id, bank in bank_of.items():
+        start = schedule.start(node_id)
+        span = max(1, schedule.dfg.delay(node_id))
+        for step in range(start, start + span):
+            load[(step, bank)] = load.get((step, bank), 0) + 1
+    return load
+
+
+class TestListScheduler:
+    def test_per_bank_ports_enforced(self):
+        schedule = list_schedule(mem_traffic(4), BANKED)
+        assert all(
+            used <= 1 for used in _per_bank_load(schedule, 2).values()
+        )
+        assert validate_schedule(schedule) == []
+
+    def test_binding_stays_in_the_ops_bank(self):
+        schedule = list_schedule(mem_traffic(4), WIDE)
+        bank_of = bank_assignment(schedule.dfg, 2)
+        fu = WIDE.banked_fu()
+        for node_id, (fu_type, index) in schedule.binding.items():
+            if node_id in bank_of:
+                assert fu_type is fu
+                assert WIDE.bank_of_unit(fu, index) == bank_of[node_id]
+
+    def test_wider_ports_shorten_the_schedule(self):
+        narrow = list_schedule(mem_traffic(8), BANKED)
+        wide = list_schedule(mem_traffic(8), WIDE)
+        assert wide.length <= narrow.length
+
+    def test_banked_schedule_simulates(self):
+        dfg = mem_traffic(4)
+        schedule = list_schedule(dfg, BANKED)
+        values = simulate_schedule(schedule, default_input=2)
+        assert values == evaluate_dfg(dfg, default_input=2)
+
+    def test_priorities_all_respect_banking(self):
+        for priority in ListPriority:
+            schedule = list_schedule(mem_traffic(4), BANKED, priority)
+            assert validate_schedule(schedule) == []
+
+
+class TestValidator:
+    def test_bank_overflow_reported(self):
+        dfg = mem_traffic(4)
+        # Serialize dependences generously, then force every op of
+        # bank 0 to collide: l0 and l2 share a bank under round-robin
+        # tagging (l0 tagged @bank0, l2 untagged -> bank 0).
+        schedule = list_schedule(dfg, BANKED)
+        times = dict(schedule.start_times)
+        times["l2"] = times["l0"]
+        clash = Schedule(
+            dfg=dfg, start_times=times, resources=BANKED
+        )
+        problems = validate_schedule(
+            clash, check_binding=False, raise_on_error=False
+        )
+        assert any("mem bank 0" in p for p in problems)
+
+    def test_wrong_bank_binding_reported(self):
+        dfg = mem_traffic(4)
+        schedule = list_schedule(dfg, WIDE)
+        fu = WIDE.banked_fu()
+        bank_of = bank_assignment(dfg, 2)
+        victim = next(op for op, b in bank_of.items() if b == 0)
+        binding = dict(schedule.binding)
+        binding[victim] = (fu, 3)  # bank 1's slice
+        rebound = Schedule(
+            dfg=dfg,
+            start_times=dict(schedule.start_times),
+            binding=binding,
+            resources=WIDE,
+        )
+        problems = validate_schedule(rebound, raise_on_error=False)
+        assert any("belongs to mem bank 0" in p for p in problems)
+
+
+class TestSimulator:
+    def test_port_overflow_raises(self):
+        dfg = mem_traffic(4)
+        schedule = list_schedule(dfg, BANKED)
+        times = dict(schedule.start_times)
+        times["l2"] = times["l0"]
+        clash = Schedule(dfg=dfg, start_times=times, resources=BANKED)
+        with pytest.raises(SchedulingError) as excinfo:
+            simulate_schedule(clash)
+        assert "port overflow" in str(excinfo.value)
+
+    def test_flat_resources_skip_the_bank_check(self):
+        dfg = mem_traffic(4)
+        flat = ResourceSet.parse("2+/-,2*,2mem")
+        schedule = list_schedule(dfg, flat)
+        values = simulate_schedule(schedule)
+        assert values == evaluate_dfg(dfg)
+
+
+class TestForceDirected:
+    def test_banked_fast_matches_reference(self):
+        dfg = mem_traffic(4)
+        roomy = ResourceSet.parse("4+/-,4*,4mem[2x2]")
+        fast = force_directed_schedule(dfg, roomy)
+        ref = force_directed_schedule_reference(dfg, roomy)
+        assert fast.start_times == ref.start_times
+        assert validate_schedule(fast, check_binding=False) == []
+
+    def test_flat_schedules_unchanged_by_group_refactor(self):
+        # Unbanked sets must produce byte-identical distribution
+        # graphs (group == fu_type), so the historical FDS results
+        # are untouched by the banked-group generalization.
+        from repro.graphs import hal
+
+        dfg = hal()
+        flat = ResourceSet.parse("2+/-,2*")
+        fast = force_directed_schedule(dfg, flat)
+        ref = force_directed_schedule_reference(dfg, flat)
+        assert fast.start_times == ref.start_times

@@ -4,8 +4,17 @@ import pytest
 
 from repro.errors import ResourceError
 from repro.graphs import hal
+from repro.graphs.scenario import mem_traffic
 from repro.ir.ops import OpKind
-from repro.scheduling.resources import ALU, MEM, MUL, FU_TYPES, ResourceSet
+from repro.scheduling.resources import (
+    ALU,
+    MEM,
+    MUL,
+    FU_TYPES,
+    ResourceSet,
+    bank_assignment,
+    banked_mem,
+)
 
 
 class TestNotationParsing:
@@ -42,6 +51,24 @@ class TestNotationParsing:
     def test_empty_rejected(self):
         with pytest.raises(ResourceError):
             ResourceSet.parse("")
+
+    @pytest.mark.parametrize(
+        "text", ["2+/-,,1*", ",2*", "1*,", "2+/-, ,1*"], ids=repr
+    )
+    def test_empty_token_rejected_with_clear_message(self, text):
+        with pytest.raises(ResourceError) as excinfo:
+            ResourceSet.parse(text)
+        message = str(excinfo.value)
+        assert "empty resource token" in message
+        assert "comma" in message
+
+    def test_duplicate_tokens_sum_across_spellings(self):
+        # Accumulation is deliberate (documented on parse): repeating
+        # a type — even under different spellings of the same type —
+        # sums the counts instead of last-wins or erroring.
+        rs = ResourceSet.parse("1+/-,2*,1alu,1*")
+        assert rs.count(ALU) == 2
+        assert rs.count(MUL) == 3
 
     def test_notation_roundtrip(self):
         rs = ResourceSet.parse("2+/-,1*")
@@ -94,3 +121,58 @@ class TestSemantics:
 
     def test_standard_types_registry(self):
         assert set(FU_TYPES) == {"alu", "mul", "mem"}
+
+    def test_empty_set_construction_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSet({})
+        with pytest.raises(ResourceError):
+            ResourceSet.of()
+
+
+class TestBankedMemory:
+    def test_banked_notation_parses(self):
+        rs = ResourceSet.parse("4mem[2x2]")
+        fu = rs.banked_fu()
+        assert fu is not None
+        assert fu.banking == (2, 2)
+        assert rs.count(fu) == 4
+
+    def test_banked_notation_roundtrip(self):
+        rs = ResourceSet.parse("2+/-,1*,4mem[2x2]")
+        assert "4mem[2x2]" in rs.notation()
+        assert ResourceSet.parse(rs.notation()) == rs
+
+    def test_count_must_equal_banks_times_ports(self):
+        with pytest.raises(ResourceError):
+            ResourceSet.parse("3mem[2x2]")
+
+    def test_conflicting_mem_types_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSet.parse("1mem,2mem[2x1]")
+
+    def test_with_banked_mem_replaces_flat_mem(self):
+        rs = ResourceSet.parse("2+/-,1*,2mem").with_banked_mem(2, 2)
+        assert rs.count(MEM) == 0
+        assert rs.banked_fu() == banked_mem(2, 2)
+        assert rs.count(banked_mem(2, 2)) == 4
+
+    def test_bank_of_unit_is_bank_major(self):
+        rs = ResourceSet.parse("4mem[2x2]")
+        fu = rs.banked_fu()
+        assert [rs.bank_of_unit(fu, i) for i in range(4)] == [0, 0, 1, 1]
+        assert rs.bank_of_unit(ALU, 0) is None
+
+    def test_bank_assignment_tags_win_untagged_round_robin(self):
+        # mem_traffic tags lanes 0..pairs//2-1 with @bank<lane mod 2>;
+        # the rest round-robin over sorted untagged ids.
+        dfg = mem_traffic(4)
+        banks = bank_assignment(dfg, 2)
+        assert banks["s0"] == banks["l0"] == 0
+        assert banks["s1"] == banks["l1"] == 1
+        untagged = sorted(
+            op for op in ("l2", "l3", "s2", "s3")
+        )
+        assert [banks[op] for op in untagged] == [0, 1, 0, 1]
+
+    def test_flat_sets_have_no_banked_fu(self):
+        assert ResourceSet.parse("2+/-,2*,1mem").banked_fu() is None

@@ -1,0 +1,45 @@
+"""Shared live-server fixture for the serve test modules."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ScheduleServer
+
+
+@pytest.fixture()
+def serve_factory():
+    """Start servers on background event loops; tear them all down."""
+    started = []
+
+    def factory(**kwargs) -> tuple:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("batch_window_ms", 2.0)
+        server = ScheduleServer(**kwargs)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10), "server failed to start"
+        started.append((server, loop, thread))
+        return server, loop, ServeClient(port=server.port, timeout=60)
+
+    yield factory
+
+    for server, loop, thread in started:
+        try:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(20)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()

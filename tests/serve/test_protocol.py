@@ -250,3 +250,187 @@ class TestWindows:
         plain = parse_request(_body(graph="HAL", algorithm="fds"))
         spec = JobSpec.make("HAL", DEFAULT_RESOURCES, "fds")
         assert plain.spec == spec
+
+
+class TestScenario:
+    """Scenario constraints through the wire protocol: strict 400s,
+    never 500s — mirroring the windows matrix above."""
+
+    def test_valid_scenario_reaches_the_spec(self):
+        request = parse_request(
+            _body(
+                graph="HAL",
+                scenario={"mode": "reliability", "ops": ["m2", "m1"]},
+            )
+        )
+        assert request.spec.scenario == (
+            ("mode", "reliability"),
+            ("ops", ("m1", "m2")),
+        )
+
+    def test_io_schedule_sugar_equals_io_scenario(self):
+        sugar = parse_request(
+            _body(graph="HAL", algorithm="fds", io_schedule={"m1": 2})
+        )
+        explicit = parse_request(
+            _body(
+                graph="HAL",
+                algorithm="fds",
+                scenario={"mode": "io", "pins": {"m1": 2}},
+            )
+        )
+        assert sugar.spec == explicit.spec
+
+    def test_scenario_and_io_schedule_together_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(
+                    graph="HAL",
+                    algorithm="fds",
+                    scenario={"mode": "io", "pins": {"m1": 2}},
+                    io_schedule={"m1": 2},
+                )
+            )
+        assert excinfo.value.status == 400
+        assert "mutually exclusive" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            "notadict",
+            42,
+            [],
+            {},
+            {"mode": 7},
+            {"mode": "warp"},
+            {"banks": 2, "ports": 1},
+            {"mode": "memory"},
+            {"mode": "memory", "banks": 2},
+            {"mode": "memory", "banks": 0, "ports": 1},
+            {"mode": "memory", "banks": True, "ports": 1},
+            {"mode": "memory", "banks": 2, "ports": 1, "extra": 1},
+            {"mode": "io"},
+            {"mode": "io", "pins": {}},
+            {"mode": "io", "pins": {"a": -1}},
+            {"mode": "io", "pins": {"a": True}},
+            {"mode": "io", "pins": {"a": "3"}},
+            {"mode": "reliability"},
+            {"mode": "reliability", "ops": []},
+            {"mode": "reliability", "ops": "m1"},
+        ],
+        ids=repr,
+    )
+    def test_malformed_scenarios_raise_protocol_error(self, scenario):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(graph="HAL", algorithm="fds", scenario=scenario)
+            )
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize(
+        "io_schedule",
+        [
+            "notadict",
+            42,
+            [],
+            {},
+            {"a": -1},
+            {"a": True},
+            {"a": "3"},
+            {"a": None},
+        ],
+        ids=repr,
+    )
+    def test_malformed_io_schedule_raises_protocol_error(self, io_schedule):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(graph="HAL", algorithm="fds", io_schedule=io_schedule)
+            )
+        assert excinfo.value.status == 400
+
+    def test_memory_scenario_on_unsupported_algorithm_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(
+                    graph="HAL",
+                    algorithm="bnb-anytime",
+                    scenario={"mode": "memory", "banks": 2, "ports": 1},
+                )
+            )
+        assert excinfo.value.status == 400
+        assert "banked" in str(excinfo.value)
+
+    def test_io_scenario_on_unsupported_algorithm_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(
+                    graph="HAL",
+                    algorithm="meta2",
+                    scenario={"mode": "io", "pins": {"m1": 2}},
+                )
+            )
+        assert excinfo.value.status == 400
+
+    def test_unknown_pin_op_in_inline_graph_is_400(self):
+        dfg = get_graph("FIR")
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(
+                    graph=dfg_to_dict(dfg),
+                    algorithm="fds",
+                    scenario={"mode": "io", "pins": {"ghost": 0}},
+                )
+            )
+        assert excinfo.value.status == 400
+        assert "ghost" in str(excinfo.value)
+
+    def test_unknown_marked_op_in_inline_graph_is_400(self):
+        dfg = get_graph("FIR")
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(
+                _body(
+                    graph=dfg_to_dict(dfg),
+                    scenario={"mode": "reliability", "ops": ["ghost"]},
+                )
+            )
+        assert excinfo.value.status == 400
+        assert "ghost" in str(excinfo.value)
+
+    def test_unknown_op_on_registry_graph_defers_to_engine(self):
+        request = parse_request(
+            _body(
+                graph="HAL",
+                algorithm="fds",
+                scenario={"mode": "io", "pins": {"ghost": 0}},
+            )
+        )
+        (result,) = BatchEngine().run([request.spec])
+        assert not result.ok
+        assert "ghost" in result.error
+
+    def test_scenario_free_spec_equals_pre_scenario_spec(self):
+        # Byte-compat guard: requests without a scenario must build
+        # specs (and cache keys) identical to the historical form.
+        plain = parse_request(_body(graph="HAL", algorithm="fds"))
+        assert plain.spec == JobSpec.make("HAL", DEFAULT_RESOURCES, "fds")
+
+    def test_windows_and_budget_combine_on_bnb_anytime(self):
+        # Satellite: both constraint families ride one request.
+        request = parse_request(
+            _body(
+                graph="HAL",
+                algorithm="bnb-anytime",
+                windows={"m1": [2, 2]},
+                budget={"nodes": 50000},
+            )
+        )
+        spec = request.spec
+        assert spec.windows == (("m1", (2, 2)),)
+        assert spec.budget == (("nodes", 50000),)
+        key = spec.cache_key("h")
+        assert key != JobSpec.make(
+            "HAL", DEFAULT_RESOURCES, "bnb-anytime"
+        ).cache_key("h")
+        (result,) = BatchEngine(capture_schedules=True).run([spec])
+        assert result.error is None
+        assert result.artifact["ops"]["m1"]["step"] == 2

@@ -1,0 +1,98 @@
+"""End-to-end scenario jobs through a live server: all three modes,
+per-mode metrics counters, and cache behavior."""
+
+from repro.graphs.scenario import IOPIN_PINS, TMRMARK_OPS
+
+
+class TestScenarioServe:
+    def test_memory_mode_end_to_end(self, serve_factory):
+        _, _, client = serve_factory()
+        body = client.schedule(
+            "MEMBANK",
+            resources="2+/-,2*,2mem",
+            algorithm="list",
+            artifacts=True,
+            scenario={"mode": "memory", "banks": 2, "ports": 1},
+        )
+        meta = body["artifact"]["meta"]["scenario"]
+        assert meta["mode"] == "memory"
+        assert meta["banks"] == 2 and meta["ports"] == 1
+        assert client.metrics()["scenario_memory_jobs"] == 1
+
+    def test_io_schedule_end_to_end(self, serve_factory):
+        _, _, client = serve_factory()
+        body = client.schedule(
+            "IOPIN",
+            algorithm="fds",
+            artifacts=True,
+            io_schedule=dict(IOPIN_PINS),
+        )
+        ops = body["artifact"]["ops"]
+        for op, step in IOPIN_PINS.items():
+            assert ops[op]["step"] == step
+        assert client.metrics()["scenario_io_jobs"] == 1
+
+    def test_reliability_mode_end_to_end(self, serve_factory):
+        _, _, client = serve_factory()
+        body = client.schedule(
+            "TMRMARK",
+            algorithm="list",
+            artifacts=True,
+            scenario={"mode": "reliability", "ops": list(TMRMARK_OPS)},
+        )
+        inserted = set(body["artifact"]["inserted"])
+        for op in TMRMARK_OPS:
+            assert {f"{op}__r1", f"{op}__r2", f"{op}__vote"} <= inserted
+        assert client.metrics()["scenario_reliability_jobs"] == 1
+
+    def test_counters_bump_on_fresh_compute_only(self, serve_factory):
+        _, _, client = serve_factory()
+        scenario = {"mode": "reliability", "ops": ["m1"]}
+        first = client.schedule_raw("HAL", algorithm="list", scenario=scenario)
+        second = client.schedule_raw(
+            "HAL", algorithm="list", scenario=scenario
+        )
+        assert first.status == second.status == 200
+        assert first.source == "computed"
+        assert second.source == "cache"
+        assert second.body == first.body
+        metrics = client.metrics()
+        assert metrics["scenario_reliability_jobs"] == 1
+        assert metrics["computed"] == 1
+
+    def test_scenario_and_plain_jobs_cache_separately(self, serve_factory):
+        _, _, client = serve_factory()
+        plain = client.schedule("HAL", algorithm="list")
+        hardened = client.schedule(
+            "HAL",
+            algorithm="list",
+            scenario={"mode": "reliability", "ops": ["m1"]},
+        )
+        assert hardened["length"] >= plain["length"]
+        metrics = client.metrics()
+        assert metrics["computed"] == 2
+        assert metrics["scenario_reliability_jobs"] == 1
+        assert metrics["scenario_memory_jobs"] == 0
+        assert metrics["scenario_io_jobs"] == 0
+
+    def test_malformed_scenario_is_400_never_500(self, serve_factory):
+        _, _, client = serve_factory()
+        for scenario in ({"mode": "warp"}, {"mode": "io", "pins": {}}, 42):
+            raw = client.schedule_raw("HAL", scenario=scenario)
+            assert raw.status == 400
+        assert client.healthz()["status"] == "ok"
+
+    def test_windowed_jobs_cache_too(self, serve_factory):
+        # Regression: the gap-eligibility check used to treat the
+        # (intentionally) missing gap of constrained jobs as a cache
+        # miss, recomputing windowed and scenario jobs every request.
+        _, _, client = serve_factory()
+        first = client.schedule_raw(
+            "HAL", algorithm="fds", windows={"m1": [2, 5]}
+        )
+        second = client.schedule_raw(
+            "HAL", algorithm="fds", windows={"m1": [2, 5]}
+        )
+        assert first.source == "computed"
+        assert second.source == "cache"
+        assert client.metrics()["computed"] == 1
